@@ -1,0 +1,215 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section. Each benchmark drives the corresponding experiment
+// in internal/experiments and reports the headline quantities through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the rows
+// the paper reports (see EXPERIMENTS.md for the paper-vs-measured
+// comparison).
+package esse_test
+
+import (
+	"testing"
+	"time"
+
+	"esse/internal/core"
+	"esse/internal/experiments"
+	"esse/internal/realtime"
+	"esse/internal/trace"
+)
+
+// benchRealtimeConfig returns the twin-experiment setup used by the
+// figure benchmarks (kept small so the full suite runs in minutes).
+func benchRealtimeConfig() realtime.Config {
+	cfg := realtime.DefaultConfig()
+	cfg.NX, cfg.NY, cfg.NZ = 12, 12, 4
+	cfg.Cycles = 2
+	cfg.StepsPerCycle = 15
+	cfg.Ensemble.InitialSize = 12
+	cfg.Ensemble.MaxSize = 24
+	cfg.Ensemble.SVDBatch = 6
+	cfg.Ensemble.Workers = 8
+	cfg.Ensemble.Criterion = core.ConvergenceCriterion{MinSimilarity: 0.9, MaxVarianceChange: 0.3}
+	return cfg
+}
+
+// BenchmarkFig1Timelines regenerates the three Fig. 1 forecasting
+// timelines (observation, forecaster, simulation time) from a real-time
+// twin experiment.
+func BenchmarkFig1Timelines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tl, _, err := experiments.Fig1Timelines(benchRealtimeConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(tl.Len()), "spans")
+			b.ReportMetric(tl.Makespan(trace.ObservationTime), "ocean-seconds")
+		}
+	}
+}
+
+// BenchmarkFig2ESSECycle runs one full ESSE cycle (Fig. 2): perturb →
+// stochastic ensemble → continuous SVD → convergence → assimilation.
+func BenchmarkFig2ESSECycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig2ESSECycle(benchRealtimeConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Cycle.Ensemble.MembersUsed), "members")
+			b.ReportMetric(res.Cycle.Ensemble.Rho, "rho")
+			b.ReportMetric(res.Cycle.RMSEForecastT, "rmseF-degC")
+			b.ReportMetric(res.Cycle.RMSEAnalysisT, "rmseA-degC")
+		}
+	}
+}
+
+// BenchmarkFig3Serial measures the serial reference implementation of
+// Fig. 3 (no exposed parallelism; batch-blocking diff and SVD stages).
+func BenchmarkFig3Serial(b *testing.B) {
+	cfg := benchRealtimeConfig()
+	cfg.Serial = true
+	cfg.Cycles = 1
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig2ESSECycle(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Cycle.Ensemble.Elapsed)/1e6, "ensemble-ms")
+		}
+	}
+}
+
+// BenchmarkFig4Parallel measures the parallel MTC implementation of
+// Fig. 4 on the identical workload as BenchmarkFig3Serial.
+func BenchmarkFig4Parallel(b *testing.B) {
+	cfg := benchRealtimeConfig()
+	cfg.Cycles = 1
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig2ESSECycle(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Cycle.Ensemble.Elapsed)/1e6, "ensemble-ms")
+		}
+	}
+}
+
+// BenchmarkFig3Fig4Speedup runs the controlled serial-vs-parallel
+// comparison (identical member set, emulated forecast cost) and reports
+// the MTC speedup and subspace agreement.
+func BenchmarkFig3Fig4Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig3Fig4Comparison(24, 8, 2*time.Millisecond, 60, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Speedup, "speedup")
+			b.ReportMetric(res.SubspaceAgree, "subspace-rho")
+		}
+	}
+}
+
+// BenchmarkTable1TeragridHosts regenerates Table 1 (pert/pemodel seconds
+// per TeraGrid platform).
+func BenchmarkTable1TeragridHosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table1()
+		if i == 0 {
+			for _, r := range rows {
+				if r.Site == "ORNL" {
+					b.ReportMetric(r.Pert, "ORNL-pert-s")
+					b.ReportMetric(r.Model, "ORNL-pemodel-s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2EC2Instances regenerates Table 2 (pert/pemodel seconds
+// per EC2 instance type, worst of a full-instance batch).
+func BenchmarkTable2EC2Instances(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table2()
+		if i == 0 {
+			for _, r := range rows {
+				if r.Instance == "c1.xlarge" {
+					b.ReportMetric(r.Pert, "c1.xlarge-pert-s")
+					b.ReportMetric(r.Model, "c1.xlarge-pemodel-s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkLocalClusterTimings regenerates the §5.2.1 measurements: 600
+// members on ~210 cores under all-local vs mixed-NFS I/O and SGE vs
+// Condor, plus the 6000-job acoustics ensemble.
+func BenchmarkLocalClusterTimings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.LocalTimings(600, 6000, 210, uint64(i+1))
+		if i == 0 {
+			b.ReportMetric(res.LocalSGE.Makespan/60, "local-min")
+			b.ReportMetric(res.MixedSGE.Makespan/60, "mixedNFS-min")
+			b.ReportMetric(res.LocalCondor.Makespan/60, "condor-min")
+			b.ReportMetric(res.MixedSGE.PertCPUUtilization*100, "pert-util-pct")
+			b.ReportMetric(res.Acoustics.Makespan/60, "acoustics-min")
+		}
+	}
+}
+
+// BenchmarkEC2Cost regenerates the §5.4.2 worked cost example
+// ($33.95 for 960 members on 20 c1.xlarge for 2 hours).
+func BenchmarkEC2Cost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bill, _ := experiments.CostExample()
+		if i == 0 {
+			b.ReportMetric(bill.TotalUSD, "total-USD")
+			b.ReportMetric(bill.ComputeUSD, "compute-USD")
+		}
+	}
+}
+
+// BenchmarkFig5SSTUncertainty regenerates the Fig. 5 sea-surface
+// temperature uncertainty map from the AOSN-II-style twin experiment.
+func BenchmarkFig5SSTUncertainty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig5Fig6Uncertainty(benchRealtimeConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			max := 0.0
+			for _, v := range res.SST {
+				if v > max {
+					max = v
+				}
+			}
+			b.ReportMetric(max, "max-SST-std-degC")
+		}
+	}
+}
+
+// BenchmarkFig6SubsurfaceUncertainty regenerates the Fig. 6 ~30 m
+// temperature uncertainty map.
+func BenchmarkFig6SubsurfaceUncertainty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Fig5Fig6Uncertainty(benchRealtimeConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			max := 0.0
+			for _, v := range res.Deep {
+				if v > max {
+					max = v
+				}
+			}
+			b.ReportMetric(max, "max-30m-std-degC")
+			b.ReportMetric(float64(res.DeepLvl), "level")
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command opendap-server publishes simulated ocean model states over the
+// OpenDAP-like protocol of internal/opendap — the home-institution data
+// server of the paper's Section 5.3.2, from which remote execution hosts
+// read shared input files. It can also act as the client, fetching a
+// variable hyperslab from a running server.
+//
+// Server:  opendap-server -listen :8080
+// Client:  opendap-server -fetch http://host:8080 -dataset forecast-000 -var T
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"esse/internal/grid"
+	"esse/internal/metrics"
+	"esse/internal/ncdf"
+	"esse/internal/ocean"
+	"esse/internal/opendap"
+	"esse/internal/rng"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8080", "server listen address")
+		members = flag.Int("members", 3, "forecast members to publish")
+		nx      = flag.Int("nx", 16, "grid points east")
+		ny      = flag.Int("ny", 16, "grid points north")
+		nz      = flag.Int("nz", 4, "vertical levels")
+		seed    = flag.Uint64("seed", 1, "random seed")
+
+		fetch   = flag.String("fetch", "", "client mode: base URL of a running server")
+		dataset = flag.String("dataset", "forecast-000", "client: dataset name")
+		varName = flag.String("var", "T", "client: variable to fetch")
+		slab    = flag.String("slab", "", "client: start/count as 'i,j,k:di,dj,dk' (empty = full)")
+	)
+	flag.Parse()
+
+	if *fetch != "" {
+		runClient(*fetch, *dataset, *varName, *slab)
+		return
+	}
+
+	g := grid.MontereyBay(*nx, *ny, *nz)
+	master := rng.New(*seed)
+	srv := opendap.NewServer()
+	for m := 0; m < *members; m++ {
+		st := master.Split(uint64(m))
+		cfg := ocean.DefaultConfig(g)
+		cfg.Climo = cfg.Climo.Jitter(st)
+		model := ocean.New(cfg, st.Split(1))
+		model.Run(20)
+		f, err := ncdf.FromState(model.Layout, model.State(nil),
+			map[string]string{"member": fmt.Sprint(m), "region": "monterey-bay"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Publish(fmt.Sprintf("forecast-%03d", m), f)
+	}
+	log.Printf("serving %d forecast datasets on %s (endpoints: /datasets /dds/{name} /dods/{name})",
+		*members, *listen)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}
+
+func runClient(base, dataset, varName, slab string) {
+	c := opendap.NewClient(base)
+	names, err := c.Datasets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server offers %d datasets: %v\n", len(names), names)
+	dds, err := c.DDS(dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(dds)
+
+	var start, count []int
+	if slab != "" {
+		parts := strings.SplitN(slab, ":", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "bad -slab; want 'i,j,k:di,dj,dk'")
+			os.Exit(2)
+		}
+		start = mustInts(parts[0])
+		count = mustInts(parts[1])
+	}
+	data, err := c.Fetch(dataset, varName, start, count)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := metrics.Stats(data)
+	fmt.Printf("fetched %d values of %s: min %.4g max %.4g mean %.4g\n",
+		len(data), varName, st.Min, st.Max, st.Mean)
+}
+
+func mustInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer %q\n", p)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation section from the Go reproduction. With no flags it runs the
+// full suite; individual experiments can be selected with flags.
+//
+// Usage:
+//
+//	repro [-table1] [-table2] [-timings] [-cost] [-fig1] [-fig2]
+//	      [-fig34] [-fig56] [-members N] [-cores N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"esse/internal/experiments"
+	"esse/internal/realtime"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "Table 1: TeraGrid host timings")
+		table2  = flag.Bool("table2", false, "Table 2: EC2 instance timings")
+		timings = flag.Bool("timings", false, "section 5.2.1 local-cluster timings")
+		cost    = flag.Bool("cost", false, "section 5.4.2 EC2 cost example")
+		fig1    = flag.Bool("fig1", false, "Fig 1: forecasting timelines")
+		fig2    = flag.Bool("fig2", false, "Fig 2: one ESSE cycle")
+		fig34   = flag.Bool("fig34", false, "Figs 3/4: serial vs parallel workflow")
+		fig56   = flag.Bool("fig56", false, "Figs 5/6: uncertainty forecast maps")
+		members = flag.Int("members", 600, "ensemble size for the cluster timings")
+		cores   = flag.Int("cores", 210, "available cores for the cluster timings")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	all := !(*table1 || *table2 || *timings || *cost || *fig1 || *fig2 || *fig34 || *fig56)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	rtCfg := realtime.DefaultConfig()
+	rtCfg.Seed = *seed
+
+	if all || *table1 {
+		_, text := experiments.Table1()
+		fmt.Println(text)
+	}
+	if all || *table2 {
+		_, text := experiments.Table2()
+		fmt.Println(text)
+	}
+	if all || *timings {
+		_, text := experiments.LocalTimings(*members, 6000, *cores, *seed)
+		fmt.Println(text)
+	}
+	if all || *cost {
+		_, text := experiments.CostExample()
+		fmt.Println(text)
+	}
+	if all || *fig1 {
+		_, text, err := experiments.Fig1Timelines(rtCfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(text)
+	}
+	if all || *fig2 {
+		_, text, err := experiments.Fig2ESSECycle(rtCfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(text)
+	}
+	if all || *fig34 {
+		_, text, err := experiments.Fig3Fig4Comparison(24, 8, 10*time.Millisecond, 100, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(text)
+	}
+	if all || *fig56 {
+		_, text, err := experiments.Fig5Fig6Uncertainty(rtCfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(text)
+	}
+}

@@ -1,0 +1,70 @@
+// Adaptive sampling: steering the observing system with ESSE.
+//
+// The paper's Section 7 singles out "the intelligent coordination of
+// autonomous ocean sampling networks" as a prime MTC application to
+// combine with ESSE uncertainty estimates. This example runs the same
+// twin experiment twice — once with the static AOSN-II network, once
+// adding a few adaptively planned CTD casts per cycle (greedy expected-
+// variance-reduction in the forecast subspace) — and compares skill.
+//
+//	go run ./examples/adaptive-sampling [-cycles 3] [-casts 5]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"esse/internal/core"
+	"esse/internal/realtime"
+)
+
+func main() {
+	cycles := flag.Int("cycles", 3, "forecast/assimilation cycles")
+	casts := flag.Int("casts", 5, "adaptive CTD casts per cycle")
+	seed := flag.Uint64("seed", 11, "random seed")
+	flag.Parse()
+
+	run := func(adaptiveCasts int) ([]*realtime.CycleResult, error) {
+		cfg := realtime.DefaultConfig()
+		cfg.NX, cfg.NY, cfg.NZ = 14, 14, 4
+		cfg.Cycles = *cycles
+		cfg.Seed = *seed
+		cfg.AdaptiveCasts = adaptiveCasts
+		cfg.Ensemble.Criterion = core.ConvergenceCriterion{MinSimilarity: 0.92, MaxVarianceChange: 0.3}
+		sys, err := realtime.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sys.Run(context.Background())
+	}
+
+	static, err := run(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := run(*casts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("twin experiment, %d cycles, same seed; adaptive adds %d planned casts/cycle\n\n",
+		*cycles, *casts)
+	fmt.Printf("%-6s | %-21s | %-21s\n", "", "static network", fmt.Sprintf("static + %d casts", *casts))
+	fmt.Printf("%-6s | %9s %9s | %9s %9s %s\n", "cycle", "rmseF", "rmseA", "rmseF", "rmseA", "cast locations")
+	sumS, sumA := 0.0, 0.0
+	for k := range static {
+		s, a := static[k], adaptive[k]
+		sumS += s.RMSEAnalysisT
+		sumA += a.RMSEAnalysisT
+		fmt.Printf("%-6d | %9.4f %9.4f | %9.4f %9.4f %v\n",
+			k, s.RMSEForecastT, s.RMSEAnalysisT, a.RMSEForecastT, a.RMSEAnalysisT, a.AdaptiveCasts)
+	}
+	fmt.Printf("\nmean analysis RMSE: static %.4f degC, adaptive %.4f degC", sumS/float64(*cycles), sumA/float64(*cycles))
+	if sumA < sumS {
+		fmt.Printf("  (%.0f%% better)\n", (1-sumA/sumS)*100)
+	} else {
+		fmt.Println("  (no improvement this seed; casts target variance, noise realizations differ)")
+	}
+}

@@ -1,0 +1,3 @@
+module esse
+
+go 1.22

@@ -1,0 +1,335 @@
+// Package acoustics implements the ocean-acoustics side of the paper:
+// sound-speed sections extracted from the ocean state, a ray-traced
+// broadband transmission-loss (TL) solver over vertical range–depth
+// sections, the transfer of ESSE ocean uncertainty into TL uncertainty,
+// and the "acoustic climate" workload — a very large ensemble of short
+// TL computations over sources, frequencies and slices (the 6000+
+// three-minute jobs of Section 5.2.1).
+//
+// The solver is an N×2D incoherent ray-counting model: rays launched
+// from the source refract through the range-dependent sound-speed field
+// (paraxial ray equations), reflect at surface and bottom with loss, and
+// deposit energy on a range–depth grid; intensity combines the ray
+// density (vertical focusing), cylindrical spreading and Thorp volume
+// absorption. It reproduces the qualitative TL structure (spreading
+// loss, ducting, shadow zones) that couples ocean and acoustic
+// uncertainties in the paper.
+package acoustics
+
+import (
+	"fmt"
+	"math"
+
+	"esse/internal/grid"
+	"esse/internal/linalg"
+	"esse/internal/physics"
+)
+
+// Section is a vertical slice of sound speed: C[ri][zi] on the Ranges ×
+// Depths mesh.
+type Section struct {
+	Ranges []float64 // m from the section start
+	Depths []float64 // m downward
+	C      *linalg.Dense
+}
+
+// NR returns the number of range points.
+func (s *Section) NR() int { return len(s.Ranges) }
+
+// NZ returns the number of depth points.
+func (s *Section) NZ() int { return len(s.Depths) }
+
+// SpeedAt bilinearly interpolates the sound speed at (r, z), clamped to
+// the section bounds.
+func (s *Section) SpeedAt(r, z float64) float64 {
+	ri, rf := locate(s.Ranges, r)
+	zi, zf := locate(s.Depths, z)
+	c00 := s.C.At(ri, zi)
+	c10 := s.C.At(ri+1, zi)
+	c01 := s.C.At(ri, zi+1)
+	c11 := s.C.At(ri+1, zi+1)
+	return (1-rf)*(1-zf)*c00 + rf*(1-zf)*c10 + (1-rf)*zf*c01 + rf*zf*c11
+}
+
+// dCdZ estimates the vertical sound-speed gradient at (r, z).
+func (s *Section) dCdZ(r, z float64) float64 {
+	dz := (s.Depths[len(s.Depths)-1] - s.Depths[0]) / float64(len(s.Depths)-1)
+	if dz == 0 {
+		return 0
+	}
+	zp := math.Min(z+dz/2, s.Depths[len(s.Depths)-1])
+	zm := math.Max(z-dz/2, s.Depths[0])
+	if zp == zm {
+		return 0
+	}
+	return (s.SpeedAt(r, zp) - s.SpeedAt(r, zm)) / (zp - zm)
+}
+
+// locate finds the cell index and fraction for x in the ascending grid xs.
+func locate(xs []float64, x float64) (int, float64) {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 2, 1
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (x - xs[lo]) / (xs[lo+1] - xs[lo])
+	return lo, f
+}
+
+// ExtractSection samples temperature and salinity from a packed ocean
+// state along the horizontal line (i0,j0)→(i1,j1) at nRange points,
+// converting to sound speed at every model level via Mackenzie's
+// formula. This is how "ESSE ocean physics uncertainties are transferred
+// to acoustical uncertainties along such a section".
+func ExtractSection(l *grid.StateLayout, state []float64, i0, j0, i1, j1, nRange int) (*Section, error) {
+	g := l.G
+	if !g.InBounds(i0, j0) || !g.InBounds(i1, j1) {
+		return nil, fmt.Errorf("acoustics: section endpoints outside grid")
+	}
+	if nRange < 2 {
+		return nil, fmt.Errorf("acoustics: need at least 2 range points")
+	}
+	tIdx := l.VarIndex("T")
+	sIdx := l.VarIndex("S")
+	if tIdx < 0 || sIdx < 0 {
+		return nil, fmt.Errorf("acoustics: state lacks T/S variables")
+	}
+	dxTotal := float64(i1-i0) * g.Dx
+	dyTotal := float64(j1-j0) * g.Dy
+	length := math.Hypot(dxTotal, dyTotal)
+	sec := &Section{
+		Ranges: make([]float64, nRange),
+		Depths: append([]float64(nil), g.Depths...),
+		C:      linalg.NewDense(nRange, g.NZ),
+	}
+	for ri := 0; ri < nRange; ri++ {
+		f := float64(ri) / float64(nRange-1)
+		sec.Ranges[ri] = f * length
+		fi := float64(i0) + f*float64(i1-i0)
+		fj := float64(j0) + f*float64(j1-j0)
+		for k := 0; k < g.NZ; k++ {
+			tVal := bilinear(l, state, tIdx, fi, fj, k)
+			sVal := bilinear(l, state, sIdx, fi, fj, k)
+			sec.C.Set(ri, k, physics.SoundSpeedMackenzie(tVal, sVal, g.Depths[k]))
+		}
+	}
+	return sec, nil
+}
+
+// bilinear interpolates variable vi at fractional grid position (fi, fj),
+// level k.
+func bilinear(l *grid.StateLayout, state []float64, vi int, fi, fj float64, k int) float64 {
+	g := l.G
+	i := int(fi)
+	j := int(fj)
+	if i >= g.NX-1 {
+		i = g.NX - 2
+	}
+	if j >= g.NY-1 {
+		j = g.NY - 2
+	}
+	xf := fi - float64(i)
+	yf := fj - float64(j)
+	slab := l.Level(state, vi, k)
+	v00 := slab[g.Idx2(i, j)]
+	v10 := slab[g.Idx2(i+1, j)]
+	v01 := slab[g.Idx2(i, j+1)]
+	v11 := slab[g.Idx2(i+1, j+1)]
+	return (1-xf)*(1-yf)*v00 + xf*(1-yf)*v10 + (1-xf)*yf*v01 + xf*yf*v11
+}
+
+// TLConfig parameterizes a transmission-loss computation.
+type TLConfig struct {
+	// SourceDepth in meters.
+	SourceDepth float64
+	// FreqKHz sets the Thorp volume absorption.
+	FreqKHz float64
+	// NumRays is the launch fan size.
+	NumRays int
+	// MaxAngleDeg bounds the launch fan (± degrees from horizontal).
+	MaxAngleDeg float64
+	// RangeCells × DepthCells is the output TL grid resolution.
+	RangeCells, DepthCells int
+	// BottomLossDB is applied per bottom bounce.
+	BottomLossDB float64
+}
+
+// DefaultTLConfig returns a configuration for a coastal section and a
+// mid-frequency source.
+func DefaultTLConfig() TLConfig {
+	return TLConfig{
+		SourceDepth:  30,
+		FreqKHz:      1,
+		NumRays:      600,
+		MaxAngleDeg:  20,
+		RangeCells:   60,
+		DepthCells:   30,
+		BottomLossDB: 3,
+	}
+}
+
+// TLField is a transmission-loss field in dB on a range–depth grid.
+type TLField struct {
+	Ranges []float64
+	Depths []float64
+	TL     *linalg.Dense // RangeCells × DepthCells
+}
+
+// At returns TL at cell (ri, zi).
+func (f *TLField) At(ri, zi int) float64 { return f.TL.At(ri, zi) }
+
+// Flatten returns the TL values as a vector (row-major), used to stack
+// acoustic fields into coupled state vectors.
+func (f *TLField) Flatten() []float64 {
+	out := make([]float64, len(f.TL.Data))
+	copy(out, f.TL.Data)
+	return out
+}
+
+// ComputeTL traces the ray fan through the section and returns the TL
+// field.
+func ComputeTL(sec *Section, cfg TLConfig) (*TLField, error) {
+	if cfg.NumRays < 10 {
+		return nil, fmt.Errorf("acoustics: need at least 10 rays")
+	}
+	if sec.NR() < 2 || sec.NZ() < 2 {
+		return nil, fmt.Errorf("acoustics: degenerate section %dx%d", sec.NR(), sec.NZ())
+	}
+	rMax := sec.Ranges[len(sec.Ranges)-1]
+	zMax := sec.Depths[len(sec.Depths)-1]
+	if cfg.SourceDepth < 0 || cfg.SourceDepth > zMax {
+		return nil, fmt.Errorf("acoustics: source depth %v outside water column [0, %v]", cfg.SourceDepth, zMax)
+	}
+	nr, nz := cfg.RangeCells, cfg.DepthCells
+	deposit := linalg.NewDense(nr, nz)
+	dr := rMax / float64(nr) / 4 // 4 integration steps per output cell
+	cellH := zMax / float64(nz)
+
+	w := 1.0 / float64(cfg.NumRays)
+	maxAngle := cfg.MaxAngleDeg * math.Pi / 180
+	for rayI := 0; rayI < cfg.NumRays; rayI++ {
+		theta := -maxAngle + 2*maxAngle*float64(rayI)/float64(cfg.NumRays-1)
+		z := cfg.SourceDepth
+		amp := w
+		r := 0.0
+		for r < rMax && amp > 1e-12 {
+			c := sec.SpeedAt(r, z)
+			gradC := sec.dCdZ(r, z)
+			theta += -gradC / c * dr
+			z += math.Tan(theta) * dr
+			// Surface and bottom reflections.
+			if z < 0 {
+				z = -z
+				theta = -theta
+			}
+			if z > zMax {
+				z = 2*zMax - z
+				theta = -theta
+				amp *= math.Pow(10, -cfg.BottomLossDB/10)
+			}
+			if z < 0 { // pathological double reflection: clamp
+				z = 0
+			}
+			r += dr
+			ri := int(r / rMax * float64(nr))
+			zi := int(z / zMax * float64(nz))
+			if ri >= nr {
+				ri = nr - 1
+			}
+			if zi >= nz {
+				zi = nz - 1
+			}
+			if zi < 0 {
+				zi = 0
+			}
+			deposit.Set(ri, zi, deposit.At(ri, zi)+amp)
+		}
+	}
+
+	alpha := physics.ThorpAttenuation(cfg.FreqKHz) // dB/km
+	out := &TLField{
+		Ranges: make([]float64, nr),
+		Depths: make([]float64, nz),
+		TL:     linalg.NewDense(nr, nz),
+	}
+	for i := 0; i < nr; i++ {
+		out.Ranges[i] = (float64(i) + 0.5) * rMax / float64(nr)
+	}
+	for k := 0; k < nz; k++ {
+		out.Depths[k] = (float64(k) + 0.5) * zMax / float64(nz)
+	}
+	// Intensity = deposited ray weight / cell height (vertical focusing)
+	// × 1/r (cylindrical spreading); reference intensity normalizes the
+	// first range column so TL starts near 10·log10(r).
+	const tiny = 1e-300
+	ref := 1.0 / cellH / 1.0 // all energy through 1 cell at r = 1 m
+	for i := 0; i < nr; i++ {
+		rr := out.Ranges[i]
+		for k := 0; k < nz; k++ {
+			intensity := deposit.At(i, k) / cellH / rr
+			tl := -10*math.Log10((intensity+tiny)/ref) + alpha*rr/1000
+			if tl > 200 {
+				tl = 200 // shadow-zone floor
+			}
+			out.TL.Set(i, k, tl)
+		}
+	}
+	return out, nil
+}
+
+// TLStats holds the ensemble mean and standard deviation of TL fields —
+// the acoustical uncertainty transferred from the ocean ensemble.
+type TLStats struct {
+	Mean *TLField
+	Std  *TLField
+}
+
+// EnsembleTL computes TL for every member section and reduces to mean
+// and standard deviation per range–depth cell.
+func EnsembleTL(sections []*Section, cfg TLConfig) (*TLStats, error) {
+	if len(sections) == 0 {
+		return nil, fmt.Errorf("acoustics: empty ensemble")
+	}
+	var mean, m2 *linalg.Dense
+	var tmpl *TLField
+	for n, sec := range sections {
+		f, err := ComputeTL(sec, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("acoustics: member %d: %w", n, err)
+		}
+		if mean == nil {
+			tmpl = f
+			mean = linalg.NewDense(f.TL.Rows, f.TL.Cols)
+			m2 = linalg.NewDense(f.TL.Rows, f.TL.Cols)
+		}
+		// Welford's online mean/variance update.
+		k := float64(n + 1)
+		for i, v := range f.TL.Data {
+			delta := v - mean.Data[i]
+			mean.Data[i] += delta / k
+			m2.Data[i] += delta * (v - mean.Data[i])
+		}
+	}
+	std := linalg.NewDense(mean.Rows, mean.Cols)
+	if len(sections) > 1 {
+		inv := 1 / float64(len(sections)-1)
+		for i, v := range m2.Data {
+			std.Data[i] = math.Sqrt(v * inv)
+		}
+	}
+	return &TLStats{
+		Mean: &TLField{Ranges: tmpl.Ranges, Depths: tmpl.Depths, TL: mean},
+		Std:  &TLField{Ranges: tmpl.Ranges, Depths: tmpl.Depths, TL: std},
+	}, nil
+}

@@ -1,0 +1,348 @@
+package acoustics
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"esse/internal/grid"
+	"esse/internal/linalg"
+	"esse/internal/ocean"
+	"esse/internal/rng"
+)
+
+// syntheticSection builds a downward-refracting section: sound speed
+// decreasing with depth (typical summer coastal profile).
+func syntheticSection(nr, nz int, rMax, zMax float64) *Section {
+	sec := &Section{
+		Ranges: make([]float64, nr),
+		Depths: make([]float64, nz),
+		C:      linalg.NewDense(nr, nz),
+	}
+	for i := range sec.Ranges {
+		sec.Ranges[i] = rMax * float64(i) / float64(nr-1)
+	}
+	for k := range sec.Depths {
+		sec.Depths[k] = zMax * float64(k) / float64(nz-1)
+	}
+	for i := 0; i < nr; i++ {
+		for k := 0; k < nz; k++ {
+			sec.C.Set(i, k, 1500-0.05*sec.Depths[k])
+		}
+	}
+	return sec
+}
+
+func oceanSection(t *testing.T, seed uint64) (*Section, *ocean.Model) {
+	t.Helper()
+	g := grid.MontereyBay(16, 16, 5)
+	m := ocean.New(ocean.DefaultConfig(g), rng.New(seed))
+	st := m.State(nil)
+	sec, err := ExtractSection(m.Layout, st, 1, 8, 14, 8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sec, m
+}
+
+func TestSpeedAtInterpolation(t *testing.T) {
+	sec := syntheticSection(5, 5, 1000, 100)
+	// At depth 50 the profile gives 1500 - 2.5 = 1497.5 everywhere.
+	if got := sec.SpeedAt(500, 50); math.Abs(got-1497.5) > 1e-9 {
+		t.Fatalf("SpeedAt = %v, want 1497.5", got)
+	}
+	// Clamping outside bounds.
+	if got := sec.SpeedAt(-10, -10); math.Abs(got-1500) > 1e-9 {
+		t.Fatalf("clamped SpeedAt = %v", got)
+	}
+	if got := sec.SpeedAt(1e9, 1e9); math.Abs(got-1495) > 1e-9 {
+		t.Fatalf("clamped deep SpeedAt = %v", got)
+	}
+}
+
+func TestDCdZSign(t *testing.T) {
+	sec := syntheticSection(5, 20, 1000, 100)
+	if g := sec.dCdZ(500, 50); g >= 0 {
+		t.Fatalf("downward-refracting profile must have dC/dz < 0, got %v", g)
+	}
+}
+
+func TestExtractSectionFromOcean(t *testing.T) {
+	sec, m := oceanSection(t, 1)
+	if sec.NR() != 24 || sec.NZ() != 5 {
+		t.Fatalf("section shape %dx%d", sec.NR(), sec.NZ())
+	}
+	if sec.Ranges[0] != 0 || sec.Ranges[23] <= 0 {
+		t.Fatalf("ranges wrong: %v..%v", sec.Ranges[0], sec.Ranges[23])
+	}
+	// Sound speeds in seawater range.
+	for _, c := range sec.C.Data {
+		if c < 1440 || c > 1560 {
+			t.Fatalf("sound speed %v outside plausible range", c)
+		}
+	}
+	// Warmer surface → faster sound at surface than at depth (column mean).
+	surf, bot := 0.0, 0.0
+	for i := 0; i < sec.NR(); i++ {
+		surf += sec.C.At(i, 0)
+		bot += sec.C.At(i, sec.NZ()-1)
+	}
+	if surf <= bot {
+		t.Fatal("no downward-refracting structure from stratified ocean")
+	}
+	_ = m
+}
+
+func TestExtractSectionErrors(t *testing.T) {
+	g := grid.MontereyBay(8, 8, 3)
+	l := grid.NewLayout(g, ocean.Vars(g))
+	st := l.NewState()
+	if _, err := ExtractSection(l, st, -1, 0, 5, 5, 10); err == nil {
+		t.Fatal("out-of-grid endpoint accepted")
+	}
+	if _, err := ExtractSection(l, st, 0, 0, 5, 5, 1); err == nil {
+		t.Fatal("single-point section accepted")
+	}
+	lNoT := grid.NewLayout(g, []grid.VarSpec{{Name: "eta", Levels: 1}})
+	if _, err := ExtractSection(lNoT, lNoT.NewState(), 0, 0, 5, 5, 10); err == nil {
+		t.Fatal("layout without T accepted")
+	}
+}
+
+func TestComputeTLBasicShape(t *testing.T) {
+	sec := syntheticSection(20, 20, 10e3, 200)
+	cfg := DefaultTLConfig()
+	f, err := ComputeTL(sec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TL.Rows != cfg.RangeCells || f.TL.Cols != cfg.DepthCells {
+		t.Fatalf("TL shape %dx%d", f.TL.Rows, f.TL.Cols)
+	}
+	if !f.TL.IsFinite() {
+		t.Fatal("TL field has NaN/Inf")
+	}
+	// Mean TL at the far third of ranges must exceed the near third:
+	// sound gets weaker with range.
+	near, far := 0.0, 0.0
+	third := cfg.RangeCells / 3
+	for i := 0; i < third; i++ {
+		for k := 0; k < cfg.DepthCells; k++ {
+			near += f.At(i, k)
+			far += f.At(cfg.RangeCells-1-i, k)
+		}
+	}
+	if far <= near {
+		t.Fatalf("TL does not increase with range: near %v far %v", near, far)
+	}
+}
+
+func TestTLFrequencyAbsorption(t *testing.T) {
+	// Higher frequency → larger Thorp absorption → larger far-field TL.
+	sec := syntheticSection(20, 20, 20e3, 200)
+	lo := DefaultTLConfig()
+	lo.FreqKHz = 0.5
+	hi := DefaultTLConfig()
+	hi.FreqKHz = 10
+	fLo, err := ComputeTL(sec, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fHi, err := ComputeTL(sec, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iLast := lo.RangeCells - 1
+	meanLo, meanHi := 0.0, 0.0
+	for k := 0; k < lo.DepthCells; k++ {
+		meanLo += fLo.At(iLast, k)
+		meanHi += fHi.At(iLast, k)
+	}
+	if meanHi <= meanLo {
+		t.Fatalf("10 kHz far TL (%v) not above 0.5 kHz (%v)", meanHi, meanLo)
+	}
+}
+
+func TestTLSourceDepthMatters(t *testing.T) {
+	sec, _ := oceanSection(t, 2)
+	shallow := DefaultTLConfig()
+	shallow.SourceDepth = 10
+	deep := DefaultTLConfig()
+	deep.SourceDepth = 150
+	f1, err := ComputeTL(sec, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ComputeTL(sec, deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for i := range f1.TL.Data {
+		diff += math.Abs(f1.TL.Data[i] - f2.TL.Data[i])
+	}
+	if diff == 0 {
+		t.Fatal("source depth has no effect on the TL field")
+	}
+}
+
+func TestComputeTLValidation(t *testing.T) {
+	sec := syntheticSection(10, 10, 1000, 100)
+	bad := DefaultTLConfig()
+	bad.NumRays = 3
+	if _, err := ComputeTL(sec, bad); err == nil {
+		t.Fatal("tiny ray fan accepted")
+	}
+	bad2 := DefaultTLConfig()
+	bad2.SourceDepth = 1e6
+	if _, err := ComputeTL(sec, bad2); err == nil {
+		t.Fatal("source below bottom accepted")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	sec := syntheticSection(10, 10, 1000, 100)
+	f, err := ComputeTL(sec, DefaultTLConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.Flatten()
+	if len(v) != f.TL.Rows*f.TL.Cols {
+		t.Fatalf("Flatten length %d", len(v))
+	}
+	v[0] = -12345
+	if f.TL.Data[0] == -12345 {
+		t.Fatal("Flatten must copy")
+	}
+}
+
+func TestEnsembleTLUncertainty(t *testing.T) {
+	// Perturbed ocean states must produce nonzero TL standard deviation.
+	g := grid.MontereyBay(14, 14, 4)
+	var sections []*Section
+	for seed := uint64(0); seed < 6; seed++ {
+		m := ocean.New(ocean.DefaultConfig(g), rng.New(seed))
+		m.Run(30) // different noise → different T/S → different c
+		st := m.State(nil)
+		sec, err := ExtractSection(m.Layout, st, 1, 7, 12, 7, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sections = append(sections, sec)
+	}
+	cfg := DefaultTLConfig()
+	cfg.NumRays = 200
+	stats, err := EnsembleTL(sections, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Mean.TL.IsFinite() || !stats.Std.TL.IsFinite() {
+		t.Fatal("ensemble stats not finite")
+	}
+	maxStd := stats.Std.TL.MaxAbs()
+	if maxStd <= 0 {
+		t.Fatal("ocean uncertainty did not transfer to TL uncertainty")
+	}
+	for _, v := range stats.Std.TL.Data {
+		if v < 0 {
+			t.Fatal("negative standard deviation")
+		}
+	}
+}
+
+func TestEnsembleTLEmpty(t *testing.T) {
+	if _, err := EnsembleTL(nil, DefaultTLConfig()); err == nil {
+		t.Fatal("empty ensemble accepted")
+	}
+}
+
+func TestClimateProductCount(t *testing.T) {
+	sec := syntheticSection(10, 10, 5e3, 150)
+	spec := ClimateSpec{
+		Sections:     []*Section{sec, sec, sec},
+		SourceDepths: []float64{10, 50},
+		FreqsKHz:     []float64{0.5, 1, 2},
+		Base:         DefaultTLConfig(),
+		Workers:      4,
+	}
+	if spec.TaskCount() != 18 {
+		t.Fatalf("TaskCount = %d", spec.TaskCount())
+	}
+	spec.Base.NumRays = 100
+	res, err := ComputeClimate(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 18 || res.Failed != 0 {
+		t.Fatalf("tasks=%d failed=%d", len(res.Tasks), res.Failed)
+	}
+}
+
+func TestClimateSinkReceivesAllFields(t *testing.T) {
+	sec := syntheticSection(10, 10, 5e3, 150)
+	spec := ClimateSpec{
+		Sections:     []*Section{sec},
+		SourceDepths: []float64{20, 40},
+		FreqsKHz:     []float64{1},
+		Base:         DefaultTLConfig(),
+		Workers:      2,
+	}
+	spec.Base.NumRays = 60
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	got := 0
+	_, err := ComputeClimate(context.Background(), spec, func(task ClimateTask, f *TLField) {
+		<-mu
+		got++
+		mu <- struct{}{}
+		if f == nil {
+			t.Error("nil field delivered")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("sink received %d fields, want 2", got)
+	}
+}
+
+func TestClimateCancellation(t *testing.T) {
+	sec := syntheticSection(30, 30, 50e3, 300)
+	spec := ClimateSpec{
+		Sections:     []*Section{sec},
+		SourceDepths: make([]float64, 50),
+		FreqsKHz:     []float64{1},
+		Base:         DefaultTLConfig(),
+		Workers:      2,
+	}
+	for i := range spec.SourceDepths {
+		spec.SourceDepths[i] = 10 + float64(i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before start
+	res, err := ComputeClimate(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tasks) != 0 {
+		t.Fatalf("%d tasks completed after pre-cancellation", len(res.Tasks))
+	}
+}
+
+func TestClimateEmptySpec(t *testing.T) {
+	if _, err := ComputeClimate(context.Background(), ClimateSpec{}, nil); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func BenchmarkComputeTL(b *testing.B) {
+	sec := syntheticSection(20, 20, 10e3, 200)
+	cfg := DefaultTLConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeTL(sec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

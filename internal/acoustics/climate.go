@@ -1,0 +1,122 @@
+package acoustics
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ClimateSpec enumerates the "acoustic climate" workload: TL for every
+// combination of vertical slice, source depth and frequency in a region
+// — "running multiple independent tasks for different sources/
+// frequencies/slices at different times". The combinatorial product is
+// what produced the paper's 6000+ short acoustics jobs.
+type ClimateSpec struct {
+	Sections     []*Section
+	SourceDepths []float64
+	FreqsKHz     []float64
+	Base         TLConfig
+	Workers      int
+}
+
+// TaskCount returns the total number of independent TL tasks.
+func (s *ClimateSpec) TaskCount() int {
+	return len(s.Sections) * len(s.SourceDepths) * len(s.FreqsKHz)
+}
+
+// ClimateTask identifies one TL computation in the climate product.
+type ClimateTask struct {
+	Slice, Source, Freq int
+}
+
+// ClimateTaskResult is the per-task summary kept by the climate run
+// (full fields are delivered through the optional sink to bound memory).
+type ClimateTaskResult struct {
+	Task    ClimateTask
+	MeanTL  float64
+	Elapsed time.Duration
+}
+
+// ClimateResult summarizes an acoustic-climate computation.
+type ClimateResult struct {
+	Tasks     []ClimateTaskResult
+	Failed    int
+	Cancelled int
+	Elapsed   time.Duration
+}
+
+// ComputeClimate runs the full task product on a worker pool. If sink is
+// non-nil it receives every completed field (from multiple goroutines).
+func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask, *TLField)) (*ClimateResult, error) {
+	if spec.TaskCount() == 0 {
+		return nil, fmt.Errorf("acoustics: empty climate specification")
+	}
+	workers := spec.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	tasks := make(chan ClimateTask)
+	go func() {
+		defer close(tasks)
+		for si := range spec.Sections {
+			for di := range spec.SourceDepths {
+				for fi := range spec.FreqsKHz {
+					select {
+					case tasks <- ClimateTask{Slice: si, Source: di, Freq: fi}:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	res := &ClimateResult{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := range tasks {
+				if ctx.Err() != nil {
+					mu.Lock()
+					res.Cancelled++
+					mu.Unlock()
+					continue
+				}
+				cfg := spec.Base
+				cfg.SourceDepth = spec.SourceDepths[task.Source]
+				cfg.FreqKHz = spec.FreqsKHz[task.Freq]
+				t0 := time.Now()
+				field, err := ComputeTL(spec.Sections[task.Slice], cfg)
+				if err != nil {
+					mu.Lock()
+					res.Failed++
+					mu.Unlock()
+					continue
+				}
+				if sink != nil {
+					sink(task, field)
+				}
+				mean := 0.0
+				for _, v := range field.TL.Data {
+					mean += v
+				}
+				mean /= float64(len(field.TL.Data))
+				mu.Lock()
+				res.Tasks = append(res.Tasks, ClimateTaskResult{
+					Task:    task,
+					MeanTL:  mean,
+					Elapsed: time.Since(t0),
+				})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import "testing"
+
+func TestMITComposition(t *testing.T) {
+	c := MIT()
+	if len(c.Nodes) != 117 {
+		t.Fatalf("MIT has %d nodes, want 117", len(c.Nodes))
+	}
+	if c.TotalCores() != 240 {
+		t.Fatalf("MIT cores = %d, want 240", c.TotalCores())
+	}
+	if c.NFS.BandwidthMBps != 1250 {
+		t.Fatalf("NFS bandwidth = %v, want 1250 (10 Gbit/s)", c.NFS.BandwidthMBps)
+	}
+	opt250, opt285 := 0, 0
+	for _, n := range c.Nodes {
+		switch {
+		case n.Cores == 2 && n.Speed == 1.0:
+			opt250++
+		case n.Cores == 4 && n.Speed > 1.0:
+			opt285++
+		default:
+			t.Fatalf("unexpected node %+v", n)
+		}
+	}
+	if opt250 != 114 || opt285 != 3 {
+		t.Fatalf("node mix: %d Opteron 250, %d Opteron 285", opt250, opt285)
+	}
+}
+
+func TestMITAvailableTrims(t *testing.T) {
+	c := MITAvailable(210)
+	if c.TotalCores() != 210 {
+		t.Fatalf("available = %d", c.TotalCores())
+	}
+	// Trimming must never exceed the request even with multi-core nodes.
+	for _, want := range []int{1, 3, 239, 240} {
+		if got := MITAvailable(want).TotalCores(); got != want {
+			t.Fatalf("MITAvailable(%d) = %d cores", want, got)
+		}
+	}
+}
+
+func TestCoreListExpansion(t *testing.T) {
+	c := &Cluster{Nodes: []Node{
+		{Name: "a", Cores: 2, Speed: 1},
+		{Name: "b", Cores: 1, Speed: 2},
+	}}
+	cores := c.CoreList()
+	if len(cores) != 3 {
+		t.Fatalf("core list = %d", len(cores))
+	}
+	if cores[0].Node != 0 || cores[2].Node != 1 {
+		t.Fatal("core-to-node mapping wrong")
+	}
+	if cores[2].Speed != 2 {
+		t.Fatal("core speed not inherited from node")
+	}
+	names := map[string]bool{}
+	for _, cr := range cores {
+		if names[cr.Name] {
+			t.Fatalf("duplicate core name %q", cr.Name)
+		}
+		names[cr.Name] = true
+	}
+}

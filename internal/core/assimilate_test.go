@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"esse/internal/grid"
+	"esse/internal/linalg"
+	"esse/internal/obs"
+	"esse/internal/rng"
+)
+
+// scalarSetup builds a 1-variable, 2x2x1 grid whose state has 4 elements,
+// a rank-1 subspace aligned with state element 0, and one observation of
+// that element. The update then reduces to the textbook scalar Kalman
+// filter, which we can check analytically.
+func scalarSetup(t *testing.T, priorVar, obsVar float64) (*grid.StateLayout, *Subspace, *obs.Network) {
+	t.Helper()
+	g := grid.New(2, 2, 1, 1, 1, 0)
+	l := grid.NewLayout(g, []grid.VarSpec{{Name: "T", Levels: 1}})
+	e := linalg.NewDense(4, 1)
+	e.Set(0, 0, 1)
+	sub := &Subspace{Modes: e, Sigma: []float64{math.Sqrt(priorVar)}}
+	n := obs.NewNetwork(l)
+	if err := n.Add(obs.Observation{Var: "T", I: 0, J: 0, K: 0, Stddev: math.Sqrt(obsVar)}); err != nil {
+		t.Fatal(err)
+	}
+	return l, sub, n
+}
+
+func TestAssimilateMatchesScalarKalman(t *testing.T) {
+	priorVar, obsVar := 4.0, 1.0
+	_, sub, n := scalarSetup(t, priorVar, obsVar)
+	x := []float64{10, 0, 0, 0}
+	y := []float64{12}
+	an, err := Assimilate(x, sub, n, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar Kalman: K = P/(P+R) = 4/5; xa = 10 + 0.8*2 = 11.6;
+	// Pa = (1-K)P = 0.8.
+	if math.Abs(an.Mean[0]-11.6) > 1e-10 {
+		t.Fatalf("analysis mean = %v, want 11.6", an.Mean[0])
+	}
+	if math.Abs(an.Posterior.Sigma[0]*an.Posterior.Sigma[0]-0.8) > 1e-10 {
+		t.Fatalf("posterior variance = %v, want 0.8", an.Posterior.Sigma[0]*an.Posterior.Sigma[0])
+	}
+	// Unobserved elements unchanged.
+	for i := 1; i < 4; i++ {
+		if an.Mean[i] != 0 {
+			t.Fatalf("unobserved element %d changed to %v", i, an.Mean[i])
+		}
+	}
+}
+
+func TestAssimilateReducesResidual(t *testing.T) {
+	_, sub, n := scalarSetup(t, 4, 1)
+	an, err := Assimilate([]float64{10, 0, 0, 0}, sub, n, []float64{12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.ResidualNorm >= an.InnovationNorm {
+		t.Fatalf("residual %v not below innovation %v", an.ResidualNorm, an.InnovationNorm)
+	}
+}
+
+func TestAssimilateReducesVariance(t *testing.T) {
+	// Multi-mode subspace with several observations: total posterior
+	// variance must not exceed the prior, and the posterior must satisfy
+	// the subspace invariants.
+	s := rng.New(5)
+	g := grid.New(4, 4, 2, 1, 1, 100)
+	l := grid.NewLayout(g, []grid.VarSpec{{Name: "T", Levels: 2}})
+	sub := randomSubspace(s, l.Dim(), 4, []float64{2, 1.5, 1, 0.5})
+	n := obs.NewNetwork(l)
+	for i := 0; i < 4; i++ {
+		if err := n.Add(obs.Observation{Var: "T", I: i, J: i, K: 0, Stddev: 0.3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x := s.NormVec(nil, l.Dim())
+	truth := s.NormVec(nil, l.Dim())
+	y := n.ApplyH(truth)
+	an, err := Assimilate(x, sub, n, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Posterior.TotalVariance() > sub.TotalVariance()+1e-10 {
+		t.Fatalf("posterior variance %v exceeds prior %v",
+			an.Posterior.TotalVariance(), sub.TotalVariance())
+	}
+	if err := an.Posterior.Check(1e-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssimilateNoObservationsIsIdentity(t *testing.T) {
+	s := rng.New(6)
+	g := grid.New(3, 3, 1, 1, 1, 0)
+	l := grid.NewLayout(g, []grid.VarSpec{{Name: "T", Levels: 1}})
+	sub := randomSubspace(s, l.Dim(), 2, []float64{1, 0.5})
+	n := obs.NewNetwork(l)
+	x := s.NormVec(nil, l.Dim())
+	an, err := Assimilate(x, sub, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if an.Mean[i] != x[i] {
+			t.Fatal("mean changed with no observations")
+		}
+	}
+	if math.Abs(an.Posterior.TotalVariance()-sub.TotalVariance()) > 1e-12 {
+		t.Fatal("variance changed with no observations")
+	}
+}
+
+func TestAssimilatePerfectObservationPinsState(t *testing.T) {
+	// Near-zero observation error: the analysis must move essentially all
+	// the way to the observation.
+	_, sub, _ := scalarSetup(t, 4, 1)
+	g := grid.New(2, 2, 1, 1, 1, 0)
+	l := grid.NewLayout(g, []grid.VarSpec{{Name: "T", Levels: 1}})
+	n := obs.NewNetwork(l)
+	if err := n.Add(obs.Observation{Var: "T", I: 0, J: 0, K: 0, Stddev: 1e-4}); err != nil {
+		t.Fatal(err)
+	}
+	an, err := Assimilate([]float64{10, 0, 0, 0}, sub, n, []float64{13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Mean[0]-13) > 1e-4 {
+		t.Fatalf("near-perfect obs: mean = %v, want ~13", an.Mean[0])
+	}
+	if v := an.Posterior.Sigma[0]; v > 1e-3 {
+		t.Fatalf("posterior sigma %v should collapse under near-perfect obs", v)
+	}
+}
+
+func TestAssimilateDimensionErrors(t *testing.T) {
+	_, sub, n := scalarSetup(t, 1, 1)
+	if _, err := Assimilate([]float64{1, 2, 3, 4}, sub, n, []float64{1, 2}); err == nil {
+		t.Fatal("observation count mismatch not detected")
+	}
+	if _, err := Assimilate([]float64{1, 2}, sub, n, []float64{1}); err == nil {
+		t.Fatal("state dimension mismatch not detected")
+	}
+}
+
+func TestAssimilatePullsTowardTruth(t *testing.T) {
+	// Monte-Carlo twin check: analyses must on average be closer to the
+	// truth than the forecasts, in the observed subspace.
+	s := rng.New(7)
+	g := grid.New(5, 5, 1, 1, 1, 0)
+	l := grid.NewLayout(g, []grid.VarSpec{{Name: "T", Levels: 1}})
+	n := obs.NewNetwork(l)
+	for i := 0; i < 5; i++ {
+		if err := n.Add(obs.Observation{Var: "T", I: i, J: i, K: 0, Stddev: 0.2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	better := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		st := s.Split(uint64(trial))
+		sub := randomSubspace(st, l.Dim(), 5, []float64{2, 1.5, 1.2, 1, 0.8})
+		truth := st.NormVec(nil, l.Dim())
+		// Forecast = truth + error drawn from the prior subspace.
+		x := make([]float64, l.Dim())
+		sub.Perturb(x, st, 0)
+		for i := range x {
+			x[i] += truth[i]
+		}
+		y := n.Sample(truth, st)
+		an, err := Assimilate(x, sub, n, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errF := linalg.Norm2(linalg.VecSub(n.ApplyH(x), n.ApplyH(truth)))
+		errA := linalg.Norm2(linalg.VecSub(n.ApplyH(an.Mean), n.ApplyH(truth)))
+		if errA < errF {
+			better++
+		}
+	}
+	if better < trials*3/4 {
+		t.Fatalf("analysis beat forecast in only %d/%d trials", better, trials)
+	}
+}

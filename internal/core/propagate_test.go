@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"esse/internal/linalg"
+	"esse/internal/rng"
+)
+
+// linearPropagator returns M(x) = A x + b: for a linear model, tangent
+// propagation is exact at any linearization step.
+func linearPropagator(a *linalg.Dense, b []float64) Propagator {
+	return func(ctx context.Context, x []float64) ([]float64, error) {
+		y := linalg.MatVec(a, x)
+		for i := range y {
+			y[i] += b[i]
+		}
+		return y, nil
+	}
+}
+
+func TestPropagateSubspaceLinearExact(t *testing.T) {
+	s := rng.New(1)
+	dim, p := 12, 3
+	a := randomDenseCore(s, dim, dim)
+	b := s.NormVec(nil, dim)
+	sub := randomSubspace(s, dim, p, []float64{3, 2, 1})
+	mean := s.NormVec(nil, dim)
+
+	newMean, newSub, err := PropagateSubspace(context.Background(),
+		linearPropagator(a, b), mean, sub, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean: A x + b.
+	wantMean := linalg.MatVec(a, mean)
+	for i := range wantMean {
+		wantMean[i] += b[i]
+		if math.Abs(newMean[i]-wantMean[i]) > 1e-10 {
+			t.Fatalf("propagated mean wrong at %d", i)
+		}
+	}
+	// Covariance: A E Σ² Eᵀ Aᵀ. Its factor is A E Σ, whose SVD gives the
+	// propagated subspace; compare total variance and reconstruction.
+	es := linalg.NewDense(dim, p)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < p; j++ {
+			es.Set(i, j, sub.Modes.At(i, j)*sub.Sigma[j])
+		}
+	}
+	factor := linalg.Mul(a, es)
+	wantCov := linalg.MulBT(factor, factor)
+	gotFactor := linalg.NewDense(dim, newSub.Rank())
+	for i := 0; i < dim; i++ {
+		for j := 0; j < newSub.Rank(); j++ {
+			gotFactor.Set(i, j, newSub.Modes.At(i, j)*newSub.Sigma[j])
+		}
+	}
+	gotCov := linalg.MulBT(gotFactor, gotFactor)
+	if !gotCov.EqualApprox(wantCov, 1e-7*(1+wantCov.MaxAbs())) {
+		t.Fatal("propagated covariance != A P Aᵀ for a linear model")
+	}
+	if err := newSub.Check(1e-7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateSubspaceStepInvarianceLinear(t *testing.T) {
+	// For a linear model, the result must not depend on eps.
+	s := rng.New(2)
+	dim := 8
+	a := randomDenseCore(s, dim, dim)
+	b := make([]float64, dim)
+	sub := randomSubspace(s, dim, 2, []float64{2, 1})
+	mean := s.NormVec(nil, dim)
+	_, subA, err := PropagateSubspace(context.Background(), linearPropagator(a, b), mean, sub, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, subB, err := PropagateSubspace(context.Background(), linearPropagator(a, b), mean, sub, 2.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := SimilarityCoefficient(subA, subB); rho < 1-1e-7 {
+		t.Fatalf("eps changed the linear propagation: rho=%v", rho)
+	}
+}
+
+func TestPropagateSubspaceRotation(t *testing.T) {
+	// A 90° rotation must rotate the subspace with it.
+	a := linalg.NewDenseFrom(2, 2, []float64{0, -1, 1, 0})
+	e := linalg.NewDense(2, 1)
+	e.Set(0, 0, 1)
+	sub := &Subspace{Modes: e, Sigma: []float64{2}}
+	_, newSub, err := PropagateSubspace(context.Background(),
+		linearPropagator(a, []float64{0, 0}), []float64{0, 0}, sub, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(newSub.Modes.At(1, 0))-1) > 1e-10 {
+		t.Fatalf("mode not rotated: %v", newSub.Modes.Data)
+	}
+	if math.Abs(newSub.Sigma[0]-2) > 1e-10 {
+		t.Fatalf("rotation changed sigma: %v", newSub.Sigma[0])
+	}
+}
+
+func TestPropagateSubspaceContraction(t *testing.T) {
+	// A contracting model must shrink the predicted uncertainty.
+	a := linalg.Scale(0.5, linalg.Identity(5))
+	s := rng.New(3)
+	sub := randomSubspace(s, 5, 2, []float64{2, 1})
+	_, newSub, err := PropagateSubspace(context.Background(),
+		linearPropagator(a, make([]float64, 5)), s.NormVec(nil, 5), sub, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(newSub.TotalVariance()-0.25*sub.TotalVariance()) > 1e-8 {
+		t.Fatalf("contraction: variance %v, want %v", newSub.TotalVariance(), 0.25*sub.TotalVariance())
+	}
+}
+
+func TestPropagateSubspaceErrors(t *testing.T) {
+	s := rng.New(4)
+	sub := randomSubspace(s, 4, 2, []float64{1, 1})
+	mean := make([]float64, 4)
+	ok := linearPropagator(linalg.Identity(4), make([]float64, 4))
+	if _, _, err := PropagateSubspace(context.Background(), ok, mean, sub, 0, 1); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	if _, _, err := PropagateSubspace(context.Background(), ok, []float64{1}, sub, 1, 1); err == nil {
+		t.Fatal("mean dim mismatch accepted")
+	}
+	failing := func(ctx context.Context, x []float64) ([]float64, error) {
+		return nil, errors.New("model exploded")
+	}
+	if _, _, err := PropagateSubspace(context.Background(), failing, mean, sub, 1, 2); err == nil {
+		t.Fatal("propagator failure swallowed")
+	}
+}
+
+func TestPropagateSubspaceRankCollapse(t *testing.T) {
+	// A model that maps everything to a constant kills all variance.
+	constant := func(ctx context.Context, x []float64) ([]float64, error) {
+		return make([]float64, len(x)), nil
+	}
+	s := rng.New(5)
+	sub := randomSubspace(s, 4, 2, []float64{1, 1})
+	if _, _, err := PropagateSubspace(context.Background(), constant, make([]float64, 4), sub, 1, 1); err == nil {
+		t.Fatal("rank collapse not reported")
+	}
+}
+
+// randomDenseCore avoids clashing with helpers in other test files.
+func randomDenseCore(s *rng.Stream, r, c int) *linalg.Dense {
+	m := linalg.NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = s.Norm()
+	}
+	return m
+}

@@ -1,0 +1,368 @@
+package jobdir
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"esse/internal/core"
+	"esse/internal/linalg"
+	"esse/internal/rng"
+	"esse/internal/workflow"
+)
+
+func TestStatusLifecycle(t *testing.T) {
+	tr, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done, err := tr.Status(3); err != nil || done {
+		t.Fatalf("fresh member reported done (err %v)", err)
+	}
+	if err := tr.Complete(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	code, done, err := tr.Status(3)
+	if err != nil || !done || code != 0 {
+		t.Fatalf("status = (%d,%v,%v)", code, done, err)
+	}
+	if err := tr.Complete(4, 17); err != nil {
+		t.Fatal(err)
+	}
+	code, done, _ = tr.Status(4)
+	if !done || code != 17 {
+		t.Fatalf("failure code not preserved: %d", code)
+	}
+}
+
+func TestStatusSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	tr, _ := Open(dir)
+	_ = tr.Complete(7, 0)
+	tr2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, done, _ := tr2.Status(7)
+	if !done {
+		t.Fatal("status lost across reopen")
+	}
+}
+
+func TestCompletedScan(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	_ = tr.Complete(2, 0)
+	_ = tr.Complete(0, 0)
+	_ = tr.Complete(5, 3)
+	ok, bad, err := tr.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != 2 || ok[0] != 0 || ok[1] != 2 {
+		t.Fatalf("successes = %v", ok)
+	}
+	if len(bad) != 1 || bad[0] != 5 {
+		t.Fatalf("failures = %v", bad)
+	}
+}
+
+func TestResetForcesRerun(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	_ = tr.Complete(1, 0)
+	_ = tr.SaveState(1, []float64{1, 2})
+	if err := tr.Reset(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, done, _ := tr.Status(1); done {
+		t.Fatal("Reset did not clear status")
+	}
+	if _, err := tr.LoadState(1); err == nil {
+		t.Fatal("Reset did not clear state")
+	}
+	if err := tr.Reset(999); err != nil {
+		t.Fatal("Reset of unknown member must be a no-op, got", err)
+	}
+}
+
+func TestCleanupRemovesEverything(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	_ = tr.Complete(1, 0)
+	_ = tr.SaveState(1, []float64{1})
+	if err := tr.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	ok, bad, _ := tr.Completed()
+	if len(ok)+len(bad) != 0 {
+		t.Fatal("Cleanup left tracking files behind")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	want := []float64{1.5, -2.25, 3.125, 0}
+	if err := tr.SaveState(9, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.LoadState(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("state[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStateChecksumDetectsCorruption(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	_ = tr.SaveState(2, []float64{1, 2, 3})
+	path := tr.statePath(2)
+	data, _ := os.ReadFile(path)
+	data[10] ^= 0x55
+	_ = os.WriteFile(path, data, 0o644)
+	if _, err := tr.LoadState(2); err == nil {
+		t.Fatal("corrupt state loaded silently")
+	}
+}
+
+func TestConcurrentCompletes(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := tr.Complete(i, 0); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ok, _, _ := tr.Completed()
+	if len(ok) != 64 {
+		t.Fatalf("%d completions recorded", len(ok))
+	}
+}
+
+// --- resume integration ----------------------------------------------------
+
+func toyTruth(seed uint64, dim, p int) *core.Subspace {
+	s := rng.New(seed)
+	a := linalg.NewDense(dim, p)
+	for i := range a.Data {
+		a.Data[i] = s.Norm()
+	}
+	f := linalg.QR(a)
+	sigma := make([]float64, p)
+	for i := range sigma {
+		sigma[i] = float64(p - i)
+	}
+	return &core.Subspace{Modes: f.Q, Sigma: sigma}
+}
+
+func countingRunner(truth *core.Subspace, seed uint64, counter *int64, mu *sync.Mutex, delay time.Duration) workflow.MemberRunner {
+	master := rng.New(seed)
+	return func(ctx context.Context, index int) ([]float64, error) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		mu.Lock()
+		*counter++
+		mu.Unlock()
+		return truth.Perturb(nil, master.Split(uint64(index)), 0.01), nil
+	}
+}
+
+func TestResumableRunnerSkipsCompleted(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	truth := toyTruth(1, 20, 2)
+	var calls int64
+	var mu sync.Mutex
+	runner := ResumableRunner(tr, countingRunner(truth, 2, &calls, &mu, 0))
+
+	first, err := runner(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := runner(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("inner runner called %d times, want 1", calls)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("resumed state differs from computed state")
+		}
+	}
+}
+
+func TestResumableRunnerRecordsFailures(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	failing := func(ctx context.Context, index int) ([]float64, error) {
+		return nil, errors.New("boom")
+	}
+	if _, err := ResumableRunner(tr, failing)(context.Background(), 3); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	code, done, _ := tr.Status(3)
+	if !done || code == 0 {
+		t.Fatalf("failure not recorded: code=%d done=%v", code, done)
+	}
+	// A failed index is retried, not skipped.
+	var calls int64
+	var mu sync.Mutex
+	truth := toyTruth(3, 10, 2)
+	runner := ResumableRunner(tr, countingRunner(truth, 4, &calls, &mu, 0))
+	if _, err := runner(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatal("failed member was not retried")
+	}
+}
+
+func TestWorkflowRestartWithoutRerunningAll(t *testing.T) {
+	// Interrupt a run mid-flight, then restart with the same tracker:
+	// the restart must recompute only the missing members, and the final
+	// subspace must equal an uninterrupted run's.
+	dir := t.TempDir()
+	truth := toyTruth(5, 30, 2)
+	cfg := workflow.DefaultConfig()
+	cfg.InitialSize = 24
+	cfg.MaxSize = 24
+	cfg.Workers = 4
+	cfg.SVDBatch = 8
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+
+	var calls1 int64
+	var mu sync.Mutex
+	tr, _ := Open(dir)
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	_, _ = workflow.RunParallel(ctx, cfg,
+		make([]float64, 30),
+		ResumableRunner(tr, countingRunner(truth, 6, &calls1, &mu, 5*time.Millisecond)))
+	done1, _, _ := tr.Completed()
+	if len(done1) == 0 || len(done1) >= 24 {
+		t.Skipf("interruption landed awkwardly: %d members done", len(done1))
+	}
+
+	// Restart with a fresh tracker handle on the same directory.
+	tr2, _ := Open(dir)
+	var calls2 int64
+	res, err := workflow.RunParallel(context.Background(), cfg,
+		make([]float64, 30),
+		ResumableRunner(tr2, countingRunner(truth, 6, &calls2, &mu, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MembersUsed != 24 {
+		t.Fatalf("restart used %d members", res.MembersUsed)
+	}
+	if int(calls2) != 24-len(done1) {
+		t.Fatalf("restart recomputed %d members, want %d", calls2, 24-len(done1))
+	}
+	// Compare against an uninterrupted reference run.
+	var calls3 int64
+	ref, err := workflow.RunParallel(context.Background(), cfg,
+		make([]float64, 30), countingRunner(truth, 6, &calls3, &mu, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := core.SimilarityCoefficient(res.Subspace, ref.Subspace); rho < 1-1e-8 {
+		t.Fatalf("restarted subspace differs from uninterrupted run: rho=%v", rho)
+	}
+}
+
+func TestStatusCorruptFile(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	if err := os.WriteFile(tr.statusPath(8), []byte("not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Status(8); err == nil {
+		t.Fatal("corrupt status file accepted")
+	}
+	// Completed must skip the corrupt entry rather than fail the scan.
+	_ = tr.Complete(9, 0)
+	ok, bad, err := tr.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != 1 || ok[0] != 9 || len(bad) != 0 {
+		t.Fatalf("scan with corrupt entry: ok=%v bad=%v", ok, bad)
+	}
+}
+
+func TestCompletedIgnoresForeignFiles(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	_ = os.WriteFile(tr.Dir()+"/README", []byte("hi"), 0o644)
+	_ = os.WriteFile(tr.Dir()+"/member_abc.status", []byte("0"), 0o644)
+	_ = tr.Complete(1, 0)
+	ok, bad, err := tr.Completed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok) != 1 || len(bad) != 0 {
+		t.Fatalf("foreign files leaked into scan: ok=%v bad=%v", ok, bad)
+	}
+	// Cleanup removes member_ files but leaves everything else.
+	if err := tr.Cleanup(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tr.Dir() + "/README"); err != nil {
+		t.Fatal("Cleanup removed a non-tracking file")
+	}
+}
+
+func TestLoadStateTruncated(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	_ = tr.SaveState(4, []float64{1, 2, 3})
+	data, _ := os.ReadFile(tr.statePath(4))
+	_ = os.WriteFile(tr.statePath(4), data[:10], 0o644)
+	if _, err := tr.LoadState(4); err == nil {
+		t.Fatal("truncated state accepted")
+	}
+	_ = os.WriteFile(tr.statePath(4), data[:len(data)-4], 0o644)
+	if _, err := tr.LoadState(4); err == nil {
+		t.Fatal("short state accepted")
+	}
+}
+
+func TestCompleteNegativeIndex(t *testing.T) {
+	tr, _ := Open(t.TempDir())
+	if err := tr.Complete(-1, 0); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestResumableRunnerRecomputesOnLostState(t *testing.T) {
+	// Status says done but the state file vanished (pruned shared dir):
+	// the runner must recompute instead of failing.
+	tr, _ := Open(t.TempDir())
+	truth := toyTruth(9, 10, 2)
+	var calls int64
+	var mu sync.Mutex
+	runner := ResumableRunner(tr, countingRunner(truth, 10, &calls, &mu, 0))
+	if _, err := runner(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(tr.statePath(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("runner called %d times, want recompute", calls)
+	}
+}

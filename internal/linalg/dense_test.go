@@ -1,0 +1,185 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"esse/internal/rng"
+)
+
+func randomDense(s *rng.Stream, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = s.Norm()
+	}
+	return m
+}
+
+func TestNewDenseShape(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+}
+
+func TestNewDenseFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDenseFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestAtSet(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 5.5)
+	if m.At(1, 2) != 5.5 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	if m.Data[1*3+2] != 5.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(4)[%d,%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	d := Diag([]float64{1, 2, 3})
+	if d.At(0, 0) != 1 || d.At(1, 1) != 2 || d.At(2, 2) != 3 || d.At(0, 1) != 0 {
+		t.Fatal("Diag misplaced values")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	s := rng.New(1)
+	m := randomDense(s, 5, 3)
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 5 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatal("transpose value mismatch")
+			}
+		}
+	}
+	if !m.T().T().EqualApprox(m, 0) {
+		t.Fatal("double transpose is not identity")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewDense(2, 2)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestColSetCol(t *testing.T) {
+	s := rng.New(2)
+	m := randomDense(s, 4, 3)
+	col := m.Col(nil, 1)
+	for i := 0; i < 4; i++ {
+		if col[i] != m.At(i, 1) {
+			t.Fatal("Col returned wrong values")
+		}
+	}
+	newCol := []float64{9, 8, 7, 6}
+	m.SetCol(2, newCol)
+	for i := 0; i < 4; i++ {
+		if m.At(i, 2) != newCol[i] {
+			t.Fatal("SetCol failed")
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := rng.New(3)
+	m := randomDense(s, 6, 6)
+	sub := m.Slice(1, 4, 2, 5)
+	if sub.Rows != 3 || sub.Cols != 3 {
+		t.Fatalf("Slice shape %dx%d", sub.Rows, sub.Cols)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if sub.At(i, j) != m.At(i+1, j+2) {
+				t.Fatal("Slice content mismatch")
+			}
+		}
+	}
+	sub.Set(0, 0, 99)
+	if m.At(1, 2) == 99 {
+		t.Fatal("Slice must copy, not alias")
+	}
+}
+
+func TestAppendCols(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseFrom(2, 1, []float64{5, 6})
+	ab := a.AppendCols(b)
+	want := NewDenseFrom(2, 3, []float64{1, 2, 5, 3, 4, 6})
+	if !ab.EqualApprox(want, 0) {
+		t.Fatalf("AppendCols = %v", ab)
+	}
+}
+
+func TestTraceAndNorms(t *testing.T) {
+	m := NewDenseFrom(2, 2, []float64{3, 0, 0, -4})
+	if m.Trace() != -1 {
+		t.Fatalf("Trace = %v", m.Trace())
+	}
+	if got := m.FrobNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobNorm = %v", got)
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	m := NewDense(2, 2)
+	if !m.IsFinite() {
+		t.Fatal("zero matrix should be finite")
+	}
+	m.Set(0, 1, math.NaN())
+	if m.IsFinite() {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(0, 1, math.Inf(1))
+	if m.IsFinite() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	m := NewDense(3, 3)
+	m.Fill(2.5)
+	for _, v := range m.Data {
+		if v != 2.5 {
+			t.Fatal("Fill failed")
+		}
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LUFactors holds a P·A = L·U factorization with partial pivoting. L is
+// unit-lower-triangular and U upper-triangular, packed into one matrix;
+// Piv records the row permutation; Sign is the permutation's parity.
+type LUFactors struct {
+	LU   *Dense
+	Piv  []int
+	Sign float64
+}
+
+// LU computes the factorization of a square matrix with partial
+// pivoting. It returns an error for singular (to working precision)
+// matrices.
+func LU(a *Dense) (*LUFactors, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, fmt.Errorf("linalg: LU of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivoting: largest magnitude in column k at/below row k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, fmt.Errorf("linalg: singular matrix at pivot %d", k)
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivVal
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LUFactors{LU: lu, Piv: piv, Sign: sign}, nil
+}
+
+// Solve returns x with A x = b.
+func (f *LUFactors) Solve(b []float64) []float64 {
+	n := f.LU.Rows
+	if len(b) != n {
+		panic("linalg: LU Solve dimension mismatch")
+	}
+	x := make([]float64, n)
+	// Apply permutation, then forward substitution with unit L.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.Piv[i]]
+	}
+	for i := 0; i < n; i++ {
+		row := f.LU.Row(i)
+		for j := 0; j < i; j++ {
+			x[i] -= row[j] * x[j]
+		}
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.LU.Row(i)
+		for j := i + 1; j < n; j++ {
+			x[i] -= row[j] * x[j]
+		}
+		x[i] /= row[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LUFactors) Det() float64 {
+	d := f.Sign
+	for i := 0; i < f.LU.Rows; i++ {
+		d *= f.LU.At(i, i)
+	}
+	return d
+}
+
+// SolveGeneral solves A x = b for a general square matrix.
+func SolveGeneral(a *Dense, b []float64) ([]float64, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Invert returns A⁻¹ for a general square matrix.
+func Invert(a *Dense) (*Dense, error) {
+	f, err := LU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewDense(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		inv.SetCol(j, f.Solve(e))
+	}
+	return inv, nil
+}
+
+// SolveTridiagonal solves a tridiagonal system with the Thomas
+// algorithm: sub/diag/super are the three bands (sub[0] and
+// super[n-1] are ignored). It modifies no inputs and returns an error if
+// a pivot vanishes (no pivoting is performed — callers must supply
+// diagonally dominant systems, as implicit diffusion steps do).
+func SolveTridiagonal(sub, diag, super, b []float64) ([]float64, error) {
+	n := len(diag)
+	if len(sub) != n || len(super) != n || len(b) != n {
+		return nil, fmt.Errorf("linalg: tridiagonal band lengths disagree")
+	}
+	c := make([]float64, n)
+	d := make([]float64, n)
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("linalg: zero pivot at row 0")
+	}
+	c[0] = super[0] / diag[0]
+	d[0] = b[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i]*c[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("linalg: zero pivot at row %d", i)
+		}
+		if i < n-1 {
+			c[i] = super[i] / den
+		}
+		d[i] = (b[i] - sub[i]*d[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// ConditionEstimate returns a cheap condition-number estimate of a
+// square matrix: σmax/σmin from the full SVD for small systems. Intended
+// for diagnostics, not hot paths.
+func ConditionEstimate(a *Dense) float64 {
+	f := SVD(a)
+	smin := f.S[len(f.S)-1]
+	if smin == 0 {
+		return math.Inf(1)
+	}
+	return f.S[0] / smin
+}

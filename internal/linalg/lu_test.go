@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"esse/internal/rng"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewDenseFrom(3, 3, []float64{2, 1, -1, -3, -1, 2, -2, 1, 2})
+	x, err := SolveGeneral(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUResidualProperty(t *testing.T) {
+	s := rng.New(1)
+	f := func(seed uint16) bool {
+		st := s.Split(uint64(seed))
+		n := 1 + st.Intn(10)
+		a := randomDense(st, n, n)
+		b := st.NormVec(nil, n)
+		x, err := SolveGeneral(a, b)
+		if err != nil {
+			return true // singular random draws are acceptable skips
+		}
+		res := VecSub(MatVec(a, x), b)
+		return Norm2(res) < 1e-8*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUPivotingHandlesZeroDiagonal(t *testing.T) {
+	// Without pivoting this matrix fails at the first pivot.
+	a := NewDenseFrom(2, 2, []float64{0, 1, 1, 0})
+	x, err := SolveGeneral(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-5) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestLUSingularDetected(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 2, 2, 4})
+	if _, err := LU(a); err == nil {
+		t.Fatal("singular matrix factored")
+	}
+	if _, err := LU(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square matrix factored")
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{3, 8, 4, 6})
+	f, err := LU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-(-14)) > 1e-10 {
+		t.Fatalf("det = %v, want -14", f.Det())
+	}
+	id, _ := LU(Identity(5))
+	if math.Abs(id.Det()-1) > 1e-12 {
+		t.Fatalf("det(I) = %v", id.Det())
+	}
+}
+
+func TestInvertGeneral(t *testing.T) {
+	s := rng.New(2)
+	a := randomDense(s, 6, 6)
+	AddInPlace(a, Scale(3, Identity(6))) // keep it comfortably nonsingular
+	inv, err := Invert(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Mul(a, inv).EqualApprox(Identity(6), 1e-9) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+}
+
+func TestSolveTridiagonal(t *testing.T) {
+	// -1 2 -1 Laplacian-style system, diagonally dominant.
+	n := 8
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	super := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sub[i], diag[i], super[i] = -1, 3, -1
+		b[i] = float64(i + 1)
+	}
+	x, err := SolveTridiagonal(sub, diag, super, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify by residual against the explicit matrix.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 3)
+		if i > 0 {
+			a.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			a.Set(i, i+1, -1)
+		}
+	}
+	if res := Norm2(VecSub(MatVec(a, x), b)); res > 1e-10 {
+		t.Fatalf("tridiagonal residual %v", res)
+	}
+}
+
+func TestSolveTridiagonalErrors(t *testing.T) {
+	if _, err := SolveTridiagonal([]float64{1}, []float64{1, 2}, []float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("band length mismatch accepted")
+	}
+	if _, err := SolveTridiagonal([]float64{0, 0}, []float64{0, 1}, []float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("zero pivot accepted")
+	}
+}
+
+func TestConditionEstimate(t *testing.T) {
+	if c := ConditionEstimate(Identity(4)); math.Abs(c-1) > 1e-10 {
+		t.Fatalf("cond(I) = %v", c)
+	}
+	bad := Diag([]float64{1, 1e-12})
+	if c := ConditionEstimate(bad); c < 1e10 {
+		t.Fatalf("ill-conditioned matrix reported cond %v", c)
+	}
+	sing := NewDense(3, 3)
+	if c := ConditionEstimate(sing); !math.IsInf(c, 1) {
+		t.Fatalf("singular matrix cond %v", c)
+	}
+}
+
+func BenchmarkLUSolve64(b *testing.B) {
+	s := rng.New(1)
+	a := randomDense(s, 64, 64)
+	AddInPlace(a, Scale(8, Identity(64)))
+	rhs := s.NormVec(nil, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveGeneral(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

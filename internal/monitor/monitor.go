@@ -1,0 +1,114 @@
+// Package monitor provides live visibility into a running ESSE ensemble
+// — the capability the paper found missing on the Grid ("This approach
+// gives no easy way for the user to monitor the progress of one's jobs",
+// §5.3.1). A Monitor consumes workflow progress snapshots through the
+// engine's OnProgress hook and serves them over HTTP as JSON
+// (machine-readable) and plain text (forecaster-readable), including a
+// short history for trend display.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"esse/internal/workflow"
+)
+
+// Monitor aggregates progress snapshots from one or more ensemble runs.
+type Monitor struct {
+	mu      sync.RWMutex
+	latest  workflow.Progress
+	history []workflow.Progress
+	updates int64
+	maxHist int
+}
+
+// New returns a monitor keeping up to maxHistory snapshots (default 256
+// when zero).
+func New(maxHistory int) *Monitor {
+	if maxHistory <= 0 {
+		maxHistory = 256
+	}
+	return &Monitor{maxHist: maxHistory}
+}
+
+// Callback returns the function to plug into workflow.Config.OnProgress.
+func (m *Monitor) Callback() func(workflow.Progress) {
+	return func(p workflow.Progress) {
+		m.mu.Lock()
+		m.latest = p
+		m.updates++
+		m.history = append(m.history, p)
+		if len(m.history) > m.maxHist {
+			m.history = m.history[len(m.history)-m.maxHist:]
+		}
+		m.mu.Unlock()
+	}
+}
+
+// Latest returns the most recent snapshot and how many updates arrived.
+func (m *Monitor) Latest() (workflow.Progress, int64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.latest, m.updates
+}
+
+// statusJSON is the wire format of /status.
+type statusJSON struct {
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed"`
+	Cancelled int     `json:"cancelled"`
+	Target    int     `json:"target"`
+	SVDRounds int     `json:"svd_rounds"`
+	Converged bool    `json:"converged"`
+	Rho       float64 `json:"rho"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Updates   int64   `json:"updates"`
+}
+
+// Handler serves GET /status (JSON), GET /status.txt (text) and
+// GET /history (JSON array).
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		p, n := m.Latest()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(toJSON(p, n))
+	})
+	mux.HandleFunc("/status.txt", func(w http.ResponseWriter, r *http.Request) {
+		p, n := m.Latest()
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintf(w, "ensemble progress: %d/%d members (%d failed, %d cancelled)\n",
+			p.Completed, p.Target, p.Failed, p.Cancelled)
+		fmt.Fprintf(w, "SVD rounds: %d, converged: %v (rho=%.4f)\n", p.SVDRounds, p.Converged, p.Rho)
+		fmt.Fprintf(w, "elapsed: %v, %d updates\n", p.Elapsed.Round(time.Millisecond), n)
+	})
+	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.RLock()
+		out := make([]statusJSON, len(m.history))
+		for i, p := range m.history {
+			out[i] = toJSON(p, int64(i+1))
+		}
+		m.mu.RUnlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	return mux
+}
+
+func toJSON(p workflow.Progress, updates int64) statusJSON {
+	return statusJSON{
+		Completed: p.Completed,
+		Failed:    p.Failed,
+		Cancelled: p.Cancelled,
+		Target:    p.Target,
+		SVDRounds: p.SVDRounds,
+		Converged: p.Converged,
+		Rho:       p.Rho,
+		ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond),
+		Updates:   updates,
+	}
+}

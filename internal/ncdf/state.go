@@ -1,0 +1,72 @@
+package ncdf
+
+import (
+	"fmt"
+
+	"esse/internal/grid"
+)
+
+// FromState packs an ocean state vector into a dataset with one variable
+// per layout entry, on (lev, lat, lon) axes. This is the file each
+// ensemble member writes home ("the full resulting dataset of the
+// ensemble member forecast is required, not just a small set of
+// numbers").
+func FromState(l *grid.StateLayout, state []float64, globalAttrs map[string]string) (*File, error) {
+	if len(state) != l.Dim() {
+		return nil, fmt.Errorf("ncdf: state dim %d != layout dim %d", len(state), l.Dim())
+	}
+	g := l.G
+	f := New()
+	for k, v := range globalAttrs {
+		f.Attrs[k] = v
+	}
+	if err := f.AddDim("lon", g.NX); err != nil {
+		return nil, err
+	}
+	if err := f.AddDim("lat", g.NY); err != nil {
+		return nil, err
+	}
+	if err := f.AddDim("lev", g.NZ); err != nil {
+		return nil, err
+	}
+	for vi, spec := range l.Vars {
+		data := l.Slice(state, vi)
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		var dims []string
+		if spec.Levels == 1 {
+			dims = []string{"lat", "lon"}
+		} else if spec.Levels == g.NZ {
+			dims = []string{"lev", "lat", "lon"}
+		} else {
+			// Partial-depth variable: give it its own level axis.
+			dn := fmt.Sprintf("lev_%s", spec.Name)
+			if err := f.AddDim(dn, spec.Levels); err != nil {
+				return nil, err
+			}
+			dims = []string{dn, "lat", "lon"}
+		}
+		if err := f.AddVar(spec.Name, dims, map[string]string{"grid": "c"}, cp); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// ToState unpacks a dataset produced by FromState back into a state
+// vector for the given layout.
+func ToState(f *File, l *grid.StateLayout) ([]float64, error) {
+	state := l.NewState()
+	for vi, spec := range l.Vars {
+		v, ok := f.Var(spec.Name)
+		if !ok {
+			return nil, fmt.Errorf("ncdf: dataset lacks variable %q", spec.Name)
+		}
+		dst := l.Slice(state, vi)
+		if len(v.Data) != len(dst) {
+			return nil, fmt.Errorf("ncdf: variable %q has %d values, layout wants %d", spec.Name, len(v.Data), len(dst))
+		}
+		copy(dst, v.Data)
+	}
+	return state, nil
+}

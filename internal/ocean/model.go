@@ -1,0 +1,521 @@
+// Package ocean implements the stochastic dynamical ocean model that
+// stands in for the paper's HOPS primitive-equation code (`pemodel`).
+//
+// The model couples a nonlinear shallow-water layer (sea-surface height
+// eta and depth-averaged currents u, v, with momentum advection,
+// Coriolis, bottom friction and lateral viscosity) to 3-D temperature and
+// salinity tracers advected by the depth-attenuated flow, with horizontal
+// diffusion. Stochastic wind-stress and surface-tracer forcing enter as
+// Wiener increments (the dη term of equation B1a in the paper), so every
+// ensemble member integrates a genuinely stochastic PDE.
+//
+// The state vector packs [eta, u, v, T(×NZ), S(×NZ)] through
+// grid.StateLayout; ESSE perturbs, propagates and assimilates exactly
+// this vector.
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"esse/internal/grid"
+	"esse/internal/physics"
+	"esse/internal/rng"
+)
+
+// Config collects the physical and numerical parameters of the model.
+type Config struct {
+	Grid *grid.Grid
+	// Dt is the time step in seconds.
+	Dt float64
+	// MeanDepth is the resting layer depth H (m) of the shallow-water core.
+	MeanDepth float64
+	// Coriolis parameter f (1/s).
+	Coriolis float64
+	// BottomFriction is the linear drag coefficient r (1/s).
+	BottomFriction float64
+	// Viscosity is the lateral eddy viscosity for momentum (m²/s).
+	Viscosity float64
+	// Diffusivity is the horizontal tracer diffusivity (m²/s).
+	Diffusivity float64
+	// WindAmp is the steady wind-stress acceleration amplitude (m/s²).
+	WindAmp float64
+	// NoiseWind is the std-dev of the stochastic wind acceleration
+	// integrated over one step, per sqrt(s) (Wiener forcing).
+	NoiseWind float64
+	// NoiseTracer is the std-dev of stochastic surface temperature
+	// forcing per sqrt(s).
+	NoiseTracer float64
+	// NoiseSmoothPasses controls the spatial correlation of the
+	// stochastic forcing (diffusive smoothing passes over white noise).
+	NoiseSmoothPasses int
+	// EkmanDepth sets the e-folding depth (m) of velocity used to advect
+	// the 3-D tracers.
+	EkmanDepth float64
+	// VerticalDiffusivity Kv (m²/s) enables implicit vertical tracer
+	// mixing when positive (0 = off; see vertmix.go).
+	VerticalDiffusivity float64
+	// Climo parameterizes the initial mesoscale state (eddy + front).
+	Climo ClimatologyParams
+}
+
+// ClimatologyParams positions the initial mesoscale features: a
+// warm-core eddy and a coastal upwelling front. Jittering these
+// parameters across realizations produces the structured, temperature-
+// dominant initial-condition uncertainty of a real coastal forecast
+// (the error fields mapped in the paper's Figs. 5 and 6 concentrate on
+// exactly such features).
+type ClimatologyParams struct {
+	// EddyCXFrac, EddyCYFrac place the eddy center (fractions of NX, NY).
+	EddyCXFrac, EddyCYFrac float64
+	// EddyRadiusFrac sets the eddy radius as a fraction of min(NX, NY).
+	EddyRadiusFrac float64
+	// EddyAmpT is the eddy core temperature anomaly (degC).
+	EddyAmpT float64
+	// EddyAmpSSH is the eddy sea-surface height anomaly (m).
+	EddyAmpSSH float64
+	// FrontAmpT is the upwelling front temperature anomaly (degC,
+	// negative = cold).
+	FrontAmpT float64
+	// FrontWidthFrac is the front e-folding width (fraction of NX).
+	FrontWidthFrac float64
+}
+
+// DefaultClimatology returns the reference Monterey-Bay-like setup.
+func DefaultClimatology() ClimatologyParams {
+	return ClimatologyParams{
+		EddyCXFrac:     0.55,
+		EddyCYFrac:     0.45,
+		EddyRadiusFrac: 0.18,
+		EddyAmpT:       1.2,
+		EddyAmpSSH:     0.08,
+		FrontAmpT:      -1.5,
+		FrontWidthFrac: 0.15,
+	}
+}
+
+// Jitter returns a randomly perturbed copy of the climatology — an
+// initial-condition realization for building the initial error subspace.
+func (p ClimatologyParams) Jitter(s *rng.Stream) ClimatologyParams {
+	out := p
+	out.EddyCXFrac += 0.08 * s.Norm()
+	out.EddyCYFrac += 0.08 * s.Norm()
+	out.EddyRadiusFrac *= 1 + 0.15*s.Norm()
+	if out.EddyRadiusFrac < 0.05 {
+		out.EddyRadiusFrac = 0.05
+	}
+	out.EddyAmpT *= 1 + 0.25*s.Norm()
+	out.EddyAmpSSH *= 1 + 0.25*s.Norm()
+	out.FrontAmpT *= 1 + 0.25*s.Norm()
+	out.FrontWidthFrac *= 1 + 0.15*s.Norm()
+	if out.FrontWidthFrac < 0.05 {
+		out.FrontWidthFrac = 0.05
+	}
+	return out
+}
+
+// DefaultConfig returns a numerically stable configuration for grid g
+// sized for the mesoscale window (days, kilometers) the paper studies.
+func DefaultConfig(g *grid.Grid) Config {
+	h := 50.0
+	c := math.Sqrt(physics.Gravity * h)
+	minDx := math.Min(g.Dx, g.Dy)
+	dt := 0.2 * minDx / c // well inside the CFL bound
+	return Config{
+		Grid:              g,
+		Dt:                dt,
+		MeanDepth:         h,
+		Coriolis:          physics.Coriolis(36.6),
+		BottomFriction:    2e-6,
+		Viscosity:         0.01 * minDx * minDx / dt / 8, // mild, stability-safe
+		Diffusivity:       0.005 * minDx * minDx / dt / 8,
+		WindAmp:           1e-6,
+		NoiseWind:         2e-7,
+		NoiseTracer:       2e-5,
+		NoiseSmoothPasses: 3,
+		EkmanDepth:        80,
+		Climo:             DefaultClimatology(),
+	}
+}
+
+// Vars is the canonical state variable list of the model.
+func Vars(g *grid.Grid) []grid.VarSpec {
+	return []grid.VarSpec{
+		{Name: "eta", Levels: 1},
+		{Name: "u", Levels: 1},
+		{Name: "v", Levels: 1},
+		{Name: "T", Levels: g.NZ},
+		{Name: "S", Levels: g.NZ},
+	}
+}
+
+// Model is one realization of the stochastic ocean model. It is not safe
+// for concurrent use; ensemble members each own a Model (and an
+// independent rng stream).
+type Model struct {
+	Cfg    Config
+	Layout *grid.StateLayout
+
+	eta, u, v []float64 // n2
+	t, s      []float64 // n3
+
+	noise  *rng.Stream
+	time   float64
+	vmixer *VerticalMixer
+
+	// scratch buffers reused across steps
+	newEta, newU, newV []float64
+	newTr              []float64
+	fx, fy, ftr        []float64
+}
+
+// New builds a model with the climatological initial state: linear
+// stratification plus a mesoscale eddy in sea-surface height and an
+// upwelling-like temperature front, roughly matching the Monterey Bay
+// situation of the paper's Section 6.
+func New(cfg Config, noise *rng.Stream) *Model {
+	if cfg.Grid == nil {
+		panic("ocean: Config.Grid is nil")
+	}
+	if noise == nil {
+		noise = rng.New(0)
+	}
+	g := cfg.Grid
+	m := &Model{
+		Cfg:    cfg,
+		Layout: grid.NewLayout(g, Vars(g)),
+		eta:    make([]float64, g.N2()),
+		u:      make([]float64, g.N2()),
+		v:      make([]float64, g.N2()),
+		t:      make([]float64, g.N3()),
+		s:      make([]float64, g.N3()),
+		noise:  noise,
+		newEta: make([]float64, g.N2()),
+		newU:   make([]float64, g.N2()),
+		newV:   make([]float64, g.N2()),
+		newTr:  make([]float64, g.N2()),
+		fx:     make([]float64, g.N2()),
+		fy:     make([]float64, g.N2()),
+		ftr:    make([]float64, g.N2()),
+	}
+	m.initClimatology()
+	return m
+}
+
+func (m *Model) initClimatology() {
+	g := m.Cfg.Grid
+	maxD := g.Depths[g.NZ-1]
+	if maxD == 0 {
+		maxD = 1
+	}
+	p := m.Cfg.Climo
+	if p == (ClimatologyParams{}) {
+		p = DefaultClimatology()
+	}
+	cx, cy := float64(g.NX)*p.EddyCXFrac, float64(g.NY)*p.EddyCYFrac
+	rad := float64(minInt(g.NX, g.NY)) * p.EddyRadiusFrac
+	for k := 0; k < g.NZ; k++ {
+		frac := g.Depths[k] / maxD
+		baseT := 16 - 9*frac // 16°C at surface to 7°C at depth
+		baseS := 33.3 + 0.9*frac
+		decay := math.Exp(-g.Depths[k] / math.Max(m.Cfg.EkmanDepth, 1))
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				idx := g.Idx3(i, j, k)
+				// Coastal upwelling front: colder near the eastern edge.
+				front := p.FrontAmpT * decay * math.Exp(-math.Pow(float64(g.NX-1-i)/(p.FrontWidthFrac*float64(g.NX)), 2))
+				// Warm-core eddy.
+				dx := (float64(i) - cx) / rad
+				dy := (float64(j) - cy) / rad
+				eddy := p.EddyAmpT * decay * math.Exp(-(dx*dx + dy*dy))
+				m.t[idx] = baseT + front + eddy
+				m.s[idx] = baseS - 0.05*eddy
+			}
+		}
+	}
+	// Geostrophically-consistent SSH for the eddy (warm core → high SSH).
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			dx := (float64(i) - cx) / rad
+			dy := (float64(j) - cy) / rad
+			m.eta[g.Idx2(i, j)] = p.EddyAmpSSH * math.Exp(-(dx*dx + dy*dy))
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Time returns the model time in seconds since initialization.
+func (m *Model) Time() float64 { return m.time }
+
+// StateDim returns the packed state dimension.
+func (m *Model) StateDim() int { return m.Layout.Dim() }
+
+// State packs the current model fields into dst (allocated if nil).
+func (m *Model) State(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.Layout.Dim())
+	}
+	copy(m.Layout.SliceByName(dst, "eta"), m.eta)
+	copy(m.Layout.SliceByName(dst, "u"), m.u)
+	copy(m.Layout.SliceByName(dst, "v"), m.v)
+	copy(m.Layout.SliceByName(dst, "T"), m.t)
+	copy(m.Layout.SliceByName(dst, "S"), m.s)
+	return dst
+}
+
+// SetState loads a packed state vector into the model fields.
+func (m *Model) SetState(state []float64) {
+	copy(m.eta, m.Layout.SliceByName(state, "eta"))
+	copy(m.u, m.Layout.SliceByName(state, "u"))
+	copy(m.v, m.Layout.SliceByName(state, "v"))
+	copy(m.t, m.Layout.SliceByName(state, "T"))
+	copy(m.s, m.Layout.SliceByName(state, "S"))
+}
+
+// SST returns a copy of the surface temperature field.
+func (m *Model) SST() []float64 {
+	out := make([]float64, len(m.t[:m.Cfg.Grid.N2()]))
+	copy(out, m.t[:m.Cfg.Grid.N2()])
+	return out
+}
+
+// CFLNumber returns the gravity-wave CFL number c·dt/min(dx,dy); values
+// below ~0.7 are stable for the forward-backward scheme.
+func (m *Model) CFLNumber() float64 {
+	c := math.Sqrt(physics.Gravity * m.Cfg.MeanDepth)
+	return c * m.Cfg.Dt / math.Min(m.Cfg.Grid.Dx, m.Cfg.Grid.Dy)
+}
+
+// Step advances the model by one time step.
+func (m *Model) Step() {
+	g := m.Cfg.Grid
+	dt := m.Cfg.Dt
+	dx, dy := g.Dx, g.Dy
+	f := m.Cfg.Coriolis
+	r := m.Cfg.BottomFriction
+	nu := m.Cfg.Viscosity
+
+	m.sampleForcing()
+
+	// --- Momentum update (forward step with current eta) ---
+	for j := 1; j < g.NY-1; j++ {
+		for i := 1; i < g.NX-1; i++ {
+			id := g.Idx2(i, j)
+			ddxEta := (m.eta[g.Idx2(i+1, j)] - m.eta[g.Idx2(i-1, j)]) / (2 * dx)
+			ddyEta := (m.eta[g.Idx2(i, j+1)] - m.eta[g.Idx2(i, j-1)]) / (2 * dy)
+			// Nonlinear advection (centered).
+			dudx := (m.u[g.Idx2(i+1, j)] - m.u[g.Idx2(i-1, j)]) / (2 * dx)
+			dudy := (m.u[g.Idx2(i, j+1)] - m.u[g.Idx2(i, j-1)]) / (2 * dy)
+			dvdx := (m.v[g.Idx2(i+1, j)] - m.v[g.Idx2(i-1, j)]) / (2 * dx)
+			dvdy := (m.v[g.Idx2(i, j+1)] - m.v[g.Idx2(i, j-1)]) / (2 * dy)
+			lapU := laplacian(m.u, g, i, j, dx, dy)
+			lapV := laplacian(m.v, g, i, j, dx, dy)
+			adv := m.u[id]*dudx + m.v[id]*dudy
+			m.newU[id] = m.u[id] + dt*(-physics.Gravity*ddxEta+f*m.v[id]-r*m.u[id]-adv+nu*lapU+m.fx[id])
+			adv = m.u[id]*dvdx + m.v[id]*dvdy
+			m.newV[id] = m.v[id] + dt*(-physics.Gravity*ddyEta-f*m.u[id]-r*m.v[id]-adv+nu*lapV+m.fy[id])
+		}
+	}
+	applyClosedBoundary(m.newU, g)
+	applyClosedBoundary(m.newV, g)
+
+	// --- Continuity update (backward step with the new velocities) ---
+	h := m.Cfg.MeanDepth
+	for j := 1; j < g.NY-1; j++ {
+		for i := 1; i < g.NX-1; i++ {
+			id := g.Idx2(i, j)
+			div := (m.newU[g.Idx2(i+1, j)]-m.newU[g.Idx2(i-1, j)])/(2*dx) +
+				(m.newV[g.Idx2(i, j+1)]-m.newV[g.Idx2(i, j-1)])/(2*dy)
+			m.newEta[id] = m.eta[id] - dt*h*div
+		}
+	}
+	zeroGradientBoundary(m.newEta, g)
+	m.eta, m.newEta = m.newEta, m.eta
+	m.u, m.newU = m.newU, m.u
+	m.v, m.newV = m.newV, m.v
+
+	// --- Tracer updates, level by level ---
+	m.stepTracer(m.t, true)
+	m.stepTracer(m.s, false)
+	if err := m.applyVerticalMixing(); err != nil {
+		// The implicit operator is diagonally dominant by construction;
+		// a failure indicates a programming error, not a data condition.
+		panic(err)
+	}
+
+	m.time += dt
+}
+
+// stepTracer advances one 3-D tracer with upwind advection by the
+// depth-attenuated flow, diffusion, and (for temperature) stochastic
+// surface forcing.
+func (m *Model) stepTracer(tr []float64, isTemp bool) {
+	g := m.Cfg.Grid
+	dt := m.Cfg.Dt
+	dx, dy := g.Dx, g.Dy
+	kappa := m.Cfg.Diffusivity
+	n2 := g.N2()
+	for k := 0; k < g.NZ; k++ {
+		decay := math.Exp(-g.Depths[k] / math.Max(m.Cfg.EkmanDepth, 1))
+		slab := tr[k*n2 : (k+1)*n2]
+		out := m.newTr
+		for j := 1; j < g.NY-1; j++ {
+			for i := 1; i < g.NX-1; i++ {
+				id := g.Idx2(i, j)
+				uu := m.u[id] * decay
+				vv := m.v[id] * decay
+				// First-order upwind advection.
+				var ddxT, ddyT float64
+				if uu >= 0 {
+					ddxT = (slab[id] - slab[g.Idx2(i-1, j)]) / dx
+				} else {
+					ddxT = (slab[g.Idx2(i+1, j)] - slab[id]) / dx
+				}
+				if vv >= 0 {
+					ddyT = (slab[id] - slab[g.Idx2(i, j-1)]) / dy
+				} else {
+					ddyT = (slab[g.Idx2(i, j+1)] - slab[id]) / dy
+				}
+				lap := laplacian(slab, g, i, j, dx, dy)
+				val := slab[id] + dt*(-uu*ddxT-vv*ddyT+kappa*lap)
+				if isTemp && k == 0 {
+					val += m.ftr[id]
+				}
+				out[id] = val
+			}
+		}
+		// Copy interior back; boundary gets zero-gradient.
+		for j := 1; j < g.NY-1; j++ {
+			row := out[j*g.NX : (j+1)*g.NX]
+			copy(slab[j*g.NX+1:(j+1)*g.NX-1], row[1:g.NX-1])
+		}
+		zeroGradientBoundary(slab, g)
+	}
+}
+
+// sampleForcing draws the wind and tracer stochastic forcing fields for
+// this step (steady wind + smoothed Wiener increments).
+func (m *Model) sampleForcing() {
+	g := m.Cfg.Grid
+	sqrtDt := math.Sqrt(m.Cfg.Dt)
+	windNoise := m.Cfg.NoiseWind * sqrtDt / m.Cfg.Dt // acceleration equivalent
+	trNoise := m.Cfg.NoiseTracer * sqrtDt
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			id := g.Idx2(i, j)
+			// Steady upwelling-favorable (equatorward) wind plus noise.
+			m.fx[id] = 0
+			m.fy[id] = -m.Cfg.WindAmp
+			if windNoise > 0 {
+				m.fx[id] += windNoise * m.noise.Norm()
+				m.fy[id] += windNoise * m.noise.Norm()
+			}
+			if trNoise > 0 {
+				m.ftr[id] = trNoise * m.noise.Norm()
+			} else {
+				m.ftr[id] = 0
+			}
+		}
+	}
+	for p := 0; p < m.Cfg.NoiseSmoothPasses; p++ {
+		smooth(m.fx, g)
+		smooth(m.fy, g)
+		smooth(m.ftr, g)
+	}
+}
+
+// Run advances the model n steps.
+func (m *Model) Run(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// RunFor advances the model by the given duration in seconds (rounded to
+// whole steps) and returns the number of steps taken.
+func (m *Model) RunFor(seconds float64) int {
+	n := int(seconds / m.Cfg.Dt)
+	m.Run(n)
+	return n
+}
+
+// Energy returns the total (kinetic + potential) shallow-water energy,
+// a bounded diagnostic used by stability tests.
+func (m *Model) Energy() float64 {
+	g := m.Cfg.Grid
+	e := 0.0
+	for id := 0; id < g.N2(); id++ {
+		e += 0.5*m.Cfg.MeanDepth*(m.u[id]*m.u[id]+m.v[id]*m.v[id]) +
+			0.5*physics.Gravity*m.eta[id]*m.eta[id]
+	}
+	return e * g.Dx * g.Dy
+}
+
+// MeanSST returns the domain-averaged surface temperature (°C).
+func (m *Model) MeanSST() float64 {
+	n2 := m.Cfg.Grid.N2()
+	s := 0.0
+	for _, v := range m.t[:n2] {
+		s += v
+	}
+	return s / float64(n2)
+}
+
+// Validate sanity-checks the configuration, returning an error describing
+// the first problem found.
+func (m *Model) Validate() error {
+	if cfl := m.CFLNumber(); cfl > 0.7 {
+		return fmt.Errorf("ocean: CFL number %.3f exceeds stability bound 0.7", cfl)
+	}
+	if m.Cfg.Dt <= 0 {
+		return fmt.Errorf("ocean: non-positive time step %v", m.Cfg.Dt)
+	}
+	return nil
+}
+
+func laplacian(field []float64, g *grid.Grid, i, j int, dx, dy float64) float64 {
+	id := g.Idx2(i, j)
+	return (field[g.Idx2(i+1, j)]-2*field[id]+field[g.Idx2(i-1, j)])/(dx*dx) +
+		(field[g.Idx2(i, j+1)]-2*field[id]+field[g.Idx2(i, j-1)])/(dy*dy)
+}
+
+// applyClosedBoundary zeroes a velocity component on the domain edge.
+func applyClosedBoundary(field []float64, g *grid.Grid) {
+	for i := 0; i < g.NX; i++ {
+		field[g.Idx2(i, 0)] = 0
+		field[g.Idx2(i, g.NY-1)] = 0
+	}
+	for j := 0; j < g.NY; j++ {
+		field[g.Idx2(0, j)] = 0
+		field[g.Idx2(g.NX-1, j)] = 0
+	}
+}
+
+// zeroGradientBoundary copies the nearest interior value to the edge.
+func zeroGradientBoundary(field []float64, g *grid.Grid) {
+	for i := 1; i < g.NX-1; i++ {
+		field[g.Idx2(i, 0)] = field[g.Idx2(i, 1)]
+		field[g.Idx2(i, g.NY-1)] = field[g.Idx2(i, g.NY-2)]
+	}
+	for j := 0; j < g.NY; j++ {
+		field[g.Idx2(0, j)] = field[g.Idx2(1, j)]
+		field[g.Idx2(g.NX-1, j)] = field[g.Idx2(g.NX-2, j)]
+	}
+}
+
+// smooth applies one diffusive smoothing pass (5-point average) in place.
+func smooth(field []float64, g *grid.Grid) {
+	for j := 1; j < g.NY-1; j++ {
+		for i := 1; i < g.NX-1; i++ {
+			id := g.Idx2(i, j)
+			field[id] = 0.5*field[id] + 0.125*(field[g.Idx2(i+1, j)]+
+				field[g.Idx2(i-1, j)]+field[g.Idx2(i, j+1)]+field[g.Idx2(i, j-1)])
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"esse/internal/grid"
+	"esse/internal/rng"
+)
+
+func testModel(seed uint64) *Model {
+	g := grid.MontereyBay(16, 16, 4)
+	cfg := DefaultConfig(g)
+	return New(cfg, rng.New(seed))
+}
+
+func TestDefaultConfigStable(t *testing.T) {
+	m := testModel(1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfl := m.CFLNumber(); cfl <= 0 || cfl > 0.7 {
+		t.Fatalf("CFL = %v, want (0, 0.7]", cfl)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	m := testModel(2)
+	s1 := m.State(nil)
+	if len(s1) != m.StateDim() {
+		t.Fatalf("state length %d != dim %d", len(s1), m.StateDim())
+	}
+	m2 := testModel(3)
+	m2.SetState(s1)
+	s2 := m2.State(nil)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("state round trip differs at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	a, b := testModel(7), testModel(7)
+	a.Run(20)
+	b.Run(20)
+	sa, sb := a.State(nil), b.State(nil)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same-seed runs diverged: model is not reproducible")
+		}
+	}
+}
+
+func TestStochasticSpreadWithDifferentSeeds(t *testing.T) {
+	a, b := testModel(1), testModel(2)
+	a.Run(50)
+	b.Run(50)
+	sa, sb := a.State(nil), b.State(nil)
+	diff := 0.0
+	for i := range sa {
+		d := sa[i] - sb[i]
+		diff += d * d
+	}
+	if math.Sqrt(diff) == 0 {
+		t.Fatal("different noise seeds produced identical trajectories")
+	}
+}
+
+func TestStepKeepsFieldsFinite(t *testing.T) {
+	m := testModel(4)
+	m.Run(200)
+	for i, v := range m.State(nil) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("state[%d] = %v after 200 steps", i, v)
+		}
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	m := testModel(5)
+	e0 := m.Energy()
+	m.Run(300)
+	e1 := m.Energy()
+	if e1 > 100*(e0+1) {
+		t.Fatalf("energy grew from %v to %v: numerical instability", e0, e1)
+	}
+}
+
+func TestTemperatureStaysPhysical(t *testing.T) {
+	m := testModel(6)
+	m.Run(300)
+	st := m.State(nil)
+	for _, v := range m.Layout.SliceByName(st, "T") {
+		if v < -5 || v > 40 {
+			t.Fatalf("temperature %v out of physical range", v)
+		}
+	}
+	for _, v := range m.Layout.SliceByName(st, "S") {
+		if v < 25 || v > 40 {
+			t.Fatalf("salinity %v out of physical range", v)
+		}
+	}
+}
+
+func TestStratification(t *testing.T) {
+	m := testModel(8)
+	g := m.Cfg.Grid
+	st := m.State(nil)
+	tt := m.Layout.SliceByName(st, "T")
+	// Column-mean surface temperature must exceed bottom temperature.
+	surf, bot := 0.0, 0.0
+	for id := 0; id < g.N2(); id++ {
+		surf += tt[id]
+		bot += tt[(g.NZ-1)*g.N2()+id]
+	}
+	if surf <= bot {
+		t.Fatalf("no stratification: surface %v <= bottom %v", surf, bot)
+	}
+}
+
+func TestClosedBoundaryVelocities(t *testing.T) {
+	m := testModel(9)
+	m.Run(50)
+	st := m.State(nil)
+	u := m.Layout.SliceByName(st, "u")
+	v := m.Layout.SliceByName(st, "v")
+	g := m.Cfg.Grid
+	for i := 0; i < g.NX; i++ {
+		if u[g.Idx2(i, 0)] != 0 || v[g.Idx2(i, 0)] != 0 ||
+			u[g.Idx2(i, g.NY-1)] != 0 || v[g.Idx2(i, g.NY-1)] != 0 {
+			t.Fatal("velocity not zero on north/south boundary")
+		}
+	}
+	for j := 0; j < g.NY; j++ {
+		if u[g.Idx2(0, j)] != 0 || u[g.Idx2(g.NX-1, j)] != 0 {
+			t.Fatal("velocity not zero on east/west boundary")
+		}
+	}
+}
+
+func TestTimeAdvances(t *testing.T) {
+	m := testModel(10)
+	if m.Time() != 0 {
+		t.Fatal("initial time must be 0")
+	}
+	m.Run(5)
+	want := 5 * m.Cfg.Dt
+	if math.Abs(m.Time()-want) > 1e-9 {
+		t.Fatalf("time = %v, want %v", m.Time(), want)
+	}
+	n := m.RunFor(10 * m.Cfg.Dt)
+	if n != 10 {
+		t.Fatalf("RunFor took %d steps, want 10", n)
+	}
+}
+
+func TestSSTCopy(t *testing.T) {
+	m := testModel(11)
+	sst := m.SST()
+	if len(sst) != m.Cfg.Grid.N2() {
+		t.Fatalf("SST length = %d", len(sst))
+	}
+	sst[0] = -999
+	if m.SST()[0] == -999 {
+		t.Fatal("SST must return a copy")
+	}
+}
+
+func TestMeanSSTPlausible(t *testing.T) {
+	m := testModel(12)
+	if sst := m.MeanSST(); sst < 8 || sst > 25 {
+		t.Fatalf("mean SST = %v, implausible for California coast", sst)
+	}
+}
+
+func TestEddySignatureInSSH(t *testing.T) {
+	m := testModel(13)
+	st := m.State(nil)
+	eta := m.Layout.SliceByName(st, "eta")
+	max := 0.0
+	for _, v := range eta {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 0.02 {
+		t.Fatalf("initial SSH eddy amplitude %v too small", max)
+	}
+}
+
+func TestPerturbationGrowth(t *testing.T) {
+	// Nonlinear stochastic dynamics: an initially tiny perturbation plus
+	// differing noise realizations must grow, not collapse to zero.
+	a, b := testModel(20), testModel(21)
+	sb := b.State(nil)
+	sb[0] += 1e-6
+	b.SetState(sb)
+	a.Run(100)
+	b.Run(100)
+	sa, sb2 := a.State(nil), b.State(nil)
+	d := 0.0
+	for i := range sa {
+		diff := sa[i] - sb2[i]
+		d += diff * diff
+	}
+	if math.Sqrt(d) < 1e-9 {
+		t.Fatalf("perturbation collapsed: %v", math.Sqrt(d))
+	}
+}
+
+func TestValidateCatchesBadCFL(t *testing.T) {
+	g := grid.MontereyBay(16, 16, 3)
+	cfg := DefaultConfig(g)
+	cfg.Dt *= 100
+	m := New(cfg, rng.New(1))
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted an unstable time step")
+	}
+}
+
+func BenchmarkStep16x16(b *testing.B) {
+	m := testModel(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+func BenchmarkStep32x32(b *testing.B) {
+	g := grid.MontereyBay(32, 32, 6)
+	m := New(DefaultConfig(g), rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}

@@ -1,0 +1,139 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"esse/internal/grid"
+	"esse/internal/rng"
+)
+
+func mixingModel(kv float64, seed uint64) *Model {
+	g := grid.MontereyBay(10, 10, 6)
+	cfg := DefaultConfig(g)
+	cfg.VerticalDiffusivity = kv
+	// Quiet model isolates the mixing effect.
+	cfg.NoiseWind, cfg.NoiseTracer, cfg.WindAmp = 0, 0, 0
+	return New(cfg, rng.New(seed))
+}
+
+func TestVerticalMixingConservesColumnMean(t *testing.T) {
+	// With no-flux boundaries, implicit diffusion conserves each column's
+	// mean tracer content (uniform level spacing).
+	m := mixingModel(1e-2, 1)
+	g := m.Cfg.Grid
+	n2 := g.N2()
+	colMean := func(tr []float64, id int) float64 {
+		s := 0.0
+		for k := 0; k < g.NZ; k++ {
+			s += tr[k*n2+id]
+		}
+		return s / float64(g.NZ)
+	}
+	before := make([]float64, n2)
+	for id := 0; id < n2; id++ {
+		before[id] = colMean(m.t, id)
+	}
+	if err := m.applyVerticalMixing(); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < n2; id++ {
+		after := colMean(m.t, id)
+		if math.Abs(after-before[id]) > 1e-10 {
+			t.Fatalf("column %d mean drifted: %v -> %v", id, before[id], after)
+		}
+	}
+}
+
+func TestVerticalMixingReducesStratification(t *testing.T) {
+	m := mixingModel(5e-2, 2)
+	g := m.Cfg.Grid
+	n2 := g.N2()
+	spread := func() float64 {
+		s := 0.0
+		for id := 0; id < n2; id++ {
+			s += m.t[id] - m.t[(g.NZ-1)*n2+id] // surface minus bottom
+		}
+		return s
+	}
+	before := spread()
+	m.Run(50)
+	after := spread()
+	if after >= before {
+		t.Fatalf("mixing did not reduce stratification: %v -> %v", before, after)
+	}
+	if after < 0 {
+		t.Fatal("mixing inverted the stratification")
+	}
+}
+
+func TestVerticalMixingUnconditionallyStable(t *testing.T) {
+	// Kv large enough that an explicit scheme would explode at this dt:
+	// dz ≈ 30 m, dt ≈ 200 s → explicit limit Kv < dz²/(2dt) ≈ 2.25;
+	// use 50 and demand finite, physical output.
+	m := mixingModel(50, 3)
+	m.Run(100)
+	for _, v := range m.State(nil) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("implicit mixing went unstable")
+		}
+	}
+	for _, v := range m.t {
+		if v < 0 || v > 40 {
+			t.Fatalf("temperature %v unphysical under strong mixing", v)
+		}
+	}
+}
+
+func TestVerticalMixingOffByDefault(t *testing.T) {
+	g := grid.MontereyBay(8, 8, 4)
+	cfg := DefaultConfig(g)
+	if cfg.VerticalDiffusivity != 0 {
+		t.Fatal("vertical mixing should default off")
+	}
+	a := New(cfg, rng.New(4))
+	b := mixingModel(0, 4)
+	_ = b
+	before := a.State(nil)
+	if err := a.applyVerticalMixing(); err != nil {
+		t.Fatal(err)
+	}
+	after := a.State(nil)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Kv=0 changed the state")
+		}
+	}
+}
+
+func TestVerticalMixingParallelConsistent(t *testing.T) {
+	mk := func() *Model { return mixingModel(1e-2, 5) }
+	serial, parallel := mk(), mk()
+	for i := 0; i < 20; i++ {
+		serial.Step()
+		parallel.StepParallel(3)
+	}
+	ss, sp := serial.State(nil), parallel.State(nil)
+	for i := range ss {
+		if ss[i] != sp[i] {
+			t.Fatal("vertical mixing broke serial/parallel equivalence")
+		}
+	}
+}
+
+func TestVerticalMixingSingleLevelNoop(t *testing.T) {
+	g := grid.MontereyBay(6, 6, 1)
+	cfg := DefaultConfig(g)
+	cfg.VerticalDiffusivity = 1
+	m := New(cfg, rng.New(6))
+	before := m.State(nil)
+	if err := m.applyVerticalMixing(); err != nil {
+		t.Fatal(err)
+	}
+	after := m.State(nil)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("single-level mixing changed the state")
+		}
+	}
+}

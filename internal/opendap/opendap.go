@@ -1,0 +1,287 @@
+// Package opendap implements the remote-data-access path of the paper's
+// Section 5.3.2: "As a minimum requirement the shared input files can be
+// read remotely from OpenDAP servers at the home institution (using the
+// NetCDF-OpenDAP library) allowing the immediate opportunistic use of a
+// remote resource that is discovered to be idling."
+//
+// Server publishes ncdf datasets over HTTP with a DAP-like surface:
+//
+//	GET /datasets                                  — list dataset names
+//	GET /dds/{name}                                — structure descriptor
+//	GET /dods/{name}?var=T&start=0,0,0&count=1,4,4 — binary hyperslab
+//
+// Client fetches structure and hyperslabs; the binary payload carries a
+// length header and a CRC so a truncated response is detected rather
+// than silently assimilated. The server counts requests and bytes so
+// experiments can quantify the "hundreds of requests to a central
+// OpenDAP server" concern the paper raises.
+package opendap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"esse/internal/ncdf"
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Server publishes a set of named datasets.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*ncdf.File
+
+	// stats
+	requests int64
+	bytes    int64
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{datasets: make(map[string]*ncdf.File)}
+}
+
+// Publish registers (or replaces) a dataset under the given name.
+func (s *Server) Publish(name string, f *ncdf.File) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.datasets[name] = f
+}
+
+// Stats returns the request count and payload bytes served so far.
+func (s *Server) Stats() (requests, bytes int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.requests, s.bytes
+}
+
+// Handler returns the HTTP handler implementing the protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/datasets", s.handleList)
+	mux.HandleFunc("/dds/", s.handleDDS)
+	mux.HandleFunc("/dods/", s.handleDODS)
+	return mux
+}
+
+func (s *Server) count(n int64) {
+	s.mu.Lock()
+	s.requests++
+	s.bytes += n
+	s.mu.Unlock()
+}
+
+func (s *Server) get(name string) (*ncdf.File, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.datasets[name]
+	return f, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	body := strings.Join(names, "\n") + "\n"
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, body)
+	s.count(int64(len(body)))
+}
+
+func (s *Server) handleDDS(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/dds/")
+	f, ok := s.get(name)
+	if !ok {
+		http.Error(w, "unknown dataset "+name, http.StatusNotFound)
+		return
+	}
+	body := f.DDS(name)
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, body)
+	s.count(int64(len(body)))
+}
+
+func (s *Server) handleDODS(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/dods/")
+	f, ok := s.get(name)
+	if !ok {
+		http.Error(w, "unknown dataset "+name, http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	varName := q.Get("var")
+	v, ok := f.Var(varName)
+	if !ok {
+		http.Error(w, "unknown variable "+varName, http.StatusNotFound)
+		return
+	}
+	shape := f.Shape(v)
+	start, err := parseIntList(q.Get("start"), len(shape), 0)
+	if err != nil {
+		http.Error(w, "bad start: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	count, err := parseIntList(q.Get("count"), len(shape), -1)
+	if err != nil {
+		http.Error(w, "bad count: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	for i := range count {
+		if count[i] < 0 { // default: to the end of the axis
+			count[i] = shape[i] - start[i]
+		}
+	}
+	data, err := f.HyperSlab(v, start, count)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Payload: int64 length, float64 data, crc64.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	h := crc64.New(crcTable)
+	mw := io.MultiWriter(w, h)
+	binary.Write(mw, binary.LittleEndian, int64(len(data)))
+	binary.Write(mw, binary.LittleEndian, data)
+	binary.Write(w, binary.LittleEndian, h.Sum64())
+	s.count(int64(8 + 8*len(data) + 8))
+}
+
+func parseIntList(s string, rank, def int) ([]int, error) {
+	out := make([]int, rank)
+	for i := range out {
+		out[i] = def
+	}
+	if s == "" {
+		if def < 0 {
+			return out, nil
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != rank {
+		return nil, fmt.Errorf("got %d components, variable rank is %d", len(parts), rank)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// --- client -----------------------------------------------------------------
+
+// Client talks to a Server over HTTP.
+type Client struct {
+	Base string // e.g. "http://host:port"
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+}
+
+// Datasets lists the server's dataset names.
+func (c *Client) Datasets() ([]string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/datasets")
+	if err != nil {
+		return nil, fmt.Errorf("opendap: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("opendap: listing failed: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("opendap: %w", err)
+	}
+	var names []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			names = append(names, line)
+		}
+	}
+	return names, nil
+}
+
+// DDS fetches the structure descriptor of a dataset.
+func (c *Client) DDS(dataset string) (string, error) {
+	resp, err := c.HTTP.Get(c.Base + "/dds/" + dataset)
+	if err != nil {
+		return "", fmt.Errorf("opendap: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("opendap: DDS failed: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("opendap: %w", err)
+	}
+	return string(body), nil
+}
+
+// Fetch retrieves a hyperslab of a variable. Pass nil start/count for
+// the full array.
+func (c *Client) Fetch(dataset, variable string, start, count []int) ([]float64, error) {
+	url := fmt.Sprintf("%s/dods/%s?var=%s", c.Base, dataset, variable)
+	if len(start) > 0 {
+		url += "&start=" + joinInts(start)
+	}
+	if len(count) > 0 {
+		url += "&count=" + joinInts(count)
+	}
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("opendap: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("opendap: fetch failed: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var n int64
+	h := crc64.New(crcTable)
+	tr := io.TeeReader(resp.Body, h)
+	if err := binary.Read(tr, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("opendap: %w", err)
+	}
+	if n < 0 || n > 1<<32 {
+		return nil, fmt.Errorf("opendap: implausible payload length %d", n)
+	}
+	data := make([]float64, n)
+	if err := binary.Read(tr, binary.LittleEndian, data); err != nil {
+		return nil, fmt.Errorf("opendap: truncated payload: %w", err)
+	}
+	want := h.Sum64()
+	var sum uint64
+	if err := binary.Read(resp.Body, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("opendap: missing checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("opendap: checksum mismatch")
+	}
+	return data, nil
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, v := range xs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}

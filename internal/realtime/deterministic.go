@@ -1,0 +1,46 @@
+package realtime
+
+import (
+	"context"
+	"time"
+
+	"esse/internal/core"
+	"esse/internal/ocean"
+	"esse/internal/rng"
+	"esse/internal/workflow"
+)
+
+// deterministicForecast evolves the current error subspace through the
+// quiet (noise-free) model by finite-difference tangent linearization —
+// the DO-style alternative to the stochastic ensemble. It returns a
+// workflow.Result-shaped summary so the rest of the cycle (assimilation,
+// diagnostics) is agnostic to how the uncertainty was forecast.
+func (s *System) deterministicForecast(ctx context.Context, centralZ []float64) (*workflow.Result, error) {
+	start := time.Now()
+	quiet := s.oceanCfg
+	quiet.NoiseWind, quiet.NoiseTracer = 0, 0
+	steps := s.Cfg.StepsPerCycle
+	prop := func(ctx context.Context, initialZ []float64) ([]float64, error) {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		m := ocean.New(quiet, rng.New(1))
+		m.SetState(s.scaler.FromScaled(nil, initialZ))
+		m.Run(steps)
+		return s.scaler.ToScaled(nil, m.State(nil)), nil
+	}
+	analysisZ := s.scaler.ToScaled(nil, s.analysis)
+	mean, sub, err := core.PropagateSubspace(ctx, prop, analysisZ, s.subspace, 1.0, s.Cfg.Ensemble.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &workflow.Result{
+		Subspace:    sub,
+		Mean:        mean,
+		Central:     centralZ,
+		Converged:   true, // the propagation is exact for its own model
+		Rho:         1,
+		MembersUsed: s.subspace.Rank() + 1, // p mode runs + the central
+		Elapsed:     time.Since(start),
+	}, nil
+}

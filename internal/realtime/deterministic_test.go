@@ -1,0 +1,72 @@
+package realtime
+
+import (
+	"context"
+	"testing"
+)
+
+func TestDeterministicForecastCycles(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Deterministic = true
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for _, r := range results {
+		if r.Ensemble.Subspace == nil {
+			t.Fatal("no propagated subspace")
+		}
+		if err := r.Ensemble.Subspace.Check(1e-6); err != nil {
+			t.Fatal(err)
+		}
+		// p+1 model runs, not an N-member ensemble.
+		if r.Ensemble.MembersUsed > cfg.Ensemble.InitialSize {
+			t.Fatalf("deterministic mode used %d runs", r.Ensemble.MembersUsed)
+		}
+		if r.RMSEAnalysisT < r.RMSEForecastT {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatal("deterministic-mode assimilation never improved the forecast")
+	}
+}
+
+func TestDeterministicRejectsSmoothing(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Deterministic = true
+	cfg.Smooth = true
+	if _, err := NewSystem(cfg); err == nil {
+		t.Fatal("Deterministic+Smooth accepted")
+	}
+}
+
+func TestDeterministicComparableToEnsemble(t *testing.T) {
+	// Both methods must deliver usable analyses; the deterministic one
+	// with far fewer model integrations.
+	run := func(det bool) float64 {
+		cfg := tinyConfig()
+		cfg.Deterministic = det
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sys.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results[len(results)-1].RMSEAnalysisT
+	}
+	ensErr := run(false)
+	detErr := run(true)
+	// The deterministic method neglects model noise; allow it to be
+	// worse, but not catastrophically so.
+	if detErr > 5*ensErr+0.05 {
+		t.Fatalf("deterministic analysis error %v far above ensemble %v", detErr, ensErr)
+	}
+}

@@ -1,0 +1,63 @@
+package realtime
+
+import (
+	"fmt"
+	"sync"
+
+	"esse/internal/core"
+	"esse/internal/linalg"
+)
+
+// pertCache records, per member index, the initial (analysis-time)
+// perturbation each member started from — the t₀ anomaly the ESSE
+// smoother pairs with the member's forecast anomaly.
+type pertCache struct {
+	mu    sync.Mutex
+	perts map[int][]float64
+}
+
+func newPertCache() *pertCache {
+	return &pertCache{perts: make(map[int][]float64)}
+}
+
+func (c *pertCache) put(index int, pertZ []float64) {
+	cp := make([]float64, len(pertZ))
+	copy(cp, pertZ)
+	c.mu.Lock()
+	c.perts[index] = cp
+	c.mu.Unlock()
+}
+
+func (c *pertCache) get(index int) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.perts[index]
+	return p, ok
+}
+
+// SmoothStart reanalyzes the cycle's starting state (the previous
+// analysis) with this cycle's observations — ESSE smoothing (paper
+// ref. [16]): the member-aligned initial perturbations A₀ and forecast
+// anomalies A₁ carry the cross-covariance that maps the later innovation
+// back in time.
+//
+// It is invoked automatically by RunCycle when Config.Smooth is set; the
+// result lands in CycleResult.SmoothedStart (physical units).
+func (s *System) smoothStart(startAnalysis []float64, cache *pertCache,
+	anoms1 *linalg.Dense, indices []int, innovationZ []float64) ([]float64, error) {
+	dim := s.Layout.Dim()
+	a0 := linalg.NewDense(dim, len(indices))
+	for col, idx := range indices {
+		pert, ok := cache.get(idx)
+		if !ok {
+			return nil, fmt.Errorf("realtime: member %d missing from perturbation cache", idx)
+		}
+		a0.SetCol(col, pert)
+	}
+	startZ := s.scaler.ToScaled(nil, startAnalysis)
+	res, err := core.SmoothPrevious(startZ, a0, anoms1, s.scaled, innovationZ)
+	if err != nil {
+		return nil, err
+	}
+	return s.scaler.FromScaled(nil, res.Mean), nil
+}

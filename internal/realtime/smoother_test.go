@@ -1,0 +1,81 @@
+package realtime
+
+import (
+	"context"
+	"testing"
+)
+
+func TestSmoothingReanalyzesCycleStart(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Smooth = true
+	cfg.Cycles = 3
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved := 0
+	for _, r := range results {
+		if r.SmoothedStart == nil {
+			t.Fatalf("cycle %d missing smoothed state", r.Cycle)
+		}
+		if len(r.SmoothedStart) != sys.Layout.Dim() {
+			t.Fatal("smoothed state has wrong dimension")
+		}
+		if r.RMSEStartT <= 0 {
+			t.Fatal("missing start RMSE diagnostic")
+		}
+		if r.RMSESmoothedStartT < r.RMSEStartT {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatalf("smoothing never improved the cycle-start estimate: %+v",
+			[]float64{results[0].RMSEStartT, results[0].RMSESmoothedStartT})
+	}
+}
+
+func TestSmoothingOffByDefault(t *testing.T) {
+	sys, err := NewSystem(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sys.RunCycle(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SmoothedStart != nil || r.RMSEStartT != 0 {
+		t.Fatal("smoothing artifacts present with Smooth=false")
+	}
+}
+
+func TestSmoothingDoesNotChangeFilter(t *testing.T) {
+	// The smoother is a diagnostic reanalysis: the forward filter
+	// trajectory must be identical with and without it.
+	run := func(smooth bool) []float64 {
+		cfg := tinyConfig()
+		cfg.Smooth = smooth
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sys.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, r := range results {
+			out = append(out, r.RMSEForecastT, r.RMSEAnalysisT)
+		}
+		return out
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("smoothing changed the forward filter: %v vs %v", a, b)
+		}
+	}
+}

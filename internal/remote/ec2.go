@@ -1,0 +1,133 @@
+package remote
+
+import (
+	"math"
+
+	"esse/internal/sched"
+)
+
+// InstanceType is one EC2 virtual machine flavour (Table 2).
+type InstanceType struct {
+	Name      string
+	Processor string
+	// Cores is the usable core count; the paper notes m1.small "appears
+	// as 1 core but is in fact limited to 50% CPU", hence 0.5.
+	Cores float64
+	// ComputeSpeed scales CPU-bound work relative to the local baseline.
+	ComputeSpeed float64
+	// PertOverhead multiplies pert time (virtualized I/O penalty).
+	PertOverhead float64
+	// HourlyUSD is the 2009 on-demand price.
+	HourlyUSD float64
+}
+
+// PertTime returns the worst-of-batch pert runtime with every core of
+// the instance running a copy concurrently (how Table 2 was measured).
+func (it InstanceType) PertTime(spec sched.JobSpec) float64 {
+	return spec.PertCPU / it.ComputeSpeed * it.PertOverhead
+}
+
+// ModelTime returns the worst-of-batch pemodel runtime.
+func (it InstanceType) ModelTime(spec sched.JobSpec) float64 {
+	return spec.ModelCPU / it.ComputeSpeed
+}
+
+// EC2Instances returns the Table 2 catalog, calibrated to reproduce the
+// measured worst-of-batch seconds:
+//
+//	type       processor         pert   pemodel  cores
+//	m1.small   Opt DC 2.6GHz     13.53  2850.14  0.5
+//	m1.large   Opt DC 2.0GHz      9.33  1817.13  2
+//	m1.xlarge  Opt DC 2.0GHz      9.14  1860.81  4
+//	c1.medium  Core2 2.33GHz      9.80  1008.11  2
+//	c1.xlarge  Core2 2.33GHz      6.67  1030.42  8
+func EC2Instances() []InstanceType {
+	spec := sched.ESSEJob()
+	mk := func(name, cpu string, pert, model, cores, hourly float64) InstanceType {
+		speed := spec.ModelCPU / model
+		overhead := pert * speed / spec.PertCPU
+		return InstanceType{
+			Name:         name,
+			Processor:    cpu,
+			Cores:        cores,
+			ComputeSpeed: speed,
+			PertOverhead: overhead,
+			HourlyUSD:    hourly,
+		}
+	}
+	return []InstanceType{
+		mk("m1.small", "Opt DC 2.6GHz", 13.53, 2850.14, 0.5, 0.10),
+		mk("m1.large", "Opt DC 2.0GHz", 9.33, 1817.13, 2, 0.40),
+		mk("m1.xlarge", "Opt DC 2.0GHz", 9.14, 1860.81, 4, 0.80),
+		mk("c1.medium", "Core2 2.33GHz", 9.80, 1008.11, 2, 0.20),
+		mk("c1.xlarge", "Core2 2.33GHz", 6.67, 1030.42, 8, 0.80),
+	}
+}
+
+// FindInstance returns the named instance type, or ok=false.
+func FindInstance(name string) (InstanceType, bool) {
+	for _, it := range EC2Instances() {
+		if it.Name == name {
+			return it, true
+		}
+	}
+	return InstanceType{}, false
+}
+
+// CostModel holds the 2009 EC2 pricing the paper's worked example uses.
+type CostModel struct {
+	// TransferInPerGB / TransferOutPerGB are data movement prices.
+	TransferInPerGB  float64
+	TransferOutPerGB float64
+	// ReservedFactor is how much cheaper reserved-instance CPU hours are
+	// ("more than a factor of 3").
+	ReservedFactor float64
+}
+
+// DefaultCostModel matches §5.4.2: $0.10/GB in, $0.17/GB out.
+func DefaultCostModel() CostModel {
+	return CostModel{TransferInPerGB: 0.10, TransferOutPerGB: 0.17, ReservedFactor: 3.2}
+}
+
+// CostBreakdown itemizes an EC2 ensemble bill.
+type CostBreakdown struct {
+	TransferInUSD  float64
+	TransferOutUSD float64
+	ComputeUSD     float64
+	TotalUSD       float64
+	BilledHours    float64
+}
+
+// Cost prices an ensemble run: inGB uploaded once, outGB downloaded,
+// and wallHours of compute on `instances` machines of the given type.
+// Amazon bills whole hours ("usage of 1 hour 1 sec counts as 2 hours"),
+// so wall hours are rounded up per instance.
+func (cm CostModel) Cost(inGB, outGB, wallHours float64, instances int, it InstanceType, reserved bool) CostBreakdown {
+	billed := math.Ceil(wallHours - 1e-12)
+	if billed < 1 && wallHours > 0 {
+		billed = 1
+	}
+	rate := it.HourlyUSD
+	if reserved {
+		rate /= cm.ReservedFactor
+	}
+	b := CostBreakdown{
+		TransferInUSD:  inGB * cm.TransferInPerGB,
+		TransferOutUSD: outGB * cm.TransferOutPerGB,
+		ComputeUSD:     billed * float64(instances) * rate,
+		BilledHours:    billed * float64(instances),
+	}
+	b.TotalUSD = b.TransferInUSD + b.TransferOutUSD + b.ComputeUSD
+	return b
+}
+
+// PaperCostExample reproduces the §5.4.2 worked example: "an ESSE
+// calculation with 1.5GB input data, 960 ensemble members each sending
+// back 11MB (for a total of 10.56GB) would cost
+// 1.5×0.1 + 10.56×0.17 + 2(hr)×20×0.8 = $33.95".
+func PaperCostExample() CostBreakdown {
+	cm := DefaultCostModel()
+	it, _ := FindInstance("c1.xlarge")
+	outGB := 960 * 11.0 / 1000 // the paper works in decimal GB: 10.56
+	return cm.Cost(1.5, outGB, 2, 20, it, false)
+}

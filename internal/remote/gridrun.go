@@ -1,0 +1,177 @@
+package remote
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"esse/internal/rng"
+	"esse/internal/sched"
+)
+
+// This file simulates augmenting the home cluster with remote Grid sites
+// (§5.3): "One needs to take care to assign a clearly separated block of
+// ensemble members to these external Grid execution hosts to avoid
+// overlaps", with per-site queue waits (no advance reservation) and the
+// §5.3.3 observation that "the more disparate the hosts ... the more
+// uneven the progress of the various remote clusters will be and
+// perturbation 900 may very well finish well before number 700".
+
+// SiteAllocation gives one site a core count, a queue-wait range and
+// implicitly (via SimulateGridRun) a contiguous member block.
+type SiteAllocation struct {
+	Site  Site
+	Cores int
+	// QueueWaitMin/Max bound the uniform batch-queue delay (seconds)
+	// before the site's block starts (zero for the dedicated home
+	// cluster, hours for busy shared centers).
+	QueueWaitMin, QueueWaitMax float64
+}
+
+// MemberCompletion records when one ensemble member finished and where.
+type MemberCompletion struct {
+	Index    int
+	Site     string
+	Finished float64 // seconds
+}
+
+// GridRunResult summarizes a multi-site ensemble execution.
+type GridRunResult struct {
+	Completions []MemberCompletion // indexed by member
+	Makespan    float64
+	// SiteMakespan is the last completion per site.
+	SiteMakespan map[string]float64
+	// Blocks records the [start, end) member block per site, in
+	// allocation order.
+	Blocks [][2]int
+}
+
+// SimulateGridRun distributes `members` jobs across the allocations in
+// proportion to their effective throughput, as contiguous index blocks,
+// and computes per-member completion times (waves on each site's cores
+// after its queue wait). The model is deliberately analytic — the
+// fine-grained DES lives in internal/sched; this answers the §5.3
+// planning questions: who finishes when, how out-of-order, what a
+// deadline harvests.
+func SimulateGridRun(spec sched.JobSpec, members int, allocs []SiteAllocation, seed uint64) (*GridRunResult, error) {
+	if members <= 0 {
+		return nil, fmt.Errorf("remote: non-positive member count %d", members)
+	}
+	if len(allocs) == 0 {
+		return nil, fmt.Errorf("remote: no site allocations")
+	}
+	random := rng.New(seed)
+
+	// Split members proportionally to cores/jobTime throughput.
+	thr := make([]float64, len(allocs))
+	total := 0.0
+	for i, a := range allocs {
+		if a.Cores <= 0 {
+			return nil, fmt.Errorf("remote: allocation %d has no cores", i)
+		}
+		jobTime := a.Site.PertTime(spec) + a.Site.ModelTime(spec)
+		thr[i] = float64(a.Cores) / jobTime
+		total += thr[i]
+	}
+	counts := make([]int, len(allocs))
+	assigned := 0
+	for i := range allocs {
+		counts[i] = int(math.Floor(float64(members) * thr[i] / total))
+		assigned += counts[i]
+	}
+	// Distribute the remainder to the highest-throughput sites.
+	order := make([]int, len(allocs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return thr[order[a]] > thr[order[b]] })
+	for r := 0; assigned < members; r++ {
+		counts[order[r%len(order)]]++
+		assigned++
+	}
+
+	res := &GridRunResult{
+		Completions:  make([]MemberCompletion, members),
+		SiteMakespan: make(map[string]float64),
+	}
+	start := 0
+	for i, a := range allocs {
+		block := counts[i]
+		res.Blocks = append(res.Blocks, [2]int{start, start + block})
+		wait := a.QueueWaitMin + (a.QueueWaitMax-a.QueueWaitMin)*random.Float64()
+		jobTime := a.Site.PertTime(spec) + a.Site.ModelTime(spec)
+		for m := 0; m < block; m++ {
+			wave := m/a.Cores + 1
+			fin := wait + float64(wave)*jobTime
+			idx := start + m
+			res.Completions[idx] = MemberCompletion{Index: idx, Site: a.Site.Name, Finished: fin}
+			if fin > res.Makespan {
+				res.Makespan = fin
+			}
+			if fin > res.SiteMakespan[a.Site.Name] {
+				res.SiteMakespan[a.Site.Name] = fin
+			}
+		}
+		start += block
+	}
+	return res, nil
+}
+
+// CompletedBy returns how many members finished by the deadline — the
+// paper's point (3): late members "can be safely ignored provided they
+// do not collectively represent a systematic hole in the statistical
+// coverage".
+func (r *GridRunResult) CompletedBy(deadline float64) int {
+	n := 0
+	for _, c := range r.Completions {
+		if c.Finished <= deadline {
+			n++
+		}
+	}
+	return n
+}
+
+// OrderInversionFraction measures how out-of-order completions are: the
+// fraction of member pairs (i < j) where j finished strictly before i.
+// 0 means perfectly in order; disparate sites push it up.
+func (r *GridRunResult) OrderInversionFraction() float64 {
+	n := len(r.Completions)
+	if n < 2 {
+		return 0
+	}
+	inversions, pairs := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs++
+			if r.Completions[j].Finished < r.Completions[i].Finished {
+				inversions++
+			}
+		}
+	}
+	return float64(inversions) / float64(pairs)
+}
+
+// CoverageHole reports whether the members missing at the deadline form
+// a systematic block rather than a scattered set: it returns the largest
+// fraction of any single site's block that is late. A value near 1 for a
+// site means that site's whole block is missing — exactly the
+// "systematic hole in the statistical coverage" the paper warns about.
+func (r *GridRunResult) CoverageHole(deadline float64) float64 {
+	worst := 0.0
+	for _, blk := range r.Blocks {
+		total := blk[1] - blk[0]
+		if total == 0 {
+			continue
+		}
+		late := 0
+		for i := blk[0]; i < blk[1]; i++ {
+			if r.Completions[i].Finished > deadline {
+				late++
+			}
+		}
+		if f := float64(late) / float64(total); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}

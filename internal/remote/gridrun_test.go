@@ -1,0 +1,162 @@
+package remote
+
+import (
+	"testing"
+
+	"esse/internal/sched"
+)
+
+func gridAllocs() []SiteAllocation {
+	sites := TeragridSites()
+	var home, ornl, purdue Site
+	for _, s := range sites {
+		switch s.Name {
+		case "local":
+			home = s
+		case "ORNL":
+			ornl = s
+		case "Purdue":
+			purdue = s
+		}
+	}
+	return []SiteAllocation{
+		{Site: home, Cores: 210},
+		{Site: purdue, Cores: 100, QueueWaitMin: 600, QueueWaitMax: 1800},
+		{Site: ornl, Cores: 100, QueueWaitMin: 1800, QueueWaitMax: 7200},
+	}
+}
+
+func TestGridRunAssignsAllMembersOnce(t *testing.T) {
+	res, err := SimulateGridRun(sched.ESSEJob(), 900, gridAllocs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Completions) != 900 {
+		t.Fatalf("%d completions", len(res.Completions))
+	}
+	covered := 0
+	for bi, blk := range res.Blocks {
+		if blk[1] < blk[0] {
+			t.Fatalf("block %d inverted: %v", bi, blk)
+		}
+		covered += blk[1] - blk[0]
+		if bi > 0 && blk[0] != res.Blocks[bi-1][1] {
+			t.Fatal("blocks not contiguous")
+		}
+	}
+	if covered != 900 {
+		t.Fatalf("blocks cover %d members", covered)
+	}
+	for i, c := range res.Completions {
+		if c.Index != i || c.Finished <= 0 || c.Site == "" {
+			t.Fatalf("completion %d malformed: %+v", i, c)
+		}
+	}
+}
+
+func TestGridRunOutOfOrderCompletions(t *testing.T) {
+	// The §5.3.3 effect: with disparate sites and queue waits,
+	// completions are far from submission order.
+	res, err := SimulateGridRun(sched.ESSEJob(), 900, gridAllocs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res.OrderInversionFraction(); frac < 0.02 {
+		t.Fatalf("inversion fraction %v: disparate sites should complete out of order", frac)
+	}
+	// A single homogeneous site completes (weakly) in order.
+	single := []SiteAllocation{{Site: TeragridSites()[2], Cores: 50}}
+	res1, err := SimulateGridRun(sched.ESSEJob(), 200, single, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := res1.OrderInversionFraction(); frac > 0 {
+		t.Fatalf("single-site run inverted: %v", frac)
+	}
+}
+
+func TestGridRunDeadlineHarvest(t *testing.T) {
+	res, err := SimulateGridRun(sched.ESSEJob(), 900, gridAllocs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.CompletedBy(res.Makespan + 1)
+	if all != 900 {
+		t.Fatalf("CompletedBy(makespan) = %d", all)
+	}
+	none := res.CompletedBy(0)
+	if none != 0 {
+		t.Fatalf("CompletedBy(0) = %d", none)
+	}
+	half := res.CompletedBy(res.Makespan / 2)
+	if half <= 0 || half >= 900 {
+		t.Fatalf("mid-deadline harvest = %d, want partial", half)
+	}
+}
+
+func TestGridRunCoverageHole(t *testing.T) {
+	res, err := SimulateGridRun(sched.ESSEJob(), 600, gridAllocs(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before anything finishes, every block is a full hole.
+	if h := res.CoverageHole(0); h != 1 {
+		t.Fatalf("hole at t=0 is %v, want 1", h)
+	}
+	// After the makespan, no hole.
+	if h := res.CoverageHole(res.Makespan + 1); h != 0 {
+		t.Fatalf("hole after makespan is %v", h)
+	}
+	// A deadline that cuts off the slow ORNL block (long queue) leaves a
+	// systematic hole there while home is complete.
+	homeDone := res.SiteMakespan["local"]
+	if res.CoverageHole(homeDone) < 0.5 {
+		t.Fatalf("expected a systematic hole in a remote block at the home deadline, got %v",
+			res.CoverageHole(homeDone))
+	}
+}
+
+func TestGridRunThroughputProportionalBlocks(t *testing.T) {
+	res, err := SimulateGridRun(sched.ESSEJob(), 1000, gridAllocs(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The home block (210 fast cores, no queue) must be the largest.
+	if !(res.Blocks[0][1]-res.Blocks[0][0] > res.Blocks[1][1]-res.Blocks[1][0]) {
+		t.Fatalf("home block not largest: %v", res.Blocks)
+	}
+	// ORNL (slow pert + slow CPU) gets fewer members than Purdue.
+	purdue := res.Blocks[1][1] - res.Blocks[1][0]
+	ornl := res.Blocks[2][1] - res.Blocks[2][0]
+	if ornl >= purdue {
+		t.Fatalf("ORNL block %d >= Purdue block %d", ornl, purdue)
+	}
+}
+
+func TestGridRunValidation(t *testing.T) {
+	if _, err := SimulateGridRun(sched.ESSEJob(), 0, gridAllocs(), 1); err == nil {
+		t.Fatal("zero members accepted")
+	}
+	if _, err := SimulateGridRun(sched.ESSEJob(), 10, nil, 1); err == nil {
+		t.Fatal("no allocations accepted")
+	}
+	bad := gridAllocs()
+	bad[0].Cores = 0
+	if _, err := SimulateGridRun(sched.ESSEJob(), 10, bad, 1); err == nil {
+		t.Fatal("zero-core allocation accepted")
+	}
+}
+
+func TestGridRunDeterministic(t *testing.T) {
+	a, err := SimulateGridRun(sched.ESSEJob(), 300, gridAllocs(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateGridRun(sched.ESSEJob(), 300, gridAllocs(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("same-seed grid runs differ")
+	}
+}

@@ -1,0 +1,56 @@
+package remote
+
+import (
+	"fmt"
+
+	"esse/internal/cluster"
+)
+
+// VirtualCluster assembles a MyCluster-style personal cluster (§5.3.1,
+// §5.4.1: "a collection of remote and local resources appear as one
+// large Condor or SGE controlled cluster" / "Creation of a personal ...
+// private cluster using MyCluster mixing local and EC2 resources"): the
+// home cores plus EC2 instances and/or Grid-site allocations, expressed
+// as one cluster.Cluster the scheduler simulation can run directly.
+//
+// Remote nodes carry their calibrated compute speeds; WAN I/O effects
+// are modelled separately (SimulateTransfer / the EC2 cost model), as in
+// the paper's own treatment.
+func VirtualCluster(homeCores int, instances map[string]int, sites []SiteAllocation) (*cluster.Cluster, error) {
+	c := cluster.MITAvailable(homeCores)
+	for name, count := range instances {
+		if count <= 0 {
+			continue
+		}
+		it, ok := FindInstance(name)
+		if !ok {
+			return nil, fmt.Errorf("remote: unknown EC2 instance type %q", name)
+		}
+		cores := int(it.Cores + 0.5)
+		if cores < 1 {
+			cores = 1 // m1.small: one half-speed core rather than zero
+		}
+		speed := it.ComputeSpeed
+		if it.Cores < 1 {
+			speed *= it.Cores // fold the CPU cap into the core speed
+		}
+		for i := 0; i < count; i++ {
+			c.Nodes = append(c.Nodes, cluster.Node{
+				Name:  fmt.Sprintf("ec2-%s-%d", it.Name, i),
+				Cores: cores,
+				Speed: speed,
+			})
+		}
+	}
+	for i, a := range sites {
+		if a.Cores <= 0 {
+			return nil, fmt.Errorf("remote: site allocation %d has no cores", i)
+		}
+		c.Nodes = append(c.Nodes, cluster.Node{
+			Name:  fmt.Sprintf("grid-%s", a.Site.Name),
+			Cores: a.Cores,
+			Speed: a.Site.ComputeSpeed,
+		})
+	}
+	return c, nil
+}

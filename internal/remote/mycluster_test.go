@@ -1,0 +1,85 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+
+	"esse/internal/sched"
+)
+
+func TestVirtualClusterComposition(t *testing.T) {
+	sites := TeragridSites()
+	var purdue Site
+	for _, s := range sites {
+		if s.Name == "Purdue" {
+			purdue = s
+		}
+	}
+	c, err := VirtualCluster(50, map[string]int{"c1.xlarge": 3}, []SiteAllocation{
+		{Site: purdue, Cores: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50 + 3*8 + 40
+	if c.TotalCores() != want {
+		t.Fatalf("virtual cluster has %d cores, want %d", c.TotalCores(), want)
+	}
+	names := map[string]bool{}
+	for _, n := range c.Nodes {
+		names[n.Name] = true
+	}
+	if !names["ec2-c1.xlarge-0"] || !names["grid-Purdue"] {
+		t.Fatalf("expected node names missing: %v", c.Nodes[len(c.Nodes)-1].Name)
+	}
+}
+
+func TestVirtualClusterM1SmallHalfSpeed(t *testing.T) {
+	c, err := VirtualCluster(0, map[string]int{"m1.small": 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCores() != 2 {
+		t.Fatalf("m1.small nodes contributed %d cores", c.TotalCores())
+	}
+	it, _ := FindInstance("m1.small")
+	for _, n := range c.Nodes {
+		if !strings.HasPrefix(n.Name, "ec2-m1.small") {
+			continue
+		}
+		// The 50% CPU cap folds into the core speed.
+		if n.Speed >= it.ComputeSpeed {
+			t.Fatalf("m1.small speed %v not capped below %v", n.Speed, it.ComputeSpeed)
+		}
+	}
+}
+
+func TestVirtualClusterErrors(t *testing.T) {
+	if _, err := VirtualCluster(10, map[string]int{"p5.gpu": 1}, nil); err == nil {
+		t.Fatal("unknown instance type accepted")
+	}
+	if _, err := VirtualCluster(10, nil, []SiteAllocation{{Site: TeragridSites()[0], Cores: 0}}); err == nil {
+		t.Fatal("zero-core site accepted")
+	}
+}
+
+func TestVirtualClusterSpeedsUpEnsemble(t *testing.T) {
+	cfg := sched.DefaultConfig()
+	home, err := VirtualCluster(100, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := VirtualCluster(100, map[string]int{"c1.xlarge": 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rHome := sched.Simulate(home, 400, sched.ESSEJob(), cfg)
+	rHybrid := sched.Simulate(hybrid, 400, sched.ESSEJob(), cfg)
+	if rHybrid.Makespan >= rHome.Makespan {
+		t.Fatalf("hybrid cluster (%v min) not faster than home alone (%v min)",
+			rHybrid.Makespan/60, rHome.Makespan/60)
+	}
+	if rHybrid.JobsCompleted != 400 {
+		t.Fatalf("hybrid completed %d of 400", rHybrid.JobsCompleted)
+	}
+}

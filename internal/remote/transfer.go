@@ -1,0 +1,132 @@
+package remote
+
+import "math"
+
+// TransferStrategy selects how member output files return to the home
+// cluster from a remote site (§5.3.2).
+type TransferStrategy int
+
+const (
+	// Push has every execution host copy its own output home the moment
+	// its job ends: simplest bookkeeping, but the batch nature of the
+	// runs produces a huge burst of concurrent transfers that overloads
+	// the home gateway, followed by silence.
+	Push TransferStrategy = iota
+	// Pull has an agent on the home cluster fetch files from a central
+	// per-site repository at a controlled pace: more machinery, steady
+	// utilization, no overload.
+	Pull
+	// TwoStage has hosts drop output on a site-shared filesystem while
+	// an independent agent streams files home continuously, overlapping
+	// transfers with the remaining computation.
+	TwoStage
+)
+
+// String names the strategy.
+func (s TransferStrategy) String() string {
+	switch s {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case TwoStage:
+		return "two-stage"
+	default:
+		return "unknown"
+	}
+}
+
+// TransferConfig describes the WAN path and workload shape.
+type TransferConfig struct {
+	// Files and FileMB describe the member outputs.
+	Files  int
+	FileMB float64
+	// WANMBps is the end-to-end bottleneck bandwidth home.
+	WANMBps float64
+	// ComputeWindow is the wall-clock seconds over which jobs finish
+	// (two-stage and pull overlap transfers with this window).
+	ComputeWindow float64
+	// GatewayOverloadConcurrency is the concurrent-connection count
+	// beyond which the home gateway degrades.
+	GatewayOverloadConcurrency int
+	// GatewayOverloadEfficiency is the aggregate-bandwidth fraction
+	// retained during overload.
+	GatewayOverloadEfficiency float64
+	// PullPacingOverhead is the per-file bookkeeping cost of the pull
+	// agent (notifications, deletions).
+	PullPacingOverhead float64
+}
+
+// DefaultTransferConfig reflects the paper's 960-member EC2 example
+// returning 11 MB per member over a ~10 MB/s effective WAN.
+func DefaultTransferConfig() TransferConfig {
+	return TransferConfig{
+		Files:                      960,
+		FileMB:                     11,
+		WANMBps:                    10,
+		ComputeWindow:              2 * 3600,
+		GatewayOverloadConcurrency: 64,
+		GatewayOverloadEfficiency:  0.6,
+		PullPacingOverhead:         0.2,
+	}
+}
+
+// TransferResult reports the outcome of one strategy.
+type TransferResult struct {
+	Strategy TransferStrategy
+	// CompletionAfterBatch is the seconds after the last job ends until
+	// all output has landed home.
+	CompletionAfterBatch float64
+	// PeakConcurrency is the largest number of simultaneous transfers.
+	PeakConcurrency int
+	// GatewayOverloaded reports whether the gateway degradation kicked in.
+	GatewayOverloaded bool
+}
+
+// SimulateTransfer evaluates one output-return strategy analytically
+// (fluid model): total volume over effective bandwidth, with the
+// strategy determining concurrency, overload and overlap with compute.
+func SimulateTransfer(strategy TransferStrategy, cfg TransferConfig) TransferResult {
+	total := float64(cfg.Files) * cfg.FileMB
+	switch strategy {
+	case Push:
+		// All transfers start when the batch drains: peak concurrency is
+		// the (bursty) file count; the gateway degrades.
+		overloaded := cfg.Files > cfg.GatewayOverloadConcurrency
+		bw := cfg.WANMBps
+		if overloaded {
+			bw *= cfg.GatewayOverloadEfficiency
+		}
+		return TransferResult{
+			Strategy:             Push,
+			CompletionAfterBatch: total / bw,
+			PeakConcurrency:      cfg.Files,
+			GatewayOverloaded:    overloaded,
+		}
+	case Pull:
+		// Paced by the agent: a handful of streams, full bandwidth, but
+		// transfers only start as the agent notices files; the pacing
+		// keeps them inside the compute window where possible.
+		overhead := cfg.PullPacingOverhead * float64(cfg.Files)
+		work := total/cfg.WANMBps + overhead
+		remaining := math.Max(0, work-cfg.ComputeWindow*0.5)
+		return TransferResult{
+			Strategy:             Pull,
+			CompletionAfterBatch: remaining,
+			PeakConcurrency:      4,
+			GatewayOverloaded:    false,
+		}
+	case TwoStage:
+		// Agent streams continuously during the whole compute window.
+		work := total / cfg.WANMBps
+		remaining := math.Max(0, work-cfg.ComputeWindow)
+		return TransferResult{
+			Strategy:             TwoStage,
+			CompletionAfterBatch: remaining,
+			PeakConcurrency:      2,
+			GatewayOverloaded:    false,
+		}
+	default:
+		panic("remote: unknown transfer strategy")
+	}
+}

@@ -1,0 +1,239 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"esse/internal/cluster"
+)
+
+func mit210() *cluster.Cluster { return cluster.MITAvailable(210) }
+
+func TestPSResourceSingleTransfer(t *testing.T) {
+	ps := newPS(100) // 100 MB/s
+	ps.add(500, 0, -1)
+	id, tt, ok := ps.nextCompletion()
+	if !ok || tt != 5 {
+		t.Fatalf("single transfer completion at %v (ok=%v), want 5", tt, ok)
+	}
+	ps.advance(tt)
+	if r := ps.transfers[id].remaining; math.Abs(r) > 1e-9 {
+		t.Fatalf("remaining = %v after completion", r)
+	}
+}
+
+func TestPSResourceSharing(t *testing.T) {
+	ps := newPS(100)
+	ps.add(500, 0, -1)
+	ps.add(500, 1, -1)
+	// Two equal transfers share bandwidth: each runs at 50 MB/s → 10 s.
+	_, tt, ok := ps.nextCompletion()
+	if !ok || math.Abs(tt-10) > 1e-9 {
+		t.Fatalf("shared completion at %v, want 10", tt)
+	}
+}
+
+func TestPSResourceAccounting(t *testing.T) {
+	ps := newPS(100)
+	ps.add(300, 0, -1)
+	ps.advance(2)
+	if math.Abs(ps.moved-200) > 1e-9 {
+		t.Fatalf("moved = %v, want 200", ps.moved)
+	}
+}
+
+func TestSimulateConservation(t *testing.T) {
+	res := Simulate(mit210(), 100, ESSEJob(), DefaultConfig())
+	if res.JobsCompleted != 100 || res.JobsFailed != 0 {
+		t.Fatalf("completed=%d failed=%d", res.JobsCompleted, res.JobsFailed)
+	}
+	if res.Makespan <= 0 || math.IsInf(res.Makespan, 0) || math.IsNaN(res.Makespan) {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Policy = Condor
+	cfg.Seed = 42
+	a := Simulate(mit210(), 150, ESSEJob(), cfg)
+	b := Simulate(mit210(), 150, ESSEJob(), cfg)
+	if a.Makespan != b.Makespan || a.NFSMBMoved != b.NFSMBMoved {
+		t.Fatalf("same-seed simulations differ: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestLocalIOBeatsMixedNFS(t *testing.T) {
+	// The §5.2.1 experiment: 600 members, ~210 cores.
+	local := DefaultConfig()
+	mixed := DefaultConfig()
+	mixed.IOMode = MixedNFS
+	rLocal := Simulate(mit210(), 600, ESSEJob(), local)
+	rMixed := Simulate(mit210(), 600, ESSEJob(), mixed)
+	if rLocal.Makespan >= rMixed.Makespan {
+		t.Fatalf("local (%v) not faster than mixed (%v)", rLocal.Makespan, rMixed.Makespan)
+	}
+	ratio := rMixed.Makespan / rLocal.Makespan
+	if ratio < 1.03 || ratio > 1.30 {
+		t.Fatalf("mixed/local makespan ratio = %v, want ~1.1 (paper: 86/77)", ratio)
+	}
+	// Makespans in the right ballpark: tens of minutes.
+	if rLocal.Makespan < 60*60 || rLocal.Makespan > 110*60 {
+		t.Fatalf("local makespan = %v min, want ~77 min", rLocal.Makespan/60)
+	}
+}
+
+func TestPertUtilizationJump(t *testing.T) {
+	// "CPU utilization jumped from ≈20% to ≈100%".
+	local := DefaultConfig()
+	mixed := DefaultConfig()
+	mixed.IOMode = MixedNFS
+	rLocal := Simulate(mit210(), 600, ESSEJob(), local)
+	rMixed := Simulate(mit210(), 600, ESSEJob(), mixed)
+	if rLocal.PertCPUUtilization < 0.95 {
+		t.Fatalf("local pert utilization = %v, want ≈1", rLocal.PertCPUUtilization)
+	}
+	if rMixed.PertCPUUtilization > 0.40 || rMixed.PertCPUUtilization < 0.05 {
+		t.Fatalf("mixed pert utilization = %v, want ≈0.2", rMixed.PertCPUUtilization)
+	}
+}
+
+func TestCondorSlowerThanSGE(t *testing.T) {
+	// "Timings under Condor were between 10−20% slower."
+	sge := DefaultConfig()
+	condor := DefaultConfig()
+	condor.Policy = Condor
+	rSGE := Simulate(mit210(), 600, ESSEJob(), sge)
+	rCondor := Simulate(mit210(), 600, ESSEJob(), condor)
+	ratio := rCondor.Makespan / rSGE.Makespan
+	if ratio < 1.05 || ratio > 1.25 {
+		t.Fatalf("Condor/SGE ratio = %v, want 1.10–1.20", ratio)
+	}
+	if rCondor.MeanDispatchDelay <= rSGE.MeanDispatchDelay {
+		t.Fatal("Condor should impose larger dispatch delays")
+	}
+}
+
+func TestJobArrayNotSlowerThanSingletons(t *testing.T) {
+	arr := DefaultConfig()
+	single := DefaultConfig()
+	single.JobArray = false
+	rArr := Simulate(mit210(), 600, ESSEJob(), arr)
+	rSingle := Simulate(mit210(), 600, ESSEJob(), single)
+	if rSingle.Makespan < rArr.Makespan-1e-9 {
+		t.Fatalf("singleton submission (%v) beat job array (%v)",
+			rSingle.Makespan, rArr.Makespan)
+	}
+}
+
+func TestFailureInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailureProb = 0.2
+	cfg.Seed = 7
+	res := Simulate(mit210(), 300, ESSEJob(), cfg)
+	if res.JobsFailed == 0 {
+		t.Fatal("no failures with 20% failure probability")
+	}
+	if res.JobsCompleted+res.JobsFailed != 300 {
+		t.Fatalf("accounting: %d + %d != 300", res.JobsCompleted, res.JobsFailed)
+	}
+	noFail := DefaultConfig()
+	noFail.Seed = 7
+	base := Simulate(mit210(), 300, ESSEJob(), noFail)
+	if res.Makespan > base.Makespan*1.05 {
+		t.Fatalf("failures should not inflate makespan (failed jobs die early): %v vs %v",
+			res.Makespan, base.Makespan)
+	}
+}
+
+func TestAcousticEnsembleThroughput(t *testing.T) {
+	// "more than 6000 ocean acoustics realizations - each ~3 minutes -
+	// the system handled all 6000+ jobs without any problem."
+	cfg := DefaultConfig()
+	cfg.IOMode = MixedNFS // acoustics read sections over NFS
+	cfg.PrestageMB = 0
+	res := Simulate(mit210(), 6000, AcousticJob(), cfg)
+	if res.JobsCompleted != 6000 {
+		t.Fatalf("completed %d of 6000", res.JobsCompleted)
+	}
+	// Ideal makespan ≈ 6000/210 × ~181 s ≈ 86 min; allow I/O slack.
+	if res.Makespan < 70*60 || res.Makespan > 140*60 {
+		t.Fatalf("acoustic makespan = %v min, implausible", res.Makespan/60)
+	}
+}
+
+func TestFasterCoresFinishSooner(t *testing.T) {
+	fast := &cluster.Cluster{
+		Nodes: []cluster.Node{{Name: "fast", Cores: 8, Speed: 2.0}},
+		NFS:   cluster.NFS{BandwidthMBps: 1250},
+	}
+	slow := &cluster.Cluster{
+		Nodes: []cluster.Node{{Name: "slow", Cores: 8, Speed: 1.0}},
+		NFS:   cluster.NFS{BandwidthMBps: 1250},
+	}
+	cfg := DefaultConfig()
+	cfg.PrestageMB = 0
+	rf := Simulate(fast, 16, ESSEJob(), cfg)
+	rs := Simulate(slow, 16, ESSEJob(), cfg)
+	if rf.Makespan >= rs.Makespan {
+		t.Fatalf("2x cores speed not reflected: %v vs %v", rf.Makespan, rs.Makespan)
+	}
+	ratio := rs.Makespan / rf.Makespan
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("speedup ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestPrestageDelaysFirstWaveOnly(t *testing.T) {
+	with := DefaultConfig()
+	without := DefaultConfig()
+	without.PrestageMB = 0
+	rWith := Simulate(mit210(), 210, ESSEJob(), with)
+	rWithout := Simulate(mit210(), 210, ESSEJob(), without)
+	if rWith.Makespan <= rWithout.Makespan {
+		t.Fatal("prestage cost not visible in makespan")
+	}
+	// Prestage of 117 nodes × 1.5 GB over 1250 MB/s ≈ 140 s.
+	extra := rWith.Makespan - rWithout.Makespan
+	if extra < 30 || extra > 600 {
+		t.Fatalf("prestage cost = %v s, implausible", extra)
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	res := Simulate(mit210(), 0, ESSEJob(), DefaultConfig())
+	if res.Makespan != 0 || res.JobsCompleted != 0 {
+		t.Fatalf("zero-job simulation: %+v", res)
+	}
+}
+
+func TestMITClusterShape(t *testing.T) {
+	mit := cluster.MIT()
+	if mit.TotalCores() != 114*2+3*4 {
+		t.Fatalf("MIT cores = %d", mit.TotalCores())
+	}
+	avail := cluster.MITAvailable(210)
+	if avail.TotalCores() != 210 {
+		t.Fatalf("available cores = %d", avail.TotalCores())
+	}
+	if len(cluster.MIT().CoreList()) != 240 {
+		t.Fatalf("core list = %d", len(cluster.MIT().CoreList()))
+	}
+}
+
+func TestPolicyAndModeStrings(t *testing.T) {
+	if SGE.String() != "SGE" || Condor.String() != "Condor" {
+		t.Fatal("policy names")
+	}
+	if LocalPrestaged.String() != "all-local" || MixedNFS.String() != "mixed-NFS" {
+		t.Fatal("mode names")
+	}
+}
+
+func BenchmarkSimulate600Members(b *testing.B) {
+	c := mit210()
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		Simulate(c, 600, ESSEJob(), cfg)
+	}
+}

@@ -1,0 +1,203 @@
+// Package trace records the three interleaved timelines of real-time
+// ocean forecasting shown in the paper's Fig. 1: "observation" (ocean)
+// time T during which measurements are made, "forecaster" time τ during
+// which the k-th forecasting procedure runs, and per-simulation time tᵢ
+// covering portions of ocean time.
+//
+// A Timeline collects spans and renders an ASCII Gantt chart — the
+// reproduction of Fig. 1 — as well as machine-readable summaries used by
+// the benchmark harness.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a span onto one of the three Fig. 1 rows.
+type Kind int
+
+const (
+	// ObservationTime spans mark observation batches T₀..T_f.
+	ObservationTime Kind = iota
+	// ForecasterTime spans mark forecaster tasks τᵏ.
+	ForecasterTime
+	// SimulationTime spans mark individual forecast simulations tⁱ.
+	SimulationTime
+)
+
+// String names the kind as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case ObservationTime:
+		return "observation"
+	case ForecasterTime:
+		return "forecaster"
+	case SimulationTime:
+		return "simulation"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Span is one labeled interval on a timeline row.
+type Span struct {
+	Kind  Kind
+	Label string
+	Start float64
+	End   float64
+}
+
+// Duration returns End − Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Timeline accumulates spans. It is safe for concurrent use.
+type Timeline struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// New returns an empty timeline.
+func New() *Timeline { return &Timeline{} }
+
+// Add records a span; it panics on a negative-length interval.
+func (t *Timeline) Add(kind Kind, label string, start, end float64) {
+	if end < start {
+		panic(fmt.Sprintf("trace: span %q ends (%v) before it starts (%v)", label, end, start))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, Span{Kind: kind, Label: label, Start: start, End: end})
+}
+
+// Spans returns a copy of all spans sorted by (kind, start).
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Extent returns the [min start, max end] over all spans.
+func (t *Timeline) Extent() (float64, float64) {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return 0, 0
+	}
+	lo, hi := spans[0].Start, spans[0].End
+	for _, s := range spans {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	return lo, hi
+}
+
+// Overlap reports whether any two simulation spans overlap in time —
+// the signature of distributed (rather than serial) execution.
+func (t *Timeline) Overlap(kind Kind) bool {
+	spans := t.Spans()
+	var ofKind []Span
+	for _, s := range spans {
+		if s.Kind == kind {
+			ofKind = append(ofKind, s)
+		}
+	}
+	sort.Slice(ofKind, func(i, j int) bool { return ofKind[i].Start < ofKind[j].Start })
+	for i := 1; i < len(ofKind); i++ {
+		if ofKind[i].Start < ofKind[i-1].End {
+			return true
+		}
+	}
+	return false
+}
+
+// Render draws an ASCII Gantt chart with one row per span, grouped into
+// the three Fig. 1 timelines, using width character cells.
+func (t *Timeline) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	lo, hi := t.Extent()
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := float64(width) / (hi - lo)
+	var b strings.Builder
+	labelW := 0
+	for _, s := range spans {
+		if len(s.Label) > labelW {
+			labelW = len(s.Label)
+		}
+	}
+	cur := Kind(-1)
+	for _, s := range spans {
+		if s.Kind != cur {
+			cur = s.Kind
+			fmt.Fprintf(&b, "--- %s time ---\n", cur)
+		}
+		startCell := int((s.Start - lo) * scale)
+		endCell := int((s.End - lo) * scale)
+		if endCell <= startCell {
+			endCell = startCell + 1
+		}
+		if endCell > width {
+			endCell = width
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s%s|\n", labelW, s.Label,
+			strings.Repeat(" ", startCell),
+			strings.Repeat("=", endCell-startCell),
+			strings.Repeat(" ", width-endCell))
+	}
+	return b.String()
+}
+
+// Makespan returns the total wall-clock extent of spans of the given kind.
+func (t *Timeline) Makespan(kind Kind) float64 {
+	spans := t.Spans()
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, s := range spans {
+		if s.Kind != kind {
+			continue
+		}
+		if first {
+			lo, hi = s.Start, s.End
+			first = false
+			continue
+		}
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	return hi - lo
+}

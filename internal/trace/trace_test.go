@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndSpansSorted(t *testing.T) {
+	tl := New()
+	tl.Add(SimulationTime, "sim-1", 5, 8)
+	tl.Add(ObservationTime, "T0", 0, 2)
+	tl.Add(ForecasterTime, "tau-0", 2, 6)
+	tl.Add(ObservationTime, "T1", 2, 4)
+	spans := tl.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("Len = %d", len(spans))
+	}
+	if spans[0].Kind != ObservationTime || spans[0].Label != "T0" {
+		t.Fatalf("first span %+v", spans[0])
+	}
+	if spans[3].Kind != SimulationTime {
+		t.Fatalf("last span %+v", spans[3])
+	}
+}
+
+func TestAddPanicsOnNegativeSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Add(ObservationTime, "bad", 5, 4)
+}
+
+func TestExtentAndMakespan(t *testing.T) {
+	tl := New()
+	tl.Add(SimulationTime, "a", 1, 4)
+	tl.Add(SimulationTime, "b", 3, 9)
+	tl.Add(ForecasterTime, "f", 0, 2)
+	lo, hi := tl.Extent()
+	if lo != 0 || hi != 9 {
+		t.Fatalf("Extent = [%v, %v]", lo, hi)
+	}
+	if ms := tl.Makespan(SimulationTime); ms != 8 {
+		t.Fatalf("Makespan(sim) = %v, want 8", ms)
+	}
+	if ms := tl.Makespan(ObservationTime); ms != 0 {
+		t.Fatalf("Makespan(obs) = %v, want 0", ms)
+	}
+}
+
+func TestOverlapDetection(t *testing.T) {
+	serial := New()
+	serial.Add(SimulationTime, "a", 0, 1)
+	serial.Add(SimulationTime, "b", 1, 2)
+	if serial.Overlap(SimulationTime) {
+		t.Fatal("back-to-back spans reported as overlapping")
+	}
+	parallel := New()
+	parallel.Add(SimulationTime, "a", 0, 2)
+	parallel.Add(SimulationTime, "b", 1, 3)
+	if !parallel.Overlap(SimulationTime) {
+		t.Fatal("overlapping spans not detected")
+	}
+}
+
+func TestRenderContainsRowsAndBars(t *testing.T) {
+	tl := New()
+	tl.Add(ObservationTime, "T0", 0, 2)
+	tl.Add(ForecasterTime, "tau0", 1, 3)
+	tl.Add(SimulationTime, "sim0", 2, 4)
+	out := tl.Render(40)
+	for _, want := range []string{"observation time", "forecaster time", "simulation time", "T0", "tau0", "sim0", "="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := New().Render(40); !strings.Contains(out, "empty") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	tl := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tl.Add(SimulationTime, "s", float64(i), float64(i+1))
+		}(i)
+	}
+	wg.Wait()
+	if tl.Len() != 100 {
+		t.Fatalf("Len = %d after concurrent adds", tl.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if ObservationTime.String() != "observation" || Kind(42).String() == "" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	s := Span{Start: 2, End: 5.5}
+	if s.Duration() != 3.5 {
+		t.Fatalf("Duration = %v", s.Duration())
+	}
+}

@@ -1,0 +1,573 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"esse/internal/core"
+	"esse/internal/covstore"
+	"esse/internal/linalg"
+	"esse/internal/rng"
+	"esse/internal/trace"
+)
+
+// toySubspace builds a fixed orthonormal rank-p "true" error subspace.
+func toySubspace(seed uint64, dim, p int) *core.Subspace {
+	s := rng.New(seed)
+	a := linalg.NewDense(dim, p)
+	for i := range a.Data {
+		a.Data[i] = s.Norm()
+	}
+	f := linalg.QR(a)
+	sigma := make([]float64, p)
+	for i := range sigma {
+		sigma[i] = float64(p - i)
+	}
+	return &core.Subspace{Modes: f.Q, Sigma: sigma}
+}
+
+// toyRunner returns a MemberRunner drawing members from a fixed true
+// subspace, deterministically keyed by the member index. delay simulates
+// forecast compute time; failEvery>0 makes every failEvery-th index fail
+// permanently; failOnce makes first attempts fail but retries succeed.
+func toyRunner(truth *core.Subspace, seed uint64, delay time.Duration, failEvery int, failOnce bool) MemberRunner {
+	master := rng.New(seed)
+	attempts := make(map[int]int)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	return func(ctx context.Context, index int) ([]float64, error) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if failEvery > 0 && index%failEvery == 0 {
+			return nil, fmt.Errorf("injected failure for member %d", index)
+		}
+		if failOnce {
+			<-mu
+			attempts[index]++
+			first := attempts[index] == 1
+			mu <- struct{}{}
+			if first {
+				return nil, fmt.Errorf("transient failure for member %d", index)
+			}
+		}
+		st := master.Split(uint64(index))
+		return truth.Perturb(nil, st, 0.01), nil
+	}
+}
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.InitialSize = 12
+	cfg.MaxSize = 48
+	cfg.SVDBatch = 6
+	cfg.Workers = 4
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 0.90, MaxVarianceChange: 0.5}
+	return cfg
+}
+
+func TestRunParallelProducesValidSubspace(t *testing.T) {
+	truth := toySubspace(1, 60, 3)
+	res, err := RunParallel(context.Background(), quickConfig(), make([]float64, 60),
+		toyRunner(truth, 2, 0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subspace == nil || res.Subspace.Rank() < 1 {
+		t.Fatal("no subspace produced")
+	}
+	if err := res.Subspace.Check(1e-7); err != nil {
+		t.Fatal(err)
+	}
+	if res.MembersUsed < 2 {
+		t.Fatalf("MembersUsed = %d", res.MembersUsed)
+	}
+	if res.Rho < 0 || res.Rho > 1+1e-9 {
+		t.Fatalf("rho = %v outside [0,1]", res.Rho)
+	}
+	if len(res.Mean) != 60 || len(res.Central) != 60 {
+		t.Fatal("mean/central missing")
+	}
+}
+
+func TestRunParallelRecoversTrueSubspace(t *testing.T) {
+	// With enough members, the estimated dominant subspace must capture
+	// most of the true variance.
+	truth := toySubspace(3, 80, 3)
+	cfg := quickConfig()
+	cfg.InitialSize = 60
+	cfg.MaxSize = 60
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2, MaxVarianceChange: 0} // never converge early
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 80),
+		toyRunner(truth, 4, 0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.Subspace.Truncate(3)
+	rho := core.SimilarityCoefficient(est, truth)
+	if rho < 0.85 {
+		t.Fatalf("estimated subspace captures only %v of true variance", rho)
+	}
+}
+
+func TestParallelMatchesSerialWhenExhaustive(t *testing.T) {
+	// With convergence disabled and no failures, both engines process
+	// exactly the same member set (0..MaxSize-1) and must produce the
+	// same subspace regardless of completion order.
+	truth := toySubspace(5, 40, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 20
+	cfg.MaxSize = 20
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	runner := toyRunner(truth, 6, 0, 0, false)
+	par, err := RunParallel(context.Background(), cfg, make([]float64, 40), runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunSerial(context.Background(), cfg, make([]float64, 40), runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.MembersUsed != ser.MembersUsed {
+		t.Fatalf("member counts differ: %d vs %d", par.MembersUsed, ser.MembersUsed)
+	}
+	if len(par.Subspace.Sigma) != len(ser.Subspace.Sigma) {
+		t.Fatalf("ranks differ: %d vs %d", par.Subspace.Rank(), ser.Subspace.Rank())
+	}
+	for i := range par.Subspace.Sigma {
+		if math.Abs(par.Subspace.Sigma[i]-ser.Subspace.Sigma[i]) > 1e-8 {
+			t.Fatalf("sigma[%d] differs: %v vs %v", i, par.Subspace.Sigma[i], ser.Subspace.Sigma[i])
+		}
+	}
+	if rho := core.SimilarityCoefficient(par.Subspace, ser.Subspace); rho < 1-1e-8 {
+		t.Fatalf("parallel and serial subspaces differ: rho = %v", rho)
+	}
+	for i := range par.Mean {
+		if math.Abs(par.Mean[i]-ser.Mean[i]) > 1e-12 {
+			t.Fatal("ensemble means differ")
+		}
+	}
+}
+
+func TestConvergenceCancelsRemainingMembers(t *testing.T) {
+	truth := toySubspace(7, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 200
+	cfg.MaxSize = 200
+	cfg.SVDBatch = 10
+	cfg.Workers = 4
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 0.2, MaxVarianceChange: 0.9}
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 30),
+		toyRunner(truth, 8, 2*time.Millisecond, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("loose criterion did not converge")
+	}
+	if res.MembersUsed >= 200 {
+		t.Fatal("convergence did not stop the ensemble early")
+	}
+}
+
+func TestDrainAndUsePolicy(t *testing.T) {
+	truth := toySubspace(9, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 100
+	cfg.MaxSize = 100
+	cfg.SVDBatch = 10
+	cfg.Policy = DrainAndUse
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 0.2, MaxVarianceChange: 0.9}
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 30),
+		toyRunner(truth, 10, time.Millisecond, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	// Drain policy never cancels running members.
+	if res.MembersCancelled != 0 {
+		t.Fatalf("drain policy cancelled %d members", res.MembersCancelled)
+	}
+}
+
+func TestFailureTolerance(t *testing.T) {
+	truth := toySubspace(11, 30, 2)
+	cfg := quickConfig()
+	cfg.Retries = 0
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 30),
+		toyRunner(truth, 12, 0, 5, false)) // every 5th member fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MembersFailed == 0 {
+		t.Fatal("no failures recorded despite injection")
+	}
+	if res.Subspace == nil {
+		t.Fatal("failures must not prevent a result")
+	}
+	if res.MembersUsed+res.MembersFailed < cfg.MaxSize {
+		t.Fatalf("accounted members %d < target %d",
+			res.MembersUsed+res.MembersFailed, cfg.MaxSize)
+	}
+}
+
+func TestRetriesRecoverTransientFailures(t *testing.T) {
+	truth := toySubspace(13, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 8
+	cfg.MaxSize = 8
+	cfg.Retries = 2
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 30),
+		toyRunner(truth, 14, 0, 0, true)) // first attempt always fails
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MembersFailed != 0 {
+		t.Fatalf("%d members failed despite retries", res.MembersFailed)
+	}
+	if res.MembersUsed != 8 {
+		t.Fatalf("MembersUsed = %d, want 8", res.MembersUsed)
+	}
+}
+
+func TestDeadlineIgnoresLateMembers(t *testing.T) {
+	truth := toySubspace(15, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 400
+	cfg.MaxSize = 400
+	cfg.SVDBatch = 2
+	cfg.Workers = 4
+	cfg.Deadline = 60 * time.Millisecond
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 30),
+		toyRunner(truth, 16, 5*time.Millisecond, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MembersUsed >= 400 {
+		t.Fatal("deadline did not cut the ensemble short")
+	}
+	// Members still in flight at the deadline are either cancelled or —
+	// if their select races the timer — delivered; both are legitimate
+	// ("runs that have not finished by the forecast deadline can be
+	// safely ignored"). What must hold: nothing beyond the in-flight
+	// window was processed, and a usable subspace came out.
+	if res.MembersUsed+res.MembersCancelled > 400 {
+		t.Fatalf("accounting overflow: used %d + cancelled %d",
+			res.MembersUsed, res.MembersCancelled)
+	}
+	if res.Subspace == nil {
+		t.Fatal("partial ensemble must still yield a subspace")
+	}
+	if res.Elapsed > 10*cfg.Deadline {
+		t.Fatalf("run overshot the deadline grossly: %v", res.Elapsed)
+	}
+}
+
+func TestPoolGrowth(t *testing.T) {
+	truth := toySubspace(17, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 8
+	cfg.MaxSize = 32
+	cfg.GrowthFactor = 2
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2} // force growth to the cap
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 30),
+		toyRunner(truth, 18, 0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{8, 16, 32}
+	if len(res.PoolSizes) != len(want) {
+		t.Fatalf("PoolSizes = %v, want %v", res.PoolSizes, want)
+	}
+	for i := range want {
+		if res.PoolSizes[i] != want[i] {
+			t.Fatalf("PoolSizes = %v, want %v", res.PoolSizes, want)
+		}
+	}
+	if res.MembersUsed != 32 {
+		t.Fatalf("MembersUsed = %d, want 32", res.MembersUsed)
+	}
+}
+
+func TestGrowTarget(t *testing.T) {
+	cfg := Config{GrowthFactor: 1.5, MaxSize: 100}
+	if g := growTarget(10, &cfg); g != 15 {
+		t.Fatalf("growTarget(10) = %d", g)
+	}
+	if g := growTarget(99, &cfg); g != 100 {
+		t.Fatalf("growTarget(99) = %d, want cap", g)
+	}
+	cfg.GrowthFactor = 1
+	if g := growTarget(10, &cfg); g != 11 {
+		t.Fatalf("growTarget must always make progress, got %d", g)
+	}
+}
+
+func TestTripleFileStoreIntegration(t *testing.T) {
+	truth := toySubspace(19, 40, 2)
+	store, err := covstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Store = store
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	cfg.InitialSize = 16
+	cfg.MaxSize = 16
+	res, err := RunParallel(context.Background(), cfg, make([]float64, 40),
+		toyRunner(truth, 20, 0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Writes() == 0 {
+		t.Fatal("diff stage never published through the store")
+	}
+	// Same run without the store must produce the same subspace.
+	cfg.Store = nil
+	res2, err := RunParallel(context.Background(), cfg, make([]float64, 40),
+		toyRunner(truth, 20, 0, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho := core.SimilarityCoefficient(res.Subspace, res2.Subspace); rho < 1-1e-8 {
+		t.Fatalf("store round trip changed the subspace: rho = %v", rho)
+	}
+}
+
+func TestParallelTimelineOverlaps(t *testing.T) {
+	truth := toySubspace(21, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 16
+	cfg.MaxSize = 16
+	cfg.Workers = 8
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	runner := toyRunner(truth, 22, 3*time.Millisecond, 0, false)
+	par, err := RunParallel(context.Background(), cfg, make([]float64, 30), runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Timeline.Overlap(trace.SimulationTime) {
+		t.Fatal("parallel run shows no overlapping member executions")
+	}
+	ser, err := RunSerial(context.Background(), cfg, make([]float64, 30), runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ser.Timeline.Overlap(trace.SimulationTime) {
+		t.Fatal("serial run shows overlapping member executions")
+	}
+}
+
+func TestParallelFasterThanSerial(t *testing.T) {
+	// The headline claim of the MTC transformation: with W workers and
+	// per-member cost d, wall-clock drops ~W-fold.
+	truth := toySubspace(23, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 24
+	cfg.MaxSize = 24
+	cfg.Workers = 8
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	runner := toyRunner(truth, 24, 4*time.Millisecond, 0, false)
+	par, err := RunParallel(context.Background(), cfg, make([]float64, 30), runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := RunSerial(context.Background(), cfg, make([]float64, 30), runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Elapsed >= ser.Elapsed {
+		t.Fatalf("parallel (%v) not faster than serial (%v)", par.Elapsed, ser.Elapsed)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := quickConfig()
+	cases := []func(*Config){
+		func(c *Config) { c.InitialSize = 1 },
+		func(c *Config) { c.MaxSize = c.InitialSize - 1 },
+		func(c *Config) { c.GrowthFactor = 0.5 },
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.SVDBatch = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := base
+		mutate(&cfg)
+		if _, err := RunParallel(context.Background(), cfg, make([]float64, 10), nil); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+		if _, err := RunSerial(context.Background(), cfg, make([]float64, 10), nil); err == nil {
+			t.Fatalf("case %d: invalid config accepted by serial", i)
+		}
+	}
+}
+
+func TestAllMembersFailing(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Retries = 0
+	cfg.InitialSize = 4
+	cfg.MaxSize = 4
+	runner := func(ctx context.Context, index int) ([]float64, error) {
+		return nil, errors.New("hardware gremlin")
+	}
+	if _, err := RunParallel(context.Background(), cfg, make([]float64, 10), runner); err == nil {
+		t.Fatal("total failure must surface an error")
+	}
+	if _, err := RunSerial(context.Background(), cfg, make([]float64, 10), runner); err == nil {
+		t.Fatal("total failure must surface an error in serial mode")
+	}
+}
+
+func TestExternalCancellation(t *testing.T) {
+	truth := toySubspace(25, 30, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 100
+	cfg.MaxSize = 100
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	res, err := RunParallel(ctx, cfg, make([]float64, 30),
+		toyRunner(truth, 26, 2*time.Millisecond, 0, false))
+	// Either a partial result or a clean error is acceptable; a hang is not.
+	if err == nil && res.MembersUsed >= 100 {
+		t.Fatal("cancellation had no effect")
+	}
+}
+
+func TestSerialGrowthRestartsFromN(t *testing.T) {
+	// The Fig. 3 loop "restarts for the ensemble members N+1 to N2":
+	// indices must not be recomputed.
+	truth := toySubspace(27, 30, 2)
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	seen := map[int]int{}
+	inner := toyRunner(truth, 28, 0, 0, false)
+	runner := func(ctx context.Context, index int) ([]float64, error) {
+		<-mu
+		seen[index]++
+		mu <- struct{}{}
+		return inner(ctx, index)
+	}
+	cfg := quickConfig()
+	cfg.InitialSize = 8
+	cfg.MaxSize = 32
+	cfg.GrowthFactor = 2
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	if _, err := RunSerial(context.Background(), cfg, make([]float64, 30), runner); err != nil {
+		t.Fatal(err)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("member %d computed %d times", idx, n)
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("computed %d distinct members, want 32", len(seen))
+	}
+}
+
+func TestResultAnomalyBookkeeping(t *testing.T) {
+	// Result.Anomalies columns must align with Result.MemberIndices and
+	// reproduce member − central for every used member.
+	truth := toySubspace(31, 25, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 10
+	cfg.MaxSize = 10
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	runner := toyRunner(truth, 32, 0, 0, false)
+	central := make([]float64, 25)
+	res, err := RunParallel(context.Background(), cfg, central, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalies == nil || res.Anomalies.Cols != res.MembersUsed {
+		t.Fatalf("anomaly matrix missing or wrong width")
+	}
+	if len(res.MemberIndices) != res.MembersUsed {
+		t.Fatalf("%d indices for %d members", len(res.MemberIndices), res.MembersUsed)
+	}
+	for col, idx := range res.MemberIndices {
+		want, err := runner(context.Background(), idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			if math.Abs(res.Anomalies.At(i, col)-want[i]) > 1e-12 {
+				t.Fatalf("anomaly column %d does not match member %d", col, idx)
+			}
+		}
+	}
+}
+
+func TestSerialDeadlineCutsShort(t *testing.T) {
+	truth := toySubspace(41, 20, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 200
+	cfg.MaxSize = 200
+	cfg.Deadline = 40 * time.Millisecond
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	res, err := RunSerial(context.Background(), cfg, make([]float64, 20),
+		toyRunner(truth, 42, 2*time.Millisecond, 0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MembersUsed >= 200 {
+		t.Fatal("serial deadline did not cut the batch short")
+	}
+	if res.Subspace == nil {
+		t.Fatal("partial serial run must still yield a subspace")
+	}
+}
+
+func TestSerialExternalCancel(t *testing.T) {
+	truth := toySubspace(43, 20, 2)
+	cfg := quickConfig()
+	cfg.InitialSize = 500
+	cfg.MaxSize = 500
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	res, err := RunSerial(ctx, cfg, make([]float64, 20),
+		toyRunner(truth, 44, time.Millisecond, 0, false))
+	if err == nil && res.MembersUsed >= 500 {
+		t.Fatal("cancellation had no effect on the serial engine")
+	}
+}
+
+func TestSerialFailureTolerance(t *testing.T) {
+	truth := toySubspace(45, 20, 2)
+	cfg := quickConfig()
+	cfg.Retries = 0
+	cfg.InitialSize = 15
+	cfg.MaxSize = 15
+	cfg.Criterion = core.ConvergenceCriterion{MinSimilarity: 2}
+	res, err := RunSerial(context.Background(), cfg, make([]float64, 20),
+		toyRunner(truth, 46, 0, 5, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MembersFailed == 0 || res.Subspace == nil {
+		t.Fatalf("serial failure tolerance broken: failed=%d", res.MembersFailed)
+	}
+}

@@ -1,0 +1,120 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"esse/internal/core"
+	"esse/internal/trace"
+)
+
+// RunSerial executes the serial reference implementation of Fig. 3: a
+// blocking perturb/forecast loop over all N members, followed by the
+// diff loop (in perturbation order), followed by the SVD and the
+// convergence test; on failure the ensemble is enlarged to N₂ and the
+// loop restarts for members N+1..N₂.
+//
+// It deliberately retains the bottlenecks the paper lists — no exposed
+// parallelism between forecasts, the diff loop waits for the whole
+// batch, and the SVD waits for the diff loop — so that the Fig. 3 vs
+// Fig. 4 benchmarks quantify what the MTC transformation buys.
+func RunSerial(ctx context.Context, cfg Config, central []float64, runner MemberRunner) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tl := trace.New()
+	acc := core.NewAccumulator(central)
+	res := &Result{Timeline: tl, PoolSizes: []int{cfg.InitialSize}, Central: acc.Central()}
+
+	deadline := time.Time{}
+	if cfg.Deadline > 0 {
+		deadline = start.Add(cfg.Deadline)
+	}
+	expired := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	var prev, cur *core.Subspace
+	n := cfg.InitialSize
+	batchStart := 0
+	type pending struct {
+		index int
+		state []float64
+	}
+	for {
+		// --- perturb/forecast loop (bottleneck 1: strictly sequential) ---
+		var batch []pending
+		for idx := batchStart; idx < n; idx++ {
+			if ctx.Err() != nil || expired() {
+				res.MembersCancelled += n - idx
+				break
+			}
+			t0 := time.Since(start)
+			state, err := runWithRetries(ctx, cfg.Retries, idx, runner)
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					res.MembersCancelled++
+				} else {
+					res.MembersFailed++
+				}
+				continue
+			}
+			batch = append(batch, pending{index: idx, state: state})
+			tl.Add(trace.SimulationTime, fmt.Sprintf("member-%d", idx),
+				t0.Seconds(), time.Since(start).Seconds())
+		}
+
+		// --- diff loop (bottleneck 2: runs only after the full batch,
+		// in perturbation order, appending to the single matrix) ---
+		for _, p := range batch {
+			if err := acc.Add(p.index, p.state); err != nil {
+				return nil, err
+			}
+			res.MembersUsed++
+		}
+
+		// --- SVD + convergence test (bottleneck 3: waits for diff) ---
+		anoms := acc.Anomalies()
+		indices := acc.Indices()
+		if cfg.Store != nil {
+			if _, err := cfg.Store.WriteSnapshot(anoms, indices); err != nil {
+				return nil, fmt.Errorf("workflow: diff publish: %w", err)
+			}
+			m, _, _, err := cfg.Store.ReadSafe()
+			if err != nil {
+				return nil, fmt.Errorf("workflow: SVD read: %w", err)
+			}
+			anoms = m
+		}
+		if anoms.Cols >= 2 {
+			cur = core.SubspaceFromAnomalies(anoms, cfg.MaxRank, cfg.SigmaRelTol)
+			res.SVDRounds++
+			if prev != nil {
+				ok, rho := cfg.Criterion.Converged(prev, cur)
+				res.Rho = rho
+				res.Converged = ok
+			}
+			prev = cur
+		}
+
+		if res.Converged || ctx.Err() != nil || expired() || n >= cfg.MaxSize {
+			break
+		}
+		batchStart = n
+		n = growTarget(n, &cfg)
+		res.PoolSizes = append(res.PoolSizes, n)
+	}
+
+	if cur == nil {
+		return nil, fmt.Errorf("workflow: only %d members completed; cannot form a subspace", acc.Len())
+	}
+	res.Subspace = cur
+	res.Mean = acc.EnsembleMean()
+	res.Anomalies = acc.Anomalies()
+	res.MemberIndices = acc.Indices()
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

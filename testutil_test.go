@@ -1,0 +1,17 @@
+package esse_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"esse/internal/opendap"
+)
+
+// newTestHTTP starts an httptest server for an opendap.Server and
+// returns its base URL; it is torn down with the test.
+func newTestHTTP(t *testing.T, srv *opendap.Server) string {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
