@@ -1,0 +1,28 @@
+# Standing quality gates for the ESSE reproduction. `make verify` is
+# the full pipeline CI runs; the individual targets are for local use.
+
+GO ?= go
+
+.PHONY: build test race lint vet verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the whole suite under the race detector — the dynamic half
+# of the concurrency gate (esselint is the static half).
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the custom determinism/concurrency analyzers bundled with
+# the stock vet passes (see internal/lint and cmd/esselint).
+lint:
+	$(GO) run ./cmd/esselint ./...
+
+verify:
+	./scripts/verify.sh

@@ -1,0 +1,71 @@
+package esse_test
+
+import (
+	"context"
+	"testing"
+
+	"esse/internal/core"
+	"esse/internal/realtime"
+)
+
+// TestEnsembleSchedulingOrderIndependence pins the determinism contract
+// the esselint analyzers exist to protect: a fixed-master-seed twin
+// experiment must produce bit-identical science whether the ensemble
+// runs on one worker or eight. Member randomness derives from (seed,
+// member index), the accumulator canonicalizes anomaly columns by
+// member index, so the only remaining scheduling freedom is completion
+// order — which must not leak into results.
+//
+// Convergence cancellation is disabled (MinSimilarity 2 is
+// unattainable) so both runs use the identical member set; with
+// adaptive cancellation the set itself depends on timing, which is the
+// documented trade-off of the paper's convergence-driven workflow.
+func TestEnsembleSchedulingOrderIndependence(t *testing.T) {
+	type outcome struct {
+		analysis []float64
+		sigma    []float64
+		rmse     []float64
+	}
+	run := func(workers int) outcome {
+		cfg := integrationConfig()
+		cfg.Ensemble.Criterion = core.ConvergenceCriterion{MinSimilarity: 2, MaxVarianceChange: 0}
+		cfg.Ensemble.InitialSize = 8
+		cfg.Ensemble.MaxSize = 8
+		cfg.Ensemble.Workers = workers
+		sys, err := realtime.NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, err := sys.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := outcome{
+			analysis: append([]float64(nil), sys.Analysis()...),
+			sigma:    append([]float64(nil), sys.Subspace().Sigma...),
+		}
+		for _, r := range results {
+			out.rmse = append(out.rmse, r.RMSEForecastT, r.RMSEAnalysisT)
+		}
+		return out
+	}
+
+	serial := run(1)
+	parallel := run(8)
+
+	bitEqual := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s: length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s[%d]: Workers=1 gives %v, Workers=8 gives %v", name, i, a[i], b[i])
+				return
+			}
+		}
+	}
+	bitEqual("analysis", serial.analysis, parallel.analysis)
+	bitEqual("sigma", serial.sigma, parallel.sigma)
+	bitEqual("rmse", serial.rmse, parallel.rmse)
+}

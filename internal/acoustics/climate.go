@@ -3,6 +3,7 @@ package acoustics
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -117,6 +118,18 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 		}()
 	}
 	wg.Wait()
+	// Canonicalize: workers append in completion order, which depends on
+	// scheduling; the published result must be independent of Workers.
+	sort.Slice(res.Tasks, func(a, b int) bool {
+		ta, tb := res.Tasks[a].Task, res.Tasks[b].Task
+		if ta.Slice != tb.Slice {
+			return ta.Slice < tb.Slice
+		}
+		if ta.Source != tb.Source {
+			return ta.Source < tb.Source
+		}
+		return ta.Freq < tb.Freq
+	})
 	res.Elapsed = time.Since(start)
 	return res, nil
 }

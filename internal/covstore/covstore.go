@@ -85,6 +85,7 @@ func (s *Store) WriteSnapshot(m *linalg.Dense, indices []int) (int64, error) {
 		return 0, fmt.Errorf("covstore: %w", err)
 	}
 	if err := writeSnapshot(f, v, m, indices); err != nil {
+		//esselint:allow errdrop close on the error path; the write error takes precedence
 		f.Close()
 		return 0, fmt.Errorf("covstore: writing %s: %w", live, err)
 	}
@@ -106,6 +107,7 @@ func (s *Store) ReadSafe() (*linalg.Dense, []int, int64, error) {
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	//esselint:allow errdrop read-only file; Close cannot lose data
 	defer f.Close()
 	return readSnapshot(f)
 }
@@ -193,6 +195,7 @@ func snapshotChecksum(version int64, m *linalg.Dense, indices []int) uint64 {
 	var buf [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)
+		//esselint:allow errdrop hash.Hash.Write is documented to never fail
 		h.Write(buf[:])
 	}
 	put(uint64(version))

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error returns in non-test code under
+// internal/: bare calls whose results include an error (including defer
+// and go statements) and errors assigned to the blank identifier. A
+// small allowlist accepts callees that are documented never to fail
+// (bytes.Buffer, strings.Builder) and best-effort stdout printing via
+// fmt.Print*. Everything else needs handling or an explicit
+// //esselint:allow errdrop directive with a reason.
+//
+// Test files are exempt by construction: the pass only type-checks
+// non-test files, and errdrop inspects only those.
+var ErrDrop = &Analyzer{
+	Name:  "errdrop",
+	Doc:   "flag discarded error returns (`_ =` and bare calls) in non-test code under internal/",
+	Scope: underInternal,
+	Run:   runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.ExprStmt:
+				checkBareCall(pass, v.X, "")
+			case *ast.DeferStmt:
+				checkBareCall(pass, v.Call, "deferred ")
+			case *ast.GoStmt:
+				checkBareCall(pass, v.Call, "goroutine ")
+			case *ast.AssignStmt:
+				checkBlankError(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBareCall reports a call statement that silently discards an
+// error result.
+func checkBareCall(pass *Pass, x ast.Expr, kind string) {
+	call, ok := x.(*ast.CallExpr)
+	if !ok || !returnsError(pass, call) || allowlisted(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall discards its error result; handle it or annotate with //esselint:allow errdrop <reason>", kind)
+}
+
+// checkBlankError reports `_ = errExpr` and blank positions of
+// multi-value assignments whose static type is error.
+func checkBlankError(pass *Pass, as *ast.AssignStmt) {
+	blankAt := func(i int) bool {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// v, _ := f() — look the tuple component up by position.
+		tv, ok := pass.Info.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		call, isCall := as.Rhs[0].(*ast.CallExpr)
+		for i := 0; i < len(as.Lhs) && i < tuple.Len(); i++ {
+			if blankAt(i) && isErrorType(tuple.At(i).Type()) {
+				if isCall && allowlisted(pass, call) {
+					continue
+				}
+				pass.Reportf(as.Lhs[i].Pos(), "error result assigned to blank identifier; handle it or annotate with //esselint:allow errdrop <reason>")
+			}
+		}
+		return
+	}
+	for i := range as.Lhs {
+		if i >= len(as.Rhs) || !blankAt(i) {
+			continue
+		}
+		tv, ok := pass.Info.Types[as.Rhs[i]]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, isCall := as.Rhs[i].(*ast.CallExpr); isCall && allowlisted(pass, call) {
+			continue
+		}
+		pass.Reportf(as.Lhs[i].Pos(), "error result assigned to blank identifier; handle it or annotate with //esselint:allow errdrop <reason>")
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// allowlisted accepts callees that cannot meaningfully fail: methods on
+// bytes.Buffer / strings.Builder (documented to never return an error),
+// fmt.Print* (best-effort stdout), and fmt.Fprint* when the destination
+// writer is itself a never-failing Buffer/Builder — the error result
+// only relays the writer's.
+func allowlisted(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pass.Info.Selections[sel]; ok {
+		return isSafeWriter(s.Recv())
+	}
+	// Package-level function: fmt.Print* / fmt.Fprint*-to-safe-writer.
+	if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+		if obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+			return false
+		}
+		if strings.HasPrefix(obj.Name(), "Print") {
+			return true
+		}
+		if strings.HasPrefix(obj.Name(), "Fprint") && len(call.Args) > 0 {
+			if tv, ok := pass.Info.Types[call.Args[0]]; ok {
+				return isSafeWriter(tv.Type)
+			}
+		}
+	}
+	return false
+}
+
+// isSafeWriter reports whether t is bytes.Buffer or strings.Builder
+// (optionally behind a pointer), whose Write methods never fail.
+func isSafeWriter(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}

@@ -1,0 +1,224 @@
+// Package lint implements esselint, a static-analysis suite enforcing
+// the repository's determinism and concurrency invariants:
+//
+//   - rngdeterminism: stochastic code must draw from esse/internal/rng
+//     streams — the stdlib rand packages (global-state and entropy
+//     seeded alike) are forbidden imports under internal/ and cmd/,
+//     and seeds must never be derived from time.Now().
+//   - streamshare: a *rng.Stream is not safe for concurrent use; the
+//     analyzer flags streams shared with goroutines (captured by a go
+//     statement's function literal, or passed as a bare argument)
+//     instead of handing each goroutine its own Split child.
+//   - errdrop: non-test code under internal/ must not discard error
+//     returns, either via `_ =` or by ignoring a call's results.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but is self-contained: packages are
+// enumerated with `go list -deps -export -json` and type-checked with
+// go/types against the toolchain's export data, so the suite builds and
+// runs offline with no dependencies outside the standard library. If
+// x/tools ever lands in the module, each Analyzer here converts
+// mechanically.
+//
+// Findings can be suppressed with directive comments:
+//
+//	//esselint:allow <analyzer> [reason...]   (same line or line above)
+//	//esselint:allowfile <analyzer> [reason]  (anywhere: whole file)
+//
+// Suppressions should carry a reason; they are the audited escape
+// hatch, not a convenience.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Scope, when non-nil, restricts the analyzer to packages whose
+	// module-relative import path it accepts ("." is the module root).
+	Scope func(relPath string) bool
+	// Run reports diagnostics through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Path is the package import path; RelPath is module-relative.
+	Path, RelPath string
+	// Files holds the type-checked non-test files of the package.
+	Files []*ast.File
+	// TestFiles holds the package's test files, parsed but NOT
+	// type-checked (Info has no entries for them). Only purely
+	// syntactic analyzers may inspect them.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	Info      *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzers returns the full esselint suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{RngDeterminism, StreamShare, ErrDrop}
+}
+
+// RunAnalyzers applies each analyzer to each in-scope package and
+// returns the surviving (non-suppressed) diagnostics in file/position
+// order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg)
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.RelPath) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Path:      pkg.Path,
+				RelPath:   pkg.RelPath,
+				Files:     pkg.Files,
+				TestFiles: pkg.TestFiles,
+				Pkg:       pkg.Pkg,
+				Info:      pkg.Info,
+				report: func(d Diagnostic) {
+					if !sup.suppressed(d) {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppressor indexes a package's //esselint: directive comments.
+type suppressor struct {
+	// line maps filename → line → analyzer names allowed on that line
+	// and the one below it.
+	line map[string]map[int][]string
+	// file maps filename → analyzer names allowed file-wide.
+	file map[string][]string
+}
+
+func newSuppressor(pkg *Package) *suppressor {
+	s := &suppressor{
+		line: map[string]map[int][]string{},
+		file: map[string][]string{},
+	}
+	index := func(f *ast.File) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//esselint:")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				switch fields[0] {
+				case "allow":
+					m := s.line[pos.Filename]
+					if m == nil {
+						m = map[int][]string{}
+						s.line[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], fields[1])
+				case "allowfile":
+					s.file[pos.Filename] = append(s.file[pos.Filename], fields[1])
+				}
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		index(f)
+	}
+	for _, f := range pkg.TestFiles {
+		index(f)
+	}
+	return s
+}
+
+func (s *suppressor) suppressed(d Diagnostic) bool {
+	match := func(names []string) bool {
+		for _, n := range names {
+			if n == d.Analyzer || n == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	if match(s.file[d.Pos.Filename]) {
+		return true
+	}
+	if m := s.line[d.Pos.Filename]; m != nil {
+		// A directive applies to its own line and the line below it.
+		if match(m[d.Pos.Line]) || match(m[d.Pos.Line-1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// underInternalOrCmd scopes an analyzer to internal/ and cmd/ packages.
+func underInternalOrCmd(rel string) bool {
+	return rel == "internal" || rel == "cmd" ||
+		strings.HasPrefix(rel, "internal/") || strings.HasPrefix(rel, "cmd/")
+}
+
+// underInternal scopes an analyzer to internal/ packages.
+func underInternal(rel string) bool {
+	return rel == "internal" || strings.HasPrefix(rel, "internal/")
+}

@@ -1,0 +1,68 @@
+package lint
+
+import "testing"
+
+func TestRngDeterminismFixture(t *testing.T) {
+	RunFixture(t, RngDeterminism, "rngdet")
+}
+
+func TestStreamShareFixture(t *testing.T) {
+	RunFixture(t, StreamShare, "streamshare")
+}
+
+func TestErrDropFixture(t *testing.T) {
+	RunFixture(t, ErrDrop, "errdrop")
+}
+
+// TestLoadRealPackage exercises the go-list/export-data loader against
+// a real module package and checks scoping: rng sits under internal/,
+// so the whole suite applies and must come back clean.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load("", "esse/internal/rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected 1 package, got %d", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.RelPath != "internal/rng" {
+		t.Fatalf("RelPath = %q, want internal/rng", p.RelPath)
+	}
+	if p.Pkg == nil || p.Pkg.Name() != "rng" {
+		t.Fatalf("type info missing for %s", p.Path)
+	}
+	diags, err := RunAnalyzers(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic on clean package: %s", d)
+	}
+}
+
+// TestScopes pins the path filters: rngdeterminism and errdrop are
+// scoped gates, streamshare applies everywhere.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		rel     string
+		rngdet  bool
+		errdrop bool
+	}{
+		{"internal/workflow", true, true},
+		{"cmd/esse-forecast", true, false},
+		{"examples/quickstart", false, false},
+		{".", false, false},
+	}
+	for _, c := range cases {
+		if got := RngDeterminism.Scope(c.rel); got != c.rngdet {
+			t.Errorf("rngdeterminism scope(%q) = %v, want %v", c.rel, got, c.rngdet)
+		}
+		if got := ErrDrop.Scope(c.rel); got != c.errdrop {
+			t.Errorf("errdrop scope(%q) = %v, want %v", c.rel, got, c.errdrop)
+		}
+		if StreamShare.Scope != nil {
+			t.Error("streamshare must not be path-scoped")
+		}
+	}
+}

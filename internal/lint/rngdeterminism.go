@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// forbiddenImports are the stochastic sources that defeat the fixed-
+// master-seed reproducibility contract. math/rand's global state and
+// crypto/rand's entropy pool both make ensemble results depend on
+// something other than (seed, member index).
+var forbiddenImports = map[string]string{
+	"math/rand":    "use a seeded esse/internal/rng.Stream instead",
+	"math/rand/v2": "use a seeded esse/internal/rng.Stream instead",
+	"crypto/rand":  "entropy-seeded randomness breaks bit-reproducibility; use esse/internal/rng",
+}
+
+// RngDeterminism enforces the single-source-of-randomness rule: all
+// stochastic code under internal/ and cmd/ draws from splittable
+// esse/internal/rng streams, and no seed is ever derived from the wall
+// clock. It is purely syntactic, so it also covers test files.
+var RngDeterminism = &Analyzer{
+	Name:  "rngdeterminism",
+	Doc:   "forbid math/rand, math/rand/v2, crypto/rand and time.Now()-derived seeds; randomness must come from esse/internal/rng",
+	Scope: underInternalOrCmd,
+	Run:   runRngDeterminism,
+}
+
+func runRngDeterminism(pass *Pass) error {
+	for _, f := range append(append([]*ast.File{}, pass.Files...), pass.TestFiles...) {
+		checkRngFile(pass, f)
+	}
+	return nil
+}
+
+func checkRngFile(pass *Pass, f *ast.File) {
+	timeName := ""
+	rngName := ""
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		if why, bad := forbiddenImports[path]; bad {
+			pass.Reportf(spec.Pos(), "import %q is forbidden: %s", path, why)
+		}
+		switch path {
+		case "time":
+			timeName = localImportName(spec, "time")
+		case "esse/internal/rng":
+			rngName = localImportName(spec, "rng")
+		}
+	}
+	if timeName == "" || timeName == "_" {
+		return // no wall clock in this file: nothing seed-related to check
+	}
+
+	isTimeNow := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && id.Name == timeName
+	}
+	containsTimeNow := func(root ast.Node) ast.Node {
+		var found ast.Node
+		ast.Inspect(root, func(n ast.Node) bool {
+			if found == nil && n != nil && isTimeNow(n) {
+				found = n
+			}
+			return found == nil
+		})
+		return found
+	}
+	seedIdent := func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return strings.Contains(strings.ToLower(v.Name), "seed")
+		case *ast.SelectorExpr:
+			return strings.Contains(strings.ToLower(v.Sel.Name), "seed")
+		}
+		return false
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			// rng.New(...) / anything.Split(...) fed from the wall clock.
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				fromRng := rngName != "" && isIdentNamed(sel.X, rngName) && sel.Sel.Name == "New"
+				if fromRng || sel.Sel.Name == "Split" {
+					for _, arg := range v.Args {
+						if now := containsTimeNow(arg); now != nil {
+							pass.Reportf(now.Pos(), "time.Now()-derived seed defeats reproducibility; thread a fixed master seed through the config")
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				if !seedIdent(lhs) || i >= len(v.Rhs) && len(v.Rhs) != 1 {
+					continue
+				}
+				rhs := v.Rhs[0]
+				if len(v.Rhs) > i {
+					rhs = v.Rhs[i]
+				}
+				if now := containsTimeNow(rhs); now != nil {
+					pass.Reportf(now.Pos(), "time.Now()-derived seed defeats reproducibility; thread a fixed master seed through the config")
+				}
+			}
+		case *ast.KeyValueExpr:
+			if seedIdent(v.Key) {
+				if now := containsTimeNow(v.Value); now != nil {
+					pass.Reportf(now.Pos(), "time.Now()-derived seed defeats reproducibility; thread a fixed master seed through the config")
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range v.Names {
+				if !seedIdent(name) || i >= len(v.Values) {
+					continue
+				}
+				if now := containsTimeNow(v.Values[i]); now != nil {
+					pass.Reportf(now.Pos(), "time.Now()-derived seed defeats reproducibility; thread a fixed master seed through the config")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// localImportName resolves the in-file name of an import.
+func localImportName(spec *ast.ImportSpec, deflt string) string {
+	if spec.Name != nil {
+		return spec.Name.Name
+	}
+	return deflt
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StreamShare flags *rng.Stream values shared with goroutines. The rng
+// package documents streams as not safe for concurrent use: each
+// goroutine must own its own stream, normally a Split child. Two shapes
+// are reported:
+//
+//  1. `go f(s)` where s is a named *rng.Stream — the goroutine aliases
+//     a stream the caller (or other goroutines) can still advance.
+//     `go f(s.Split(i))` is fine: the argument is a fresh stream with
+//     no other referent. Element reads like `go f(streams[i])` are also
+//     accepted (per-slot ownership is a common fan-out idiom).
+//  2. a `go func(){...}()` literal capturing an outer *rng.Stream and
+//     advancing it (any use other than as the receiver of Split). The
+//     capture is accepted when the variable is declared inside the body
+//     of the innermost loop containing the go statement — a
+//     per-iteration child owned by exactly one goroutine — or when the
+//     enclosing function never touches the stream again after launch.
+//
+// Calling Split on a captured parent is deliberately allowed: Split
+// does not advance the parent, so concurrent Split-only readers are
+// safe as long as nobody writes.
+var StreamShare = &Analyzer{
+	Name: "streamshare",
+	Doc:  "flag *rng.Stream values shared with goroutines; each goroutine must own a Split child",
+	Run:  runStreamShare,
+}
+
+func runStreamShare(pass *Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, g, append([]ast.Node{}, stack...))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, stack []ast.Node) {
+	// Shape 1: bare stream arguments to the launched call.
+	for _, arg := range g.Call.Args {
+		tv, ok := pass.Info.Types[arg]
+		if !ok || !isStreamPtr(tv.Type) {
+			continue
+		}
+		switch arg.(type) {
+		case *ast.CallExpr, *ast.IndexExpr:
+			// Fresh value (Split/New result) or per-slot element: owned
+			// by the goroutine.
+		default:
+			pass.Reportf(arg.Pos(), "*rng.Stream passed into goroutine is shared; hand it a Split child instead")
+		}
+	}
+
+	// Shape 2: captures by a function-literal goroutine.
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	for obj, use := range capturedStreamUses(pass, lit) {
+		if len(use.unsafe) == 0 {
+			continue // only Split receivers: concurrent read-only use
+		}
+		if loop := innermostLoopBody(stack, g); loop != nil {
+			if loop.Pos() <= obj.Pos() && obj.Pos() < loop.End() {
+				// Declared inside the loop iteration that launches the
+				// goroutine: one stream, one owner.
+				continue
+			}
+		} else if !usedOutsideAfter(pass, stack, lit, g, obj) {
+			// Single goroutine and the parent never touches the stream
+			// again: ownership was handed off cleanly.
+			continue
+		}
+		pass.Reportf(use.unsafe[0], "goroutine captures shared *rng.Stream %q; derive a per-goroutine child with Split", obj.Name())
+	}
+}
+
+// streamUse records how a captured stream variable is used inside a
+// goroutine literal.
+type streamUse struct {
+	unsafe []token.Pos // uses that advance or republish the stream
+}
+
+// capturedStreamUses finds free *rng.Stream variables of lit and
+// classifies each use: the receiver position of a .Split(...) call is
+// safe, anything else is unsafe.
+func capturedStreamUses(pass *Pass, lit *ast.FuncLit) map[*types.Var]*streamUse {
+	uses := map[*types.Var]*streamUse{}
+	var stack []ast.Node
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || !isStreamPtr(v.Type()) {
+			return true
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() < lit.End() {
+			return true // declared inside the literal: not a capture
+		}
+		u := uses[v]
+		if u == nil {
+			u = &streamUse{}
+			uses[v] = u
+		}
+		if !isSplitReceiver(stack) {
+			u.unsafe = append(u.unsafe, id.Pos())
+		}
+		return true
+	})
+	return uses
+}
+
+// isSplitReceiver reports whether the identifier on top of stack is the
+// receiver of a v.Split(...) call.
+func isSplitReceiver(stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	sel, ok := stack[len(stack)-2].(*ast.SelectorExpr)
+	if !ok || sel.X != stack[len(stack)-1] || sel.Sel.Name != "Split" {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}
+
+// innermostLoopBody returns the body of the innermost for/range
+// statement on stack that encloses the go statement g.
+func innermostLoopBody(stack []ast.Node, g *ast.GoStmt) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.ForStmt:
+			if v.Body.Pos() <= g.Pos() && g.Pos() < v.Body.End() {
+				return v.Body
+			}
+		case *ast.RangeStmt:
+			if v.Body.Pos() <= g.Pos() && g.Pos() < v.Body.End() {
+				return v.Body
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return nil // don't look past the enclosing function
+		}
+	}
+	return nil
+}
+
+// usedOutsideAfter reports whether obj is referenced in the enclosing
+// function outside the goroutine literal lit at a position after the go
+// statement — the parent (or a later goroutine) still touching a stream
+// it just shared.
+func usedOutsideAfter(pass *Pass, stack []ast.Node, lit *ast.FuncLit, g *ast.GoStmt, obj *types.Var) bool {
+	var encl ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.FuncLit:
+			if v != lit {
+				encl = v
+			}
+		case *ast.FuncDecl:
+			encl = v
+		}
+		if encl != nil {
+			break
+		}
+	}
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if lit.Pos() <= n.Pos() && n.Pos() < lit.End() {
+			return false // inside the goroutine literal
+		}
+		if id, ok := n.(*ast.Ident); ok && n.Pos() > g.End() && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStreamPtr reports whether t is *esse/internal/rng.Stream.
+func isStreamPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Stream" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/rng")
+}

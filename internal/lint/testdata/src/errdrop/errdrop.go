@@ -1,0 +1,41 @@
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error        { return nil }
+func pair() (int, error) { return 0, nil }
+
+func bad() {
+	fail()         // want "call discards its error result"
+	_ = fail()     // want "blank identifier"
+	v, _ := pair() // want "blank identifier"
+	_ = v
+	f, _ := os.Open("x") // want "blank identifier"
+	defer f.Close()      // want "deferred call discards its error result"
+	go fail()            // want "goroutine call discards its error result"
+}
+
+func good() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	buf.WriteString("ok") // never fails: allowlisted
+	var sb strings.Builder
+	sb.WriteByte('x') // never fails: allowlisted
+	fmt.Println(buf.String(), sb.String(), v)
+	n, _ := fmt.Println("best-effort stdout") // allowlisted blank
+	_ = n
+	//esselint:allow errdrop best-effort cleanup, failure is benign here
+	fail()
+	return nil
+}

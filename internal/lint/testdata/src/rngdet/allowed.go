@@ -1,0 +1,10 @@
+// This file demonstrates the audited escape hatch: the file-level
+// directive suppresses rngdeterminism findings, so the forbidden import
+// below must NOT be reported.
+//
+//esselint:allowfile rngdeterminism legacy comparison harness
+package rngdet
+
+import "math/rand/v2"
+
+func legacyUniform() float64 { return rand.Float64() }

@@ -1,0 +1,24 @@
+package rngdet
+
+import (
+	_ "crypto/rand" // want "entropy-seeded randomness breaks bit-reproducibility"
+	"math/rand"     // want "import .math/rand. is forbidden"
+	"time"
+
+	"esse/internal/rng"
+)
+
+type config struct {
+	Seed int64
+}
+
+func seeds(parent *rng.Stream) {
+	seed := uint64(time.Now().UnixNano())                // want "time.Now\\(\\)-derived seed"
+	s := rng.New(uint64(time.Now().UnixNano()))          // want "time.Now\\(\\)-derived seed"
+	cfg := config{Seed: time.Now().Unix()}               // want "time.Now\\(\\)-derived seed"
+	child := parent.Split(uint64(time.Now().UnixNano())) // want "time.Now\\(\\)-derived seed"
+	_, _, _, _ = seed, s, cfg, child
+	_ = rand.Intn(3)
+}
+
+var defaultSeed = time.Now().UnixNano() // want "time.Now\\(\\)-derived seed"

@@ -1,0 +1,94 @@
+package streamshare
+
+import (
+	"sync"
+
+	"esse/internal/rng"
+)
+
+func worker(s *rng.Stream) float64 { return s.Norm() }
+
+type holder struct{ st *rng.Stream }
+
+func badArg(parent *rng.Stream) {
+	go worker(parent) // want "passed into goroutine is shared"
+}
+
+func badField(h *holder) {
+	go worker(h.st) // want "passed into goroutine is shared"
+}
+
+// goodArgSplit hands each goroutine a fresh Split child: must NOT be
+// flagged.
+func goodArgSplit(parent *rng.Stream) {
+	for i := 0; i < 4; i++ {
+		go worker(parent.Split(uint64(i)))
+	}
+}
+
+// goodArgSlot passes per-slot streams out of a pre-split pool.
+func goodArgSlot(streams []*rng.Stream) {
+	for i := range streams {
+		go worker(streams[i])
+	}
+}
+
+func badCaptureLoop(parent *rng.Stream) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = parent.Norm() // want "captures shared .rng.Stream"
+		}()
+	}
+	wg.Wait()
+}
+
+// goodCaptureChild splits a per-iteration child before launching: the
+// capture is owned by exactly one goroutine and must NOT be flagged.
+func goodCaptureChild(parent *rng.Stream) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		child := parent.Split(uint64(i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = child.Norm()
+		}()
+	}
+	wg.Wait()
+}
+
+// goodCaptureSplitOnly captures the parent but only ever calls Split on
+// it (Split does not advance the parent): must NOT be flagged.
+func goodCaptureSplitOnly(parent *rng.Stream) {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		id := uint64(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := parent.Split(id)
+			_ = c.Norm()
+		}()
+	}
+	wg.Wait()
+}
+
+func badHandoffThenUse() float64 {
+	s := rng.New(7)
+	go func() {
+		_ = s.Float64() // want "captures shared .rng.Stream"
+	}()
+	return s.Float64()
+}
+
+// goodHandoff transfers ownership: the launcher never touches the
+// stream again, so the single goroutine is its sole owner.
+func goodHandoff() {
+	s := rng.New(9)
+	go func() {
+		_ = s.Float64()
+	}()
+}

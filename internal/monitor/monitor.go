@@ -10,7 +10,9 @@ package monitor
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -76,15 +78,19 @@ func (m *Monitor) Handler() http.Handler {
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		p, n := m.Latest()
 		w.Header().Set("Content-Type", "application/json")
+		//esselint:allow errdrop a failed write means the client went away; nothing to do
 		_ = json.NewEncoder(w).Encode(toJSON(p, n))
 	})
 	mux.HandleFunc("/status.txt", func(w http.ResponseWriter, r *http.Request) {
 		p, n := m.Latest()
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintf(w, "ensemble progress: %d/%d members (%d failed, %d cancelled)\n",
+		var b strings.Builder
+		fmt.Fprintf(&b, "ensemble progress: %d/%d members (%d failed, %d cancelled)\n",
 			p.Completed, p.Target, p.Failed, p.Cancelled)
-		fmt.Fprintf(w, "SVD rounds: %d, converged: %v (rho=%.4f)\n", p.SVDRounds, p.Converged, p.Rho)
-		fmt.Fprintf(w, "elapsed: %v, %d updates\n", p.Elapsed.Round(time.Millisecond), n)
+		fmt.Fprintf(&b, "SVD rounds: %d, converged: %v (rho=%.4f)\n", p.SVDRounds, p.Converged, p.Rho)
+		fmt.Fprintf(&b, "elapsed: %v, %d updates\n", p.Elapsed.Round(time.Millisecond), n)
+		w.Header().Set("Content-Type", "text/plain")
+		//esselint:allow errdrop a failed write means the client went away; nothing to do
+		_, _ = io.WriteString(w, b.String())
 	})
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
 		m.mu.RLock()
@@ -94,6 +100,7 @@ func (m *Monitor) Handler() http.Handler {
 		}
 		m.mu.RUnlock()
 		w.Header().Set("Content-Type", "application/json")
+		//esselint:allow errdrop a failed write means the client went away; nothing to do
 		_ = json.NewEncoder(w).Encode(out)
 	})
 	return mux

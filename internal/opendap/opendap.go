@@ -95,7 +95,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(names)
 	body := strings.Join(names, "\n") + "\n"
 	w.Header().Set("Content-Type", "text/plain")
-	io.WriteString(w, body)
+	io.WriteString(w, body) //esselint:allow errdrop a failed write means the client went away
 	s.count(int64(len(body)))
 }
 
@@ -108,7 +108,7 @@ func (s *Server) handleDDS(w http.ResponseWriter, r *http.Request) {
 	}
 	body := f.DDS(name)
 	w.Header().Set("Content-Type", "text/plain")
-	io.WriteString(w, body)
+	io.WriteString(w, body) //esselint:allow errdrop a failed write means the client went away
 	s.count(int64(len(body)))
 }
 
@@ -151,9 +151,9 @@ func (s *Server) handleDODS(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	h := crc64.New(crcTable)
 	mw := io.MultiWriter(w, h)
-	binary.Write(mw, binary.LittleEndian, int64(len(data)))
-	binary.Write(mw, binary.LittleEndian, data)
-	binary.Write(w, binary.LittleEndian, h.Sum64())
+	binary.Write(mw, binary.LittleEndian, int64(len(data))) //esselint:allow errdrop a failed write means the client went away
+	binary.Write(mw, binary.LittleEndian, data)             //esselint:allow errdrop a failed write means the client went away
+	binary.Write(w, binary.LittleEndian, h.Sum64())         //esselint:allow errdrop a failed write means the client went away
 	s.count(int64(8 + 8*len(data) + 8))
 }
 
@@ -201,7 +201,7 @@ func (c *Client) Datasets() ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("opendap: %w", err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //esselint:allow errdrop read-only response body
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("opendap: listing failed: %s", resp.Status)
 	}
@@ -224,7 +224,7 @@ func (c *Client) DDS(dataset string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("opendap: %w", err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //esselint:allow errdrop read-only response body
 	if resp.StatusCode != http.StatusOK {
 		return "", fmt.Errorf("opendap: DDS failed: %s", resp.Status)
 	}
@@ -249,8 +249,9 @@ func (c *Client) Fetch(dataset, variable string, start, count []int) ([]float64,
 	if err != nil {
 		return nil, fmt.Errorf("opendap: %w", err)
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //esselint:allow errdrop read-only response body
 	if resp.StatusCode != http.StatusOK {
+		//esselint:allow errdrop best-effort capture of the server's error text
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("opendap: fetch failed: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}

@@ -6,9 +6,15 @@ import (
 
 	"esse/internal/core"
 	"esse/internal/ocean"
-	"esse/internal/rng"
 	"esse/internal/workflow"
 )
+
+// quietStreamID keys the Split child handed to the noise-free model
+// runs below. The quiet configuration never draws from its stream (all
+// noise amplitudes are zero), but deriving it from the master seed —
+// instead of an ad-hoc rng.New(1) — keeps every stream in the system
+// attributable to Config.Seed.
+const quietStreamID = 0xD0
 
 // deterministicForecast evolves the current error subspace through the
 // quiet (noise-free) model by finite-difference tangent linearization —
@@ -24,7 +30,9 @@ func (s *System) deterministicForecast(ctx context.Context, centralZ []float64) 
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
-		m := ocean.New(quiet, rng.New(1))
+		// Split is a pure read of the parent, so concurrent prop calls
+		// may each derive their own child here.
+		m := ocean.New(quiet, s.seeds.Split(quietStreamID))
 		m.SetState(s.scaler.FromScaled(nil, initialZ))
 		m.Run(steps)
 		return s.scaler.ToScaled(nil, m.State(nil)), nil

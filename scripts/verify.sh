@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the repository's standing gate: build, vet, the custom
+# esselint determinism/concurrency analyzers, and the race-enabled test
+# suite. CI runs exactly this; run it locally before sending a change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> esselint ./... (rngdeterminism, streamshare, errdrop)"
+go run ./cmd/esselint -vet=false ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all gates passed"
