@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint vet verify
+.PHONY: build test race lint lint-fixtures audit vet verify
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ vet:
 # the stock vet passes (see internal/lint and cmd/esselint).
 lint:
 	$(GO) run ./cmd/esselint ./...
+
+# lint-fixtures runs only the analyzer fixture tests — the fast inner
+# loop when developing an analyzer.
+lint-fixtures:
+	$(GO) test ./internal/lint -run 'Fixture|DirectivePlacement'
+
+# audit lists every //esselint:allow[file] directive and fails if any
+# is missing a reason or names an unknown analyzer.
+audit:
+	$(GO) run ./cmd/esselint -audit -vet=false ./...
 
 verify:
 	./scripts/verify.sh

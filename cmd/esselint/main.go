@@ -1,15 +1,18 @@
-// Command esselint runs the repository's custom determinism and
-// concurrency analyzers (see esse/internal/lint) over the given package
-// patterns, bundled with the stock `go vet` passes, and exits non-zero
-// on any finding:
+// Command esselint runs the repository's custom determinism,
+// numerical-safety and concurrency analyzers (see esse/internal/lint)
+// over the given package patterns, bundled with the stock `go vet`
+// passes, and exits non-zero on any finding:
 //
 //	go run ./cmd/esselint ./...
 //	go run ./cmd/esselint -vet=false ./internal/workflow
+//	go run ./cmd/esselint -json ./...   # one JSON object per diagnostic
+//	go run ./cmd/esselint -audit ./...  # validate //esselint:allow directives
 //
 // It is the lint stage of scripts/verify.sh and `make verify`.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +21,21 @@ import (
 	"esse/internal/lint"
 )
 
+// jsonDiag is the wire form of one diagnostic in -json mode.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	vet := flag.Bool("vet", true, "also run the stock `go vet` passes on the same patterns")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic (including suppressed ones) instead of text")
+	audit := flag.Bool("audit", false, "list every //esselint:allow[file] directive; exit non-zero on directives with no reason or an unknown analyzer")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: esselint [flags] [package patterns]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the ESSE determinism/concurrency analyzers (default patterns: ./...).\n\n")
@@ -41,21 +56,51 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	failed := false
 	pkgs, err := lint.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "esselint:", err)
 		os.Exit(2)
 	}
-	diags, err := lint.RunAnalyzers(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "esselint:", err)
-		os.Exit(2)
+
+	if *audit {
+		os.Exit(runAudit(pkgs, analyzers))
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	failed := false
+	if *jsonOut {
+		diags, err := lint.RunAnalyzersAll(pkgs, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esselint:", err)
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiag{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "esselint:", err)
+				os.Exit(2)
+			}
+			if !d.Suppressed {
+				failed = true
+			}
+		}
+	} else {
+		diags, err := lint.RunAnalyzers(pkgs, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esselint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		failed = len(diags) > 0
 	}
-	failed = len(diags) > 0
 
 	if *vet {
 		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
@@ -69,4 +114,23 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runAudit prints the tree's suppression directives and returns the
+// process exit code: 1 if any directive is missing a reason or names an
+// unknown analyzer, 0 otherwise.
+func runAudit(pkgs []*lint.Package, analyzers []*lint.Analyzer) int {
+	dirs := lint.CollectDirectives(pkgs)
+	for _, d := range dirs {
+		fmt.Println(d)
+	}
+	problems := lint.AuditDirectives(dirs, analyzers)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "esselint: audit:", p)
+	}
+	fmt.Printf("esselint: audit: %d directive(s), %d problem(s)\n", len(dirs), len(problems))
+	if len(problems) > 0 {
+		return 1
+	}
+	return 0
 }

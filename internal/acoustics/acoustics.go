@@ -59,6 +59,7 @@ func (s *Section) dCdZ(r, z float64) float64 {
 	}
 	zp := math.Min(z+dz/2, s.Depths[len(s.Depths)-1])
 	zm := math.Max(z-dz/2, s.Depths[0])
+	//esselint:allow floatcmp exact equality is the zero-denominator guard for the gradient below
 	if zp == zm {
 		return 0
 	}

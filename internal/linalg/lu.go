@@ -50,6 +50,7 @@ func LU(a *Dense) (*LUFactors, error) {
 		}
 		pivVal := lu.At(k, k)
 		for i := k + 1; i < n; i++ {
+			//esselint:allow divguard partial pivoting: |At(k,k)| = max > 0 after the row swap, guarded above
 			m := lu.At(i, k) / pivVal
 			lu.Set(i, k, m)
 			if m == 0 {
@@ -87,6 +88,7 @@ func (f *LUFactors) Solve(b []float64) []float64 {
 		for j := i + 1; j < n; j++ {
 			x[i] -= row[j] * x[j]
 		}
+		//esselint:allow divguard U's diagonal is nonzero whenever Factor succeeded (zero pivots error out)
 		x[i] /= row[i]
 	}
 	return x

@@ -186,6 +186,7 @@ func SolveSPD(a *Dense, b []float64) ([]float64, bool) {
 		for j := i + 1; j < n; j++ {
 			s -= l.At(j, i) * x[j]
 		}
+		//esselint:allow divguard Cholesky success guarantees a strictly positive diagonal
 		x[i] = s / l.At(i, i)
 	}
 	return x, true
@@ -213,6 +214,7 @@ func InvertSPD(a *Dense) (*Dense, bool) {
 			for k := i + 1; k < n; k++ {
 				s -= l.At(k, i) * x[k]
 			}
+			//esselint:allow divguard Cholesky success guarantees a strictly positive diagonal
 			x[i] = s / l.At(i, i)
 		}
 		inv.SetCol(j, x)

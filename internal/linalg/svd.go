@@ -161,7 +161,9 @@ func ThinSVDGram(a *Dense, k int) *SVDFactors {
 	if len(s) > 0 {
 		smax = s[0]
 	}
-	floor := 1e-13 * (1 + smax)
+	// Abs guards the floor itself: a slightly negative leading value from
+	// the Gram eigensolve must not drag the threshold below 1e-13.
+	floor := 1e-13 * (1 + math.Abs(smax))
 	ucol := make([]float64, m)
 	for j := range s {
 		av.Col(ucol, j)

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AliasGuard flags calls to the in-place linalg kernels whose
+// destination may alias a source argument. mulInto and friends read
+// their sources while writing dst row by row; handing the same matrix
+// (or a row view of it) as both corrupts the product mid-computation —
+// silently, because the shapes still agree.
+//
+// The check is syntactic but targeted: a conflict is reported when the
+// two argument expressions are spelled identically, or when they share
+// a root variable and one of them IS that root (a matrix aliases every
+// view of itself: u and u.Row(j) overlap, s.A and s.B do not).
+//
+// Kernels that are elementwise-safe by construction (AddInPlace,
+// ScaleInPlace, Axpy, CopyFrom) are deliberately absent from the table.
+var AliasGuard = &Analyzer{
+	Name: "aliasguard",
+	Doc: "flag in-place linalg kernel calls (mulInto, mulRange, applyJacobiRotation, OuterAdd, " +
+		"SetCol, Col) where the destination may alias a source argument",
+	Scope: underInternalOrCmd,
+	Run:   runAliasGuard,
+}
+
+// aliasConflict names one pair of argument positions that must not
+// alias. Position -1 is the method receiver.
+type aliasConflict struct{ a, b int }
+
+// aliasKernels maps function names in internal/linalg to their
+// conflicting argument pairs.
+var aliasKernels = map[string][]aliasConflict{
+	"mulInto":             {{0, 1}, {0, 2}}, // mulInto(out, a, b)
+	"mulRange":            {{0, 1}, {0, 2}}, // mulRange(out, a, b, lo, hi)
+	"applyJacobiRotation": {{0, 1}},         // applyJacobiRotation(w, v, ...)
+	"OuterAdd":            {{0, 2}, {0, 3}}, // OuterAdd(m, alpha, x, y)
+	"SetCol":              {{-1, 1}},        // (m *Dense).SetCol(j, v)
+	"Col":                 {{-1, 0}},        // (m *Dense).Col(dst, j)
+}
+
+const linalgPathSuffix = "internal/linalg"
+
+func runAliasGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkAliasCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAliasCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	p := fn.Pkg().Path()
+	if p != linalgPathSuffix && !strings.HasSuffix(p, "/"+linalgPathSuffix) {
+		return
+	}
+	conflicts, ok := aliasKernels[fn.Name()]
+	if !ok {
+		return
+	}
+	operand := func(idx int) ast.Expr {
+		if idx == -1 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		if idx < len(call.Args) {
+			return call.Args[idx]
+		}
+		return nil
+	}
+	for _, c := range conflicts {
+		x, y := operand(c.a), operand(c.b)
+		if x == nil || y == nil {
+			continue
+		}
+		if mayAlias(pass, x, y) {
+			pass.Reportf(call.Pos(),
+				"%s call passes %s and %s, which may alias; the kernel writes its destination while reading sources — copy one side first (//esselint:allow aliasguard <reason> if overlap is impossible)",
+				fn.Name(), exprSnippet(x), exprSnippet(y))
+		}
+	}
+}
+
+// calleeFunc resolves the called function or method, if it is a named
+// one.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// mayAlias reports whether x and y can refer to overlapping storage:
+// identical spelling, or same root variable with one side being the
+// bare root (the whole object aliases any of its views).
+func mayAlias(pass *Pass, x, y ast.Expr) bool {
+	x, y = ast.Unparen(x), ast.Unparen(y)
+	rx, ry := rootIdent(x), rootIdent(y)
+	if rx == nil || ry == nil {
+		return false
+	}
+	ox, _ := pass.Info.Uses[rx].(*types.Var)
+	oy, _ := pass.Info.Uses[ry].(*types.Var)
+	if ox == nil || oy == nil || ox != oy {
+		return false
+	}
+	if types.ExprString(x) == types.ExprString(y) {
+		return true
+	}
+	_, xIsRoot := x.(*ast.Ident)
+	_, yIsRoot := y.(*ast.Ident)
+	return xIsRoot || yIsRoot
+}

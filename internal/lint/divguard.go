@@ -1,0 +1,935 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DivGuard flags floating-point divisions, math.Sqrt and math.Log calls
+// whose operand is not provably safe on every control-flow path: a
+// denominator that may be zero silently injects ±Inf/NaN into the
+// covariance pipeline, and one NaN in an anomaly column corrupts the
+// whole error subspace (the SVD has no way to quarantine it).
+//
+// The analyzer runs a forward dataflow over the function's CFG tracking
+// sign facts (nonzero / non-negative / non-positive) for variables,
+// fields and indexed expressions. Facts are produced by
+//
+//   - branch conditions: `if d == 0 { return }`, `if v > 0 { ... }`,
+//     `if math.Abs(g) <= tol { continue }`, including && / || forms;
+//   - assignments whose right-hand side is provably safe: epsilon
+//     clamps (`d = math.Max(d, 1e-12)`), absolute values, squares
+//     (`x*x`), sums of squares, math.Exp, positive constants;
+//   - the trust boundary: function parameters and struct-field reads
+//     are assumed nonzero — validating configuration (grid spacing,
+//     time steps) is the constructor's job, and the analyzer's target
+//     is quantities *computed* inside the kernel (Gram entries, norms,
+//     pivots), where cancellation can produce exact zeros.
+//
+// A division/Sqrt/Log whose operand cannot be proven safe needs a
+// guard, an epsilon clamp, or an audited //esselint:allow divguard
+// directive with a reason.
+var DivGuard = &Analyzer{
+	Name: "divguard",
+	Doc: "flag float divisions and math.Sqrt/math.Log calls whose operand is not dominated " +
+		"by a zero/sign guard or an epsilon clamp (numerical-safety gate for the covariance pipeline)",
+	Scope: underAny("internal/linalg", "internal/ocean"),
+	Run:   runDivGuard,
+}
+
+// underAny scopes an analyzer to the given module-relative paths (and
+// their subpackages).
+func underAny(rels ...string) func(string) bool {
+	return func(rel string) bool {
+		for _, r := range rels {
+			if rel == r || strings.HasPrefix(rel, r+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Sign-fact bits. A value's mask is the conjunction of proven
+// properties: sfPos = sfNonZero|sfNonNeg, sfNeg = sfNonZero|sfNonPos,
+// an exact zero is sfNonNeg|sfNonPos.
+const (
+	sfNonZero uint8 = 1 << iota
+	sfNonNeg
+	sfNonPos
+)
+
+const sfPos = sfNonZero | sfNonNeg
+const sfNeg = sfNonZero | sfNonPos
+
+func isPos(m uint8) bool { return m&sfPos == sfPos }
+func isNeg(m uint8) bool { return m&sfNeg == sfNeg }
+
+// divState maps the canonical string of a keyable expression (variable,
+// field chain, indexed element) to its proven sign mask. A nil map is
+// the solver's Top (unreached).
+type divState map[string]uint8
+
+func (s divState) clone() divState {
+	c := make(divState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func runDivGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range FuncNodes(f) {
+			analyzeDivGuardFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func analyzeDivGuardFunc(pass *Pass, fn ast.Node) {
+	a := &divguardFunc{pass: pass, fn: fn, trusted: map[types.Object]bool{}, reported: map[token.Pos]bool{}}
+	a.collectTrusted(fn)
+	cfg := BuildCFG(fn)
+	res := Forward(cfg, a)
+	// Reporting pass: replay each reachable block's transfer from its
+	// solved entry fact, checking operand safety site by site.
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(divState)
+		if in == nil {
+			continue // unreachable (or Top): don't report from dead code
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			a.step(st, n, true)
+		}
+	}
+}
+
+// divguardFunc is the per-function analysis: FlowAnalysis plus the
+// expression-safety machinery.
+type divguardFunc struct {
+	pass     *Pass
+	fn       ast.Node
+	trusted  map[types.Object]bool
+	reported map[token.Pos]bool
+}
+
+func (a *divguardFunc) collectTrusted(fn ast.Node) {
+	var ft *ast.FuncType
+	var recv *ast.FieldList
+	switch v := fn.(type) {
+	case *ast.FuncDecl:
+		ft = v.Type
+		recv = v.Recv
+	case *ast.FuncLit:
+		ft = v.Type
+	}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := a.pass.Info.Defs[name]; obj != nil {
+					a.trusted[obj] = true
+				}
+			}
+		}
+	}
+	if ft != nil {
+		addFields(ft.Params)
+	}
+	addFields(recv)
+}
+
+// --- FlowAnalysis ----------------------------------------------------------
+
+func (a *divguardFunc) Boundary() Fact { return divState{} }
+func (a *divguardFunc) Top() Fact      { return divState(nil) }
+
+func (a *divguardFunc) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(divState)
+	if st == nil {
+		return divState(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		a.step(out, n, false)
+	}
+	return out
+}
+
+func (a *divguardFunc) FlowEdge(e *Edge, out Fact) Fact {
+	st, _ := out.(divState)
+	if st == nil || e.Cond == nil {
+		return out
+	}
+	refined := st.clone()
+	a.refine(refined, e.Cond, e.Branch)
+	return refined
+}
+
+func (a *divguardFunc) Meet(x, y Fact) Fact {
+	sx, _ := x.(divState)
+	sy, _ := y.(divState)
+	if sx == nil {
+		return sy
+	}
+	if sy == nil {
+		return sx
+	}
+	m := divState{}
+	for k, vx := range sx {
+		if vy, ok := sy[k]; ok {
+			if v := vx & vy; v != 0 {
+				m[k] = v
+			}
+		}
+	}
+	return m
+}
+
+func (a *divguardFunc) Equal(x, y Fact) bool {
+	sx, _ := x.(divState)
+	sy, _ := y.(divState)
+	if (sx == nil) != (sy == nil) || len(sx) != len(sy) {
+		return false
+	}
+	for k, v := range sx {
+		if sy[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// --- per-node transfer -----------------------------------------------------
+
+// step checks (when report is set) the unsafe-operand sites inside n
+// under the pre-state, then applies n's effects to st in place.
+func (a *divguardFunc) step(st divState, n ast.Node, report bool) {
+	if report {
+		a.checkNode(st, n)
+	}
+	WalkBlockNode(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.AssignStmt:
+			// Children first would be eval order, but effects are
+			// applied once per statement here: RHS safeties are read
+			// under the current state before kills.
+			a.applyAssign(st, v)
+			return false
+		case *ast.DeclStmt:
+			if gd, ok := v.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						a.applyValueSpec(st, vs)
+					}
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			a.killExpr(st, v.X)
+			return false
+		case *ast.RangeStmt:
+			if v.Key != nil {
+				a.killExpr(st, v.Key)
+			}
+			if v.Value != nil {
+				a.killExpr(st, v.Value)
+			}
+			return true
+		case *ast.CallExpr:
+			a.applyCallKills(st, v)
+			return true
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				a.killExpr(st, v.X)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (a *divguardFunc) applyAssign(st divState, as *ast.AssignStmt) {
+	// First check RHS calls for kills (function calls may mutate
+	// reference arguments), then compute new facts under the pre-state.
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				a.applyCallKills(st, call)
+			}
+			return true
+		})
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		// Compound assignment x op= y: treat as x = x op y.
+		lhs := as.Lhs[0]
+		var op token.Token
+		switch as.Tok {
+		case token.ADD_ASSIGN:
+			op = token.ADD
+		case token.SUB_ASSIGN:
+			op = token.SUB
+		case token.MUL_ASSIGN:
+			op = token.MUL
+		case token.QUO_ASSIGN:
+			op = token.QUO
+		default:
+			a.killExpr(st, lhs)
+			return
+		}
+		mask := a.binaryMask(st, op, lhs, as.Rhs[0])
+		a.killExpr(st, lhs)
+		a.gen(st, lhs, mask)
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		masks := make([]uint8, len(as.Rhs))
+		for i, rhs := range as.Rhs {
+			masks[i] = a.safety(st, rhs)
+		}
+		for _, lhs := range as.Lhs {
+			a.killExpr(st, lhs)
+		}
+		for i, lhs := range as.Lhs {
+			a.gen(st, lhs, masks[i])
+		}
+		return
+	}
+	// Multi-value assignment from one call: no sign information.
+	for _, lhs := range as.Lhs {
+		a.killExpr(st, lhs)
+	}
+}
+
+func (a *divguardFunc) applyValueSpec(st divState, vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		a.killExpr(st, name)
+		if i < len(vs.Values) {
+			a.gen(st, name, a.safety(st, vs.Values[i]))
+		} else if vs.Values == nil {
+			// var x float64 — zero value.
+			a.gen(st, name, sfNonNeg|sfNonPos)
+		}
+	}
+}
+
+// applyCallKills invalidates facts that a call may have clobbered:
+// anything whose root is passed by pointer/slice/map or is the receiver
+// of a method call on a mutable type.
+func (a *divguardFunc) applyCallKills(st divState, call *ast.CallExpr) {
+	if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion: no effects
+	}
+	kill := func(e ast.Expr) {
+		if root := rootIdent(e); root != nil {
+			if obj, ok := a.pass.Info.Uses[root]; ok && isMutableRef(obj.Type()) {
+				a.killName(st, root.Name)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			a.killExpr(st, u.X)
+			continue
+		}
+		kill(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := a.pass.Info.Selections[sel]; isMethod {
+			kill(sel.X)
+		}
+	}
+}
+
+// isMutableRef reports whether a value of type t lets a callee mutate
+// state the caller can observe.
+func isMutableRef(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+func (a *divguardFunc) gen(st divState, lhs ast.Expr, mask uint8) {
+	if mask == 0 {
+		return
+	}
+	if key, ok := a.key(lhs); ok {
+		st[key] = mask
+	}
+}
+
+// killExpr drops every fact depending on the root identifier of e.
+func (a *divguardFunc) killExpr(st divState, e ast.Expr) {
+	if root := rootIdent(e); root != nil {
+		a.killName(st, root.Name)
+	}
+}
+
+func (a *divguardFunc) killName(st divState, name string) {
+	for k := range st {
+		if keyMentions(k, name) {
+			delete(st, k)
+		}
+	}
+}
+
+// keyMentions reports whether the canonical key string contains name as
+// a whole identifier token.
+func keyMentions(key, name string) bool {
+	for i := 0; i+len(name) <= len(key); i++ {
+		j := strings.Index(key[i:], name)
+		if j < 0 {
+			return false
+		}
+		j += i
+		beforeOK := j == 0 || !isIdentChar(key[j-1])
+		afterOK := j+len(name) == len(key) || !isIdentChar(key[j+len(name)])
+		if beforeOK && afterOK {
+			return true
+		}
+		i = j
+	}
+	return false
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// key returns the canonical fact key for e if e is keyable: an
+// identifier, a field/selector chain, or an index expression over a
+// keyable base with an identifier or constant index.
+func (a *divguardFunc) key(e ast.Expr) (string, bool) {
+	if !a.keyable(e) {
+		return "", false
+	}
+	return types.ExprString(ast.Unparen(e)), true
+}
+
+func (a *divguardFunc) keyable(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name != "_"
+	case *ast.SelectorExpr:
+		return a.keyable(v.X)
+	case *ast.IndexExpr:
+		if !a.keyable(v.X) {
+			return false
+		}
+		switch idx := ast.Unparen(v.Index).(type) {
+		case *ast.Ident:
+			return true
+		case *ast.BasicLit:
+			_ = idx
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// trustedSource reports whether e reads through the analyzer's trust
+// boundary: a function parameter/receiver or a struct-field chain.
+// Indexed elements are never trusted — slice contents are computed
+// data, exactly what the analyzer exists to check.
+func (a *divguardFunc) trustedSource(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := a.pass.Info.Uses[v]
+		if obj == nil {
+			return false
+		}
+		if a.trusted[obj] {
+			return true
+		}
+		// Free variables — captured outer locals and package-level vars —
+		// cross the same trust boundary as parameters: the closure's
+		// denominator `2*dx` is the enclosing function's configuration.
+		return obj.Pos() < a.fn.Pos() || obj.Pos() >= a.fn.End()
+	case *ast.SelectorExpr:
+		if sel, ok := a.pass.Info.Selections[v]; ok {
+			return sel.Kind() == types.FieldVal
+		}
+		// Qualified package-level variable: trusted configuration.
+		if obj, ok := a.pass.Info.Uses[v.Sel].(*types.Var); ok {
+			return obj.Pkg() != nil
+		}
+	}
+	return false
+}
+
+// --- expression safety -----------------------------------------------------
+
+// safety computes the proven sign mask of e under st.
+func (a *divguardFunc) safety(st divState, e ast.Expr) uint8 {
+	e = ast.Unparen(e)
+	if tv, ok := a.pass.Info.Types[e]; ok && tv.Value != nil {
+		return constMask(tv)
+	}
+	switch v := e.(type) {
+	case *ast.UnaryExpr:
+		switch v.Op {
+		case token.SUB:
+			return negMask(a.safety(st, v.X))
+		case token.ADD:
+			return a.safety(st, v.X)
+		}
+		return 0
+	case *ast.BinaryExpr:
+		return a.binaryMask(st, v.Op, v.X, v.Y)
+	case *ast.CallExpr:
+		return a.callMask(st, v)
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		if key, ok := a.key(e); ok {
+			if m, found := st[key]; found {
+				return m
+			}
+		}
+		if a.trustedSource(e) {
+			return sfNonZero
+		}
+	}
+	return 0
+}
+
+func constMask(tv types.TypeAndValue) uint8 {
+	val := tv.Value
+	if val == nil {
+		return 0
+	}
+	s := val.String()
+	switch {
+	case s == "0", strings.HasPrefix(s, "0/"), s == "0.0":
+		return sfNonNeg | sfNonPos
+	case strings.HasPrefix(s, "-"):
+		return sfNeg
+	}
+	// Non-negative literal; distinguish exact zero via string form
+	// handled above, everything else is positive.
+	if s == "" {
+		return 0
+	}
+	if c := s[0]; c >= '0' && c <= '9' || c == '.' {
+		// Floating zeros can print as "0" (handled) — any other
+		// numeric literal here is positive.
+		if isZeroConst(s) {
+			return sfNonNeg | sfNonPos
+		}
+		return sfPos
+	}
+	return 0
+}
+
+// isZeroConst recognizes the constant printer's zero spellings.
+func isZeroConst(s string) bool {
+	for _, c := range s {
+		switch c {
+		case '0', '.', 'e', '+', '-':
+			// still compatible with a zero like 0.00e+00
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func negMask(m uint8) uint8 {
+	out := m & sfNonZero
+	if m&sfNonNeg != 0 {
+		out |= sfNonPos
+	}
+	if m&sfNonPos != 0 {
+		out |= sfNonNeg
+	}
+	return out
+}
+
+func sumMask(x, y uint8) uint8 {
+	var m uint8
+	if x&sfNonNeg != 0 && y&sfNonNeg != 0 {
+		m |= sfNonNeg
+		if isPos(x) || isPos(y) {
+			m |= sfNonZero
+		}
+	}
+	if x&sfNonPos != 0 && y&sfNonPos != 0 {
+		m |= sfNonPos
+		if isNeg(x) || isNeg(y) {
+			m |= sfNonZero
+		}
+	}
+	return m
+}
+
+func mulMask(x, y uint8) uint8 {
+	var m uint8
+	if x&sfNonZero != 0 && y&sfNonZero != 0 {
+		m |= sfNonZero
+	}
+	if (x&sfNonNeg != 0 && y&sfNonNeg != 0) || (x&sfNonPos != 0 && y&sfNonPos != 0) {
+		m |= sfNonNeg
+	}
+	if (x&sfNonNeg != 0 && y&sfNonPos != 0) || (x&sfNonPos != 0 && y&sfNonNeg != 0) {
+		m |= sfNonPos
+	}
+	return m
+}
+
+func (a *divguardFunc) binaryMask(st divState, op token.Token, x, y ast.Expr) uint8 {
+	switch op {
+	case token.ADD:
+		return sumMask(a.safety(st, x), a.safety(st, y))
+	case token.SUB:
+		return sumMask(a.safety(st, x), negMask(a.safety(st, y)))
+	case token.MUL:
+		return a.productMask(st, &ast.BinaryExpr{X: x, Op: token.MUL, Y: y})
+	case token.QUO:
+		return mulMask(a.safety(st, x), a.safety(st, y))
+	}
+	return 0
+}
+
+// productMask flattens a chain of multiplications and pairs
+// syntactically identical side-effect-free factors as squares (x*x is
+// non-negative even when x's sign is unknown) before folding the
+// factor masks.
+func (a *divguardFunc) productMask(st divState, e *ast.BinaryExpr) uint8 {
+	var factors []ast.Expr
+	var flatten func(ast.Expr)
+	flatten = func(f ast.Expr) {
+		f = ast.Unparen(f)
+		if b, ok := f.(*ast.BinaryExpr); ok && b.Op == token.MUL {
+			flatten(b.X)
+			flatten(b.Y)
+			return
+		}
+		factors = append(factors, f)
+	}
+	flatten(e.X)
+	flatten(e.Y)
+
+	used := make([]bool, len(factors))
+	mask := sfPos // identity factor 1
+	for i, f := range factors {
+		if used[i] {
+			continue
+		}
+		fi := a.safety(st, f)
+		if sideEffectFree(f) {
+			s := types.ExprString(ast.Unparen(f))
+			for j := i + 1; j < len(factors); j++ {
+				if !used[j] && sideEffectFree(factors[j]) && types.ExprString(ast.Unparen(factors[j])) == s {
+					used[i], used[j] = true, true
+					mask = mulMask(mask, sfNonNeg|(fi&sfNonZero))
+					break
+				}
+			}
+			if used[i] {
+				continue
+			}
+		}
+		mask = mulMask(mask, fi)
+	}
+	return mask
+}
+
+func sideEffectFree(e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			pure = false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pure = false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// callMask knows the sign behaviour of a small math/builtin vocabulary.
+func (a *divguardFunc) callMask(st divState, call *ast.CallExpr) uint8 {
+	if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return a.safety(st, call.Args[0]) // numeric conversion preserves sign
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+		return sfNonNeg
+	}
+	name := a.mathFunc(call)
+	if name == "" || len(call.Args) == 0 {
+		return 0
+	}
+	arg0 := func() uint8 { return a.safety(st, call.Args[0]) }
+	switch name {
+	case "Abs":
+		return sfNonNeg | (arg0() & sfNonZero)
+	case "Sqrt":
+		m := arg0()
+		out := sfNonNeg
+		if isPos(m) {
+			out |= sfNonZero
+		}
+		return out
+	case "Exp":
+		return sfPos
+	case "Hypot":
+		return sfNonNeg
+	case "Max":
+		if len(call.Args) != 2 {
+			return 0
+		}
+		x, y := arg0(), a.safety(st, call.Args[1])
+		var out uint8
+		if x&sfNonNeg != 0 || y&sfNonNeg != 0 {
+			out |= sfNonNeg
+		}
+		if isPos(x) || isPos(y) || (x&sfNonZero != 0 && y&sfNonZero != 0) {
+			out |= sfNonZero
+		}
+		if x&sfNonPos != 0 && y&sfNonPos != 0 {
+			out |= sfNonPos
+		}
+		return out
+	case "Min":
+		if len(call.Args) != 2 {
+			return 0
+		}
+		x, y := arg0(), a.safety(st, call.Args[1])
+		var out uint8
+		if x&sfNonPos != 0 || y&sfNonPos != 0 {
+			out |= sfNonPos
+		}
+		if isNeg(x) || isNeg(y) || (x&sfNonZero != 0 && y&sfNonZero != 0) {
+			out |= sfNonZero
+		}
+		if x&sfNonNeg != 0 && y&sfNonNeg != 0 {
+			out |= sfNonNeg
+		}
+		return out
+	}
+	return 0
+}
+
+// mathFunc returns the function name if call is math.<Name>(...).
+func (a *divguardFunc) mathFunc(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj, ok := a.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "math" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// --- branch refinement -----------------------------------------------------
+
+// refine strengthens st with what cond evaluating to branch implies.
+func (a *divguardFunc) refine(st divState, cond ast.Expr, branch bool) {
+	cond = ast.Unparen(cond)
+	switch v := cond.(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.NOT {
+			a.refine(st, v.X, !branch)
+		}
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND:
+			if branch {
+				a.refine(st, v.X, true)
+				a.refine(st, v.Y, true)
+			}
+		case token.LOR:
+			if !branch {
+				a.refine(st, v.X, false)
+				a.refine(st, v.Y, false)
+			}
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			op := v.Op
+			if !branch {
+				op = negateCmp(op)
+			}
+			a.applyRel(st, v.X, op, v.Y)
+			a.applyRel(st, v.Y, swapCmp(op), v.X)
+		}
+	}
+}
+
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	}
+	return op
+}
+
+func swapCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+// applyRel adds to x the facts implied by `x op y` holding, given y's
+// provable mask.
+func (a *divguardFunc) applyRel(st divState, x ast.Expr, op token.Token, y ast.Expr) {
+	ym := a.safety(st, y)
+	var add uint8
+	switch op {
+	case token.EQL:
+		add = ym
+	case token.NEQ:
+		if ym == sfNonNeg|sfNonPos { // y is exactly zero
+			add = sfNonZero
+		}
+	case token.GTR: // x > y
+		if ym&sfNonNeg != 0 {
+			add = sfPos
+		}
+	case token.GEQ: // x >= y
+		if isPos(ym) {
+			add = sfPos
+		} else if ym&sfNonNeg != 0 {
+			add = sfNonNeg
+		}
+	case token.LSS: // x < y
+		if ym&sfNonPos != 0 {
+			add = sfNeg
+		}
+	case token.LEQ: // x <= y
+		if isNeg(ym) {
+			add = sfNeg
+		} else if ym&sfNonPos != 0 {
+			add = sfNonPos
+		}
+	}
+	if add == 0 {
+		return
+	}
+	a.addFact(st, x, add)
+}
+
+// addFact attributes a learned mask to x, unwrapping abs-value calls
+// and numeric conversions so `math.Abs(g) > 0` teaches about g.
+func (a *divguardFunc) addFact(st divState, x ast.Expr, add uint8) {
+	x = ast.Unparen(x)
+	if call, ok := x.(*ast.CallExpr); ok {
+		if a.mathFunc(call) == "Abs" && len(call.Args) == 1 {
+			// |g| nonzero ⇒ g nonzero; sign facts do not transfer.
+			if add&sfNonZero != 0 {
+				a.addFact(st, call.Args[0], sfNonZero)
+			}
+			return
+		}
+		if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			a.addFact(st, call.Args[0], add)
+			return
+		}
+		return
+	}
+	if key, ok := a.key(x); ok {
+		st[key] |= add
+	}
+}
+
+// --- site checking ---------------------------------------------------------
+
+// checkNode reports unsafe operands inside n under the pre-state st.
+func (a *divguardFunc) checkNode(st divState, n ast.Node) {
+	WalkBlockNode(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.BinaryExpr:
+			if v.Op == token.QUO && a.isFloat(v.X) {
+				a.checkOperand(st, v.OpPos, v.Y, sfNonZero,
+					"denominator %s is not provably nonzero on every path; guard it, clamp with an epsilon (math.Max), or annotate //esselint:allow divguard <reason>")
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.QUO_ASSIGN && len(v.Lhs) == 1 && len(v.Rhs) == 1 && a.isFloat(v.Lhs[0]) {
+				a.checkOperand(st, v.TokPos, v.Rhs[0], sfNonZero,
+					"denominator %s is not provably nonzero on every path; guard it, clamp with an epsilon (math.Max), or annotate //esselint:allow divguard <reason>")
+			}
+		case *ast.CallExpr:
+			switch a.mathFunc(v) {
+			case "Sqrt":
+				if len(v.Args) == 1 {
+					a.checkOperand(st, v.Pos(), v.Args[0], sfNonNeg,
+						"math.Sqrt argument %s is not provably non-negative on every path; guard the sign or annotate //esselint:allow divguard <reason>")
+				}
+			case "Log":
+				if len(v.Args) == 1 {
+					a.checkOperand(st, v.Pos(), v.Args[0], sfPos,
+						"math.Log argument %s is not provably positive on every path; guard it or annotate //esselint:allow divguard <reason>")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *divguardFunc) isFloat(e ast.Expr) bool {
+	tv, ok := a.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func (a *divguardFunc) checkOperand(st divState, pos token.Pos, operand ast.Expr, need uint8, format string) {
+	if a.reported[pos] {
+		return
+	}
+	if tv, ok := a.pass.Info.Types[ast.Unparen(operand)]; ok && tv.Value != nil {
+		// Constant operands: a constant zero denominator would be a
+		// compile-time error for typed constants and glaring in review;
+		// sign of negative constants under Sqrt is caught by masks.
+		if constMask(tv)&need == need {
+			a.reported[pos] = true
+			return
+		}
+	}
+	if a.safety(st, operand)&need == need {
+		a.reported[pos] = true
+		return
+	}
+	a.reported[pos] = true
+	a.pass.Reportf(pos, format, exprSnippet(operand))
+}
+
+// exprSnippet renders e compactly for diagnostics.
+func exprSnippet(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 40 {
+		s = s[:37] + "..."
+	}
+	return fmt.Sprintf("%q", s)
+}

@@ -1,0 +1,479 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements whose spawned function literal
+// blocks on a channel the spawner does not release on every path. An
+// ensemble run that converges early and returns without draining its
+// result channel strands worker goroutines forever: each holds its
+// member's state slices, and over a long forecast the leaked workers
+// accumulate into real memory pressure and mask shutdown bugs.
+//
+// The analysis is intraprocedural and deliberately modest:
+//
+//   - Only function-literal goroutines are examined, and only channel
+//     operands that resolve to a channel created in the spawning
+//     function (a channel received as a parameter is the caller's
+//     contract, not ours).
+//   - A blocking operation is a send, receive, or range on a channel
+//     outside a select with an escape (a second case or a default).
+//   - A send-blocked channel must be released on every CFG path from
+//     the go statement to function exit: a receive or range on the
+//     channel, passing the channel to another function, storing it, or
+//     waiting on a sync.WaitGroup the goroutine calls Done on.
+//     Releases inside defers count for every path.
+//   - A receive-blocked channel (including range) needs a send, close,
+//     hand-off, or store of the channel anywhere in the spawning
+//     function — including inside sibling goroutine literals, since a
+//     producer goroutine closing the channel is the standard pattern.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "flag go statements whose goroutine blocks on a channel with no select escape and " +
+		"no drain/close/WaitGroup release on every path of the spawner",
+	Scope: underInternalOrCmd,
+	Run:   runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range FuncNodes(f) {
+			analyzeSpawner(pass, fn)
+		}
+	}
+	return nil
+}
+
+// chanOp is one potentially blocking channel operation inside a spawned
+// goroutine, resolved to the channel variable as the spawner sees it.
+type chanOp struct {
+	ch   *types.Var
+	send bool
+}
+
+func analyzeSpawner(pass *Pass, fn ast.Node) {
+	body := funcBody(fn)
+	if body == nil {
+		return
+	}
+	var gos []*ast.GoStmt
+	walkOwnStmts(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			gos = append(gos, g)
+			return false // the literal's body belongs to the goroutine
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+	var cfg *CFG // built lazily: only needed when a goroutine can block
+	for _, g := range gos {
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ops, wgs := collectGoroutineOps(pass, fn, g, lit)
+		checked := map[*types.Var]bool{}
+		for _, op := range ops {
+			if checked[op.ch] {
+				continue
+			}
+			checked[op.ch] = true
+			if op.send {
+				if cfg == nil {
+					cfg = BuildCFG(fn)
+				}
+				if sendLeaks(pass, cfg, g, op.ch, wgs) {
+					pass.Reportf(g.Pos(),
+						"goroutine sends on %q but the spawner does not drain it (or Wait on its WaitGroup) on every path; "+
+							"an early return strands the goroutine forever", op.ch.Name())
+				}
+			} else {
+				if receiveLeaks(pass, fn, g, op.ch) {
+					pass.Reportf(g.Pos(),
+						"goroutine receives on %q but nothing in the spawner ever sends on or closes it; "+
+							"the goroutine blocks forever", op.ch.Name())
+				}
+			}
+		}
+	}
+}
+
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch v := fn.(type) {
+	case *ast.FuncDecl:
+		return v.Body
+	case *ast.FuncLit:
+		return v.Body
+	}
+	return nil
+}
+
+// walkOwnStmts walks the statements a function executes itself,
+// pruning nested function literals: their go statements belong to the
+// nested function's own spawner analysis.
+func walkOwnStmts(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// collectGoroutineOps gathers the blocking channel operations of the
+// spawned literal, mapping literal parameters back to the call
+// arguments and keeping only channels created inside the spawning
+// function fn. It also returns the set of WaitGroup variables the
+// goroutine calls Done on (again as the spawner's variables).
+func collectGoroutineOps(pass *Pass, fn ast.Node, g *ast.GoStmt, lit *ast.FuncLit) ([]chanOp, map[*types.Var]bool) {
+	escapable := escapableComms(lit.Body)
+	var ops []chanOp
+	wgs := map[*types.Var]bool{}
+
+	resolve := func(e ast.Expr) *types.Var {
+		root := rootIdent(e)
+		if root == nil {
+			return nil
+		}
+		v, ok := pass.Info.Uses[root].(*types.Var)
+		if !ok {
+			return nil
+		}
+		// A literal parameter stands for the corresponding call argument.
+		if i := paramIndex(pass, lit, v); i >= 0 && i < len(g.Call.Args) {
+			argRoot := rootIdent(g.Call.Args[i])
+			if argRoot == nil {
+				return nil
+			}
+			v, ok = pass.Info.Uses[argRoot].(*types.Var)
+			if !ok {
+				return nil
+			}
+		}
+		// Only channels/WaitGroups created in the spawning function's
+		// body are the spawner's responsibility: one received as a
+		// parameter is the caller's contract, one declared inside the
+		// literal never outlives the goroutine's own reasoning.
+		spawnerBody := funcBody(fn)
+		if spawnerBody == nil || !declaredWithin(v, spawnerBody) || declaredWithin(v, lit.Body) {
+			return nil
+		}
+		return v
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			return false // a different goroutine's operations
+		case *ast.SendStmt:
+			if escapable[ast.Stmt(v)] {
+				return true
+			}
+			if ch := resolve(v.Chan); ch != nil && isChanVar(ch) {
+				ops = append(ops, chanOp{ch: ch, send: true})
+			}
+		case *ast.UnaryExpr:
+			if v.Op != token.ARROW {
+				return true
+			}
+			if ch := resolve(v.X); ch != nil && isChanVar(ch) {
+				ops = append(ops, chanOp{ch: ch, send: false})
+			}
+		case *ast.AssignStmt, *ast.ExprStmt:
+			if st, ok := n.(ast.Stmt); ok && escapable[st] {
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass, v.X) {
+				if ch := resolve(v.X); ch != nil && isChanVar(ch) {
+					ops = append(ops, chanOp{ch: ch, send: false})
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if wg := resolve(sel.X); wg != nil && isWaitGroupVar(wg) {
+					wgs[wg] = true
+				}
+			}
+		}
+		return true
+	})
+	return ops, wgs
+}
+
+// escapableComms returns the comm statements of selects that cannot
+// block indefinitely on a single channel: those with a default or at
+// least two cases.
+func escapableComms(body *ast.BlockStmt) map[ast.Stmt]bool {
+	out := map[ast.Stmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		cases := 0
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm == nil {
+					hasDefault = true
+				} else {
+					cases++
+				}
+			}
+		}
+		if hasDefault || cases >= 2 {
+			for _, c := range sel.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+					out[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func paramIndex(pass *Pass, lit *ast.FuncLit, v *types.Var) int {
+	if lit.Type.Params == nil {
+		return -1
+	}
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if pass.Info.Defs[name] == v {
+				return i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return -1
+}
+
+func declaredWithin(v *types.Var, node ast.Node) bool {
+	return v.Pos() >= node.Pos() && v.Pos() < node.End()
+}
+
+func isChanVar(v *types.Var) bool {
+	_, ok := v.Type().Underlying().(*types.Chan)
+	return ok
+}
+
+func isChanType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func isWaitGroupVar(v *types.Var) bool {
+	t := v.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+// --- send-side path analysis ----------------------------------------------
+
+// sendLeaks reports whether some path from the go statement to function
+// exit never releases ch (receives/ranges it, passes or stores it, or
+// waits on a linked WaitGroup).
+func sendLeaks(pass *Pass, cfg *CFG, g *ast.GoStmt, ch *types.Var, wgs map[*types.Var]bool) bool {
+	// A release inside a defer runs on every exit path.
+	for _, d := range cfg.Defers {
+		if releasesChan(pass, d.Call, ch, wgs) {
+			return false
+		}
+	}
+	an := &leakFlow{pass: pass, g: g, ch: ch, wgs: wgs}
+	res := Forward(cfg, an)
+	leaked, _ := res.In[cfg.Exit].(bool)
+	return leaked
+}
+
+// leakFlow is a may-analysis: the fact is true when control may reach
+// the current point with the goroutine spawned and its channel not yet
+// released. Meet is OR, Top is false.
+type leakFlow struct {
+	pass *Pass
+	g    *ast.GoStmt
+	ch   *types.Var
+	wgs  map[*types.Var]bool
+}
+
+func (a *leakFlow) Boundary() Fact             { return false }
+func (a *leakFlow) Top() Fact                  { return false }
+func (a *leakFlow) FlowEdge(e *Edge, out Fact) Fact { return out }
+func (a *leakFlow) Meet(x, y Fact) Fact        { return x.(bool) || y.(bool) }
+func (a *leakFlow) Equal(x, y Fact) bool       { return x.(bool) == y.(bool) }
+
+func (a *leakFlow) Transfer(b *Block, in Fact) Fact {
+	fact := in.(bool)
+	for _, n := range b.Nodes {
+		if g, ok := n.(*ast.GoStmt); ok && g == a.g {
+			fact = true
+			continue
+		}
+		released := false
+		WalkBlockNode(n, func(m ast.Node) bool {
+			if released {
+				return false
+			}
+			switch v := m.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW && a.isChan(v.X) {
+					released = true
+				}
+			case *ast.RangeStmt:
+				if a.isChan(v.X) {
+					released = true
+				}
+			case *ast.CallExpr:
+				if releasesChan(a.pass, v, a.ch, a.wgs) {
+					released = true
+					return false
+				}
+			case *ast.AssignStmt:
+				// Storing the channel hands responsibility elsewhere.
+				for _, rhs := range v.Rhs {
+					if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && a.pass.Info.Uses[id] == a.ch {
+						released = true
+					}
+				}
+			}
+			return true
+		})
+		if released {
+			fact = false
+		}
+	}
+	return fact
+}
+
+func (a *leakFlow) isChan(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && a.pass.Info.Uses[id] == a.ch
+}
+
+// releasesChan reports whether the call receives-from/forwards ch or
+// waits on one of the linked WaitGroups.
+func releasesChan(pass *Pass, call *ast.CallExpr, ch *types.Var, wgs map[*types.Var]bool) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+		if root := rootIdent(sel.X); root != nil {
+			if v, ok := pass.Info.Uses[root].(*types.Var); ok && wgs[v] {
+				return true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == ch {
+			return true
+		}
+	}
+	return false
+}
+
+// --- receive-side whole-function check ------------------------------------
+
+// receiveLeaks reports whether nothing in the spawning function — on
+// any path, in any sibling goroutine — ever sends on, closes, forwards,
+// or stores ch.
+func receiveLeaks(pass *Pass, fn ast.Node, g *ast.GoStmt, ch *types.Var) bool {
+	isCh := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == ch
+	}
+	fed := false
+	ast.Inspect(funcBody(fn), func(n ast.Node) bool {
+		if fed {
+			return false
+		}
+		if n == g {
+			// The spawning statement itself: its literal's receives are
+			// what we are checking, but a *send* in the same literal on
+			// the same channel would be self-feeding, which never helps.
+			// Other channels' traffic in the literal still counts, so
+			// only the call arguments are excluded (the channel being
+			// passed in is the binding, not a use).
+			return true
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			if isCh(v.Chan) {
+				fed = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "close" && len(v.Args) == 1 && isCh(v.Args[0]) {
+				fed = true
+				return false
+			}
+			if v == g.Call {
+				return true // skip the binding arguments, walk the literal
+			}
+			for _, arg := range v.Args {
+				if isCh(arg) {
+					fed = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range v.Rhs {
+				if isCh(rhs) {
+					fed = true
+				}
+			}
+		}
+		return true
+	})
+	return !fed
+}
+
+// rootIdent returns the base identifier an expression reads through:
+// x, x.f, x[i], x.f[i].g, (*x), x.m(...) all root at x. Returns nil
+// when there is no single base identifier (composite literals, calls
+// of package functions, constants).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.CallExpr:
+			e = v.Fun
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

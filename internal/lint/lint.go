@@ -11,6 +11,14 @@
 //     instead of handing each goroutine its own Split child.
 //   - errdrop: non-test code under internal/ must not discard error
 //     returns, either via `_ =` or by ignoring a call's results.
+//   - divguard: float divisions and math.Sqrt/math.Log operands in the
+//     numerical kernels must be dominated by a zero/sign guard or an
+//     epsilon clamp (CFG + sign dataflow; see cfg.go, dataflow.go).
+//   - floatcmp: no ==/!= between non-constant float expressions.
+//   - goroutineleak: a goroutine blocking on a channel must be released
+//     (drained, closed, Waited) on every path of its spawner.
+//   - aliasguard: in-place linalg kernels must not be handed aliasing
+//     destination and source arguments.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic) but is self-contained: packages are
@@ -84,6 +92,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks findings matched by an //esselint:allow[file]
+	// directive. RunAnalyzers drops them; RunAnalyzersAll keeps them
+	// flagged for audit/JSON output.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -92,13 +104,33 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full esselint suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{RngDeterminism, StreamShare, ErrDrop}
+	return []*Analyzer{
+		RngDeterminism, StreamShare, ErrDrop,
+		DivGuard, FloatCmp, GoroutineLeak, AliasGuard,
+	}
 }
 
 // RunAnalyzers applies each analyzer to each in-scope package and
 // returns the surviving (non-suppressed) diagnostics in file/position
 // order.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAnalyzersAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	diags := all[:0:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
+// RunAnalyzersAll is RunAnalyzers without the suppression filter:
+// suppressed findings are kept, marked with Suppressed=true, so JSON
+// consumers and the audit can see what the directives are hiding.
+func RunAnalyzersAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := newSuppressor(pkg)
@@ -116,9 +148,8 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				Pkg:       pkg.Pkg,
 				Info:      pkg.Info,
 				report: func(d Diagnostic) {
-					if !sup.suppressed(d) {
-						diags = append(diags, d)
-					}
+					d.Suppressed = sup.suppressed(d)
+					diags = append(diags, d)
 				},
 			}
 			if err := a.Run(pass); err != nil {

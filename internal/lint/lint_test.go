@@ -14,6 +14,22 @@ func TestErrDropFixture(t *testing.T) {
 	RunFixture(t, ErrDrop, "errdrop")
 }
 
+func TestDivGuardFixture(t *testing.T) {
+	RunFixture(t, DivGuard, "divguard")
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	RunFixture(t, FloatCmp, "floatcmp")
+}
+
+func TestGoroutineLeakFixture(t *testing.T) {
+	RunFixture(t, GoroutineLeak, "goroutineleak")
+}
+
+func TestAliasGuardFixture(t *testing.T) {
+	RunFixture(t, AliasGuard, "aliasguard")
+}
+
 // TestLoadRealPackage exercises the go-list/export-data loader against
 // a real module package and checks scoping: rng sits under internal/,
 // so the whole suite applies and must come back clean.
@@ -45,14 +61,17 @@ func TestLoadRealPackage(t *testing.T) {
 // scoped gates, streamshare applies everywhere.
 func TestScopes(t *testing.T) {
 	cases := []struct {
-		rel     string
-		rngdet  bool
-		errdrop bool
+		rel      string
+		rngdet   bool
+		errdrop  bool
+		divguard bool
 	}{
-		{"internal/workflow", true, true},
-		{"cmd/esse-forecast", true, false},
-		{"examples/quickstart", false, false},
-		{".", false, false},
+		{"internal/workflow", true, true, false},
+		{"internal/linalg", true, true, true},
+		{"internal/ocean", true, true, true},
+		{"cmd/esse-forecast", true, false, false},
+		{"examples/quickstart", false, false, false},
+		{".", false, false, false},
 	}
 	for _, c := range cases {
 		if got := RngDeterminism.Scope(c.rel); got != c.rngdet {
@@ -61,8 +80,38 @@ func TestScopes(t *testing.T) {
 		if got := ErrDrop.Scope(c.rel); got != c.errdrop {
 			t.Errorf("errdrop scope(%q) = %v, want %v", c.rel, got, c.errdrop)
 		}
+		if got := DivGuard.Scope(c.rel); got != c.divguard {
+			t.Errorf("divguard scope(%q) = %v, want %v", c.rel, got, c.divguard)
+		}
 		if StreamShare.Scope != nil {
 			t.Error("streamshare must not be path-scoped")
+		}
+	}
+}
+
+// TestLoadSkipsTestdata pins the loader guard: fixture packages under
+// testdata/ are deliberately broken code and must never be analysis
+// targets, whatever `go list` pattern semantics do.
+func TestLoadSkipsTestdata(t *testing.T) {
+	for _, path := range []string{
+		"esse/internal/lint/testdata/src/divguard",
+		"a/testdata",
+		"testdata/b",
+	} {
+		if !underTestdata(path) {
+			t.Errorf("underTestdata(%q) = false, want true", path)
+		}
+	}
+	if underTestdata("esse/internal/lint") {
+		t.Error("underTestdata(esse/internal/lint) = true, want false")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if underTestdata(p.Path) {
+			t.Errorf("Load returned testdata package %s", p.Path)
 		}
 	}
 }

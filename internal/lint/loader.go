@@ -62,6 +62,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	imp := newExportImporter(fset, exports)
 	var pkgs []*Package
 	for _, m := range metas {
+		// Analyzer fixtures under testdata/ are deliberately broken code;
+		// exclude them explicitly rather than trusting `go list` pattern
+		// semantics to keep doing it for us.
+		if underTestdata(m.ImportPath) {
+			continue
+		}
 		p, err := checkPackage(fset, imp, m)
 		if err != nil {
 			return nil, err
@@ -126,6 +132,17 @@ func LoadDir(modDir, dir string) (*Package, error) {
 		Files:   files,
 	}
 	return pkg, typeCheck(pkg, newExportImporter(fset, exports))
+}
+
+// underTestdata reports whether any element of the slash-separated
+// import path is "testdata".
+func underTestdata(importPath string) bool {
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 // goList runs `go list -e -deps -export -json` and returns the matched

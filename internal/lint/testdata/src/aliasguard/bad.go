@@ -1,0 +1,15 @@
+package aliasguard
+
+import "esse/internal/linalg"
+
+func badOuter(m *linalg.Dense, x []float64) {
+	linalg.OuterAdd(m, 1.0, m.Row(0), x) // want "may alias"
+}
+
+func badSetCol(u *linalg.Dense, j int) {
+	u.SetCol(j, u.Row(j)) // want "may alias"
+}
+
+func badCol(u *linalg.Dense) {
+	u.Col(u.Row(0), 1) // want "may alias"
+}

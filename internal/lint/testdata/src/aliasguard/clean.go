@@ -1,0 +1,20 @@
+package aliasguard
+
+import "esse/internal/linalg"
+
+func okOuter(m *linalg.Dense, x, y []float64) {
+	linalg.OuterAdd(m, 0.5, x, y)
+}
+
+func okSetCol(u, v *linalg.Dense, j int) {
+	u.SetCol(j, v.Row(j))
+}
+
+type pair struct{ a, b *linalg.Dense }
+
+// Distinct fields of the same struct share a root variable but do not
+// alias; the check requires one side to be the bare root.
+func okDistinctFields(p *pair, buf []float64) {
+	p.a.SetCol(0, buf)
+	p.b.Col(buf, 0)
+}

@@ -1,0 +1,7 @@
+package directives
+
+func fileWide(a, b float64) bool {
+	return a == b
+}
+
+//esselint:allowfile floatcmp fixture: file-wide directive on the last line

@@ -1,0 +1,14 @@
+package directives
+
+// This fixture asserts directive placement semantics: a suppressed
+// finding must NOT surface, so a passing run (zero diagnostics, zero
+// want comments) is the assertion.
+
+func sameLine(a, b float64) bool {
+	return a == b //esselint:allow floatcmp fixture: same-line suppression
+}
+
+func lineAbove(a, b float64) bool {
+	//esselint:allow floatcmp fixture: line-above suppression
+	return a == b
+}

@@ -1,0 +1,47 @@
+package divguard
+
+import "math"
+
+func badDot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return 1 / s // want "not provably nonzero"
+}
+
+func badSqrt(x []float64) float64 {
+	d := x[0] - x[1]
+	return math.Sqrt(d) // want "not provably non-negative"
+}
+
+func badLog(x []float64) float64 {
+	v := x[0]
+	if v != 0 {
+		// nonzero is not enough for Log: v may be negative.
+		return math.Log(v) // want "not provably positive"
+	}
+	return 0
+}
+
+func badCompound(x []float64) {
+	n := x[0]
+	x[1] /= n // want "not provably nonzero"
+}
+
+func badPartialGuard(x []float64) float64 {
+	d := x[0]
+	if d > 0 {
+		return 1 / d // fine: positive on this branch
+	}
+	return 1 / d // want "not provably nonzero"
+}
+
+func badGuardKilled(x []float64) float64 {
+	d := x[0]
+	if d == 0 {
+		return 0
+	}
+	d = x[1] // reassignment kills the guard fact
+	return 1 / d // want "not provably nonzero"
+}

@@ -1,0 +1,61 @@
+package divguard
+
+import "math"
+
+func guardedDiv(x []float64) float64 {
+	d := x[0]
+	if d == 0 {
+		return 0
+	}
+	return 1 / d
+}
+
+func clampedDiv(x []float64) float64 {
+	den := math.Max(x[0], 1e-12)
+	return 1 / den
+}
+
+func squareSqrt(x []float64) float64 {
+	s := 0.0
+	for i := range x {
+		s += x[i] * x[i]
+	}
+	return math.Sqrt(s)
+}
+
+func guardedLog(x []float64) float64 {
+	v := x[0]
+	if v > 0 {
+		return math.Log(v)
+	}
+	return 0
+}
+
+func absGuard(x []float64) float64 {
+	g := x[0]
+	if math.Abs(g) <= 1e-300 {
+		return 0
+	}
+	return 1 / (2 * g)
+}
+
+func orGuard(x []float64) float64 {
+	alpha, gamma := x[0], x[1]
+	if alpha == 0 || gamma == 0 {
+		return 0
+	}
+	return alpha / gamma
+}
+
+// Parameters are trusted: validating configuration (grid spacing, time
+// steps) is the constructor's contract, not every kernel's.
+func trustedParam(dx float64) float64 {
+	return 1 / (2 * dx)
+}
+
+func indexGuard(sv []float64, j int) float64 {
+	if sv[j] > 0 {
+		return 1 / sv[j]
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+package floatcmp
+
+func bad(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+func badNeq(xs []float64) bool {
+	return xs[0] != xs[1] // want "exact float comparison"
+}
+
+func badExpr(a, b, c float64) bool {
+	return a+b == c // want "exact float comparison"
+}

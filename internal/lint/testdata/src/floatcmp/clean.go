@@ -1,0 +1,27 @@
+package floatcmp
+
+import "math"
+
+const eps = 1e-9
+
+func tolerant(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// x != x is the idiomatic NaN probe.
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+// Comparisons against constants are legitimate sentinel tests.
+func sentinel(x float64) bool {
+	return x == 0
+}
+
+func constCmp(x float64) bool {
+	return x != eps
+}
+
+func ints(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,34 @@
+package goroutineleak
+
+func leakySend(work []int) int {
+	results := make(chan int)
+	go func() { // want "does not drain"
+		total := 0
+		for _, w := range work {
+			total += w
+		}
+		results <- total
+	}()
+	if len(work) == 0 {
+		return 0 // early return: the goroutine is stranded forever
+	}
+	return <-results
+}
+
+func leakyReceive() {
+	ready := make(chan struct{})
+	go func() { // want "blocks forever"
+		<-ready
+	}()
+}
+
+func leakyParamSend(flag bool) int {
+	out := make(chan int)
+	go func(c chan<- int) { // want "does not drain"
+		c <- 42
+	}(out)
+	if flag {
+		return 0
+	}
+	return <-out
+}

@@ -1,0 +1,84 @@
+package goroutineleak
+
+import "sync"
+
+func drained(work []int) int {
+	results := make(chan int)
+	go func() {
+		total := 0
+		for _, w := range work {
+			total += w
+		}
+		results <- total
+	}()
+	return <-results
+}
+
+func withWaitGroup(n int) int {
+	var wg sync.WaitGroup
+	results := make(chan int, 8)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			results <- v
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	sum := 0
+	for r := range results {
+		sum += r
+	}
+	return sum
+}
+
+// A producer goroutine closing the channel it feeds is the standard
+// pipeline pattern; the consumer range is the release.
+func pipeline(work []int) int {
+	jobs := make(chan int)
+	go func() {
+		for _, w := range work {
+			jobs <- w
+		}
+		close(jobs)
+	}()
+	sum := 0
+	for j := range jobs {
+		sum += j
+	}
+	return sum
+}
+
+// A select with an escape case cannot block forever.
+func selectEscape() {
+	ticks := make(chan int)
+	quit := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case ticks <- 1:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	close(quit)
+}
+
+// Deferred drains run on every exit path.
+func deferredDrain(flag bool) int {
+	done := make(chan int, 1)
+	go func() {
+		done <- 1
+	}()
+	defer drain(done)
+	if flag {
+		return 0
+	}
+	return 1
+}
+
+func drain(c chan int) {
+	<-c
+}

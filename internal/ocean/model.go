@@ -213,7 +213,10 @@ func (m *Model) initClimatology() {
 		p = DefaultClimatology()
 	}
 	cx, cy := float64(g.NX)*p.EddyCXFrac, float64(g.NY)*p.EddyCYFrac
-	rad := float64(minInt(g.NX, g.NY)) * p.EddyRadiusFrac
+	// The clamp keeps the eddy shape well-defined even for degenerate
+	// grids or a zero radius fraction: without it, dx/rad at the eddy
+	// center is 0/0 = NaN and seeds the whole temperature field with it.
+	rad := math.Max(float64(minInt(g.NX, g.NY))*p.EddyRadiusFrac, 1e-9)
 	for k := 0; k < g.NZ; k++ {
 		frac := g.Depths[k] / maxD
 		baseT := 16 - 9*frac // 16°C at surface to 7°C at depth
@@ -288,6 +291,7 @@ func (m *Model) SST() []float64 {
 // CFLNumber returns the gravity-wave CFL number c·dt/min(dx,dy); values
 // below ~0.7 are stable for the forward-backward scheme.
 func (m *Model) CFLNumber() float64 {
+	//esselint:allow divguard MeanDepth is validated positive by Model.Validate
 	c := math.Sqrt(physics.Gravity * m.Cfg.MeanDepth)
 	return c * m.Cfg.Dt / math.Min(m.Cfg.Grid.Dx, m.Cfg.Grid.Dy)
 }
@@ -403,6 +407,7 @@ func (m *Model) stepTracer(tr []float64, isTemp bool) {
 // this step (steady wind + smoothed Wiener increments).
 func (m *Model) sampleForcing() {
 	g := m.Cfg.Grid
+	//esselint:allow divguard Dt is validated positive by Model.Validate
 	sqrtDt := math.Sqrt(m.Cfg.Dt)
 	windNoise := m.Cfg.NoiseWind * sqrtDt / m.Cfg.Dt // acceleration equivalent
 	trNoise := m.Cfg.NoiseTracer * sqrtDt
@@ -460,6 +465,9 @@ func (m *Model) Energy() float64 {
 // MeanSST returns the domain-averaged surface temperature (°C).
 func (m *Model) MeanSST() float64 {
 	n2 := m.Cfg.Grid.N2()
+	if n2 == 0 {
+		return 0
+	}
 	s := 0.0
 	for _, v := range m.t[:n2] {
 		s += v

@@ -213,6 +213,7 @@ func (p *psResource) nextCompletion() (id int, t float64, ok bool) {
 	bestID := -1
 	for tid, tr := range p.transfers {
 		done := tr.remaining / rate
+		//esselint:allow floatcmp exact-equality tie-break keeps event ordering deterministic across runs
 		if done < best || (done == best && tid < bestID) {
 			best = done
 			bestID = tid
@@ -233,6 +234,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//esselint:allow floatcmp exact comparison: equal times must fall through to the seq tiebreaker bit-for-bit
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}

@@ -82,6 +82,7 @@ func (t *Timeline) Spans() []Span {
 		if out[i].Kind != out[j].Kind {
 			return out[i].Kind < out[j].Kind
 		}
+		//esselint:allow floatcmp exact comparison: equal starts must fall through to the label tiebreaker
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
 		}
@@ -145,6 +146,7 @@ func (t *Timeline) Render(width int) string {
 		return "(empty timeline)\n"
 	}
 	lo, hi := t.Extent()
+	//esselint:allow floatcmp exact equality is the degenerate-extent guard for the division below
 	if hi == lo {
 		hi = lo + 1
 	}

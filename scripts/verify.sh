@@ -1,7 +1,8 @@
 #!/bin/sh
 # verify.sh — the repository's standing gate: build, vet, the custom
-# esselint determinism/concurrency analyzers, and the race-enabled test
-# suite. CI runs exactly this; run it locally before sending a change.
+# esselint determinism/numerical-safety/concurrency analyzers, the
+# suppression audit, and the race-enabled test suite. CI runs exactly
+# this; run it locally before sending a change.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,8 +13,11 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> esselint ./... (rngdeterminism, streamshare, errdrop)"
+echo "==> esselint ./... (rngdeterminism, streamshare, errdrop, divguard, floatcmp, goroutineleak, aliasguard)"
 go run ./cmd/esselint -vet=false ./...
+
+echo "==> esselint -audit ./... (every suppression must carry a reason)"
+go run ./cmd/esselint -audit -vet=false ./... >/dev/null
 
 echo "==> go test -race ./..."
 go test -race ./...
