@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-fixtures audit vet verify
+.PHONY: build test race lint lint-self lint-fixtures audit vet verify
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,13 @@ vet:
 # the stock vet passes (see internal/lint and cmd/esselint).
 lint:
 	$(GO) run ./cmd/esselint ./...
+
+# lint-self is the self-hosting gate: the analyzers must pass over
+# their own implementation (a lint suite that trips its own map-order
+# or lock-discipline rules has no business enforcing them). -stats
+# prints per-analyzer wall time and summary fact counts.
+lint-self:
+	$(GO) run ./cmd/esselint -vet=false -stats ./internal/lint/... ./cmd/esselint/...
 
 # lint-fixtures runs only the analyzer fixture tests — the fast inner
 # loop when developing an analyzer.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"time"
 
 	"esse/internal/lint"
 )
@@ -36,6 +37,7 @@ func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic (including suppressed ones) instead of text")
 	audit := flag.Bool("audit", false, "list every //esselint:allow[file] directive; exit non-zero on directives with no reason or an unknown analyzer")
+	stats := flag.Bool("stats", false, "print per-analyzer wall time and interprocedural fact counts to stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: esselint [flags] [package patterns]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the ESSE determinism/concurrency analyzers (default patterns: ./...).\n\n")
@@ -68,10 +70,13 @@ func main() {
 
 	failed := false
 	if *jsonOut {
-		diags, err := lint.RunAnalyzersAll(pkgs, analyzers)
+		diags, runStats, err := lint.RunAnalyzersStats(pkgs, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esselint:", err)
 			os.Exit(2)
+		}
+		if *stats {
+			printStats(runStats)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
@@ -91,15 +96,21 @@ func main() {
 			}
 		}
 	} else {
-		diags, err := lint.RunAnalyzers(pkgs, analyzers)
+		all, runStats, err := lint.RunAnalyzersStats(pkgs, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esselint:", err)
 			os.Exit(2)
 		}
-		for _, d := range diags {
-			fmt.Println(d)
+		if *stats {
+			printStats(runStats)
 		}
-		failed = len(diags) > 0
+		for _, d := range all {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Println(d)
+			failed = true
+		}
 	}
 
 	if *vet {
@@ -113,6 +124,18 @@ func main() {
 
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// printStats reports where the run spent its time, so analyzer
+// slowdowns show up in CI logs instead of silently stretching the
+// verify stage.
+func printStats(s *lint.RunStats) {
+	fmt.Fprintf(os.Stderr, "esselint: stats: call graph %d funcs in %d SCCs; summaries: %d effect, %d numeric, %d lock keys, %d lock pairs; program build %v\n",
+		s.Funcs, s.SCCs, s.EffectFacts, s.NumericSummaries, s.LockSummaryKeys, s.LockPairs, s.ProgramWall.Round(time.Microsecond))
+	for _, a := range s.Analyzers {
+		fmt.Fprintf(os.Stderr, "esselint: stats: %-16s %10v  findings=%d suppressed=%d\n",
+			a.Name, a.Wall.Round(time.Microsecond), a.Findings, a.Suppressed)
 	}
 }
 

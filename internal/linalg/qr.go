@@ -178,7 +178,12 @@ func SolveSPD(a *Dense, b []float64) ([]float64, bool) {
 		return nil, false
 	}
 	y := SolveLowerTri(l, b)
-	// Solve Lᵀ x = y without forming the transpose.
+	return solveCholeskyT(l, y), true
+}
+
+// solveCholeskyT solves Lᵀ x = y without forming the transpose. l must
+// be a factor returned by a successful Cholesky call.
+func solveCholeskyT(l *Dense, y []float64) []float64 {
 	n := l.Rows
 	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
@@ -189,7 +194,7 @@ func SolveSPD(a *Dense, b []float64) ([]float64, bool) {
 		//esselint:allow divguard Cholesky success guarantees a strictly positive diagonal
 		x[i] = s / l.At(i, i)
 	}
-	return x, true
+	return x
 }
 
 // InvertSPD returns the inverse of a symmetric positive-definite matrix.
@@ -207,17 +212,7 @@ func InvertSPD(a *Dense) (*Dense, bool) {
 		}
 		e[j] = 1
 		y := SolveLowerTri(l, e)
-		// Back substitution with Lᵀ.
-		x := make([]float64, n)
-		for i := n - 1; i >= 0; i-- {
-			s := y[i]
-			for k := i + 1; k < n; k++ {
-				s -= l.At(k, i) * x[k]
-			}
-			//esselint:allow divguard Cholesky success guarantees a strictly positive diagonal
-			x[i] = s / l.At(i, i)
-		}
-		inv.SetCol(j, x)
+		inv.SetCol(j, solveCholeskyT(l, y))
 	}
 	return inv, true
 }

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file builds the package-set call graph the interprocedural
+// layer (summary.go) computes its bottom-up summaries over. Nodes are
+// the function declarations of the loaded packages; edges are the
+// statically resolvable call sites — direct calls of package functions
+// and method calls whose callee go/types can name. Calls through
+// function values and interface methods have no edge (a documented
+// soundness gap: their effects are invisible to the summaries).
+//
+// Functions are keyed by types.Func.FullName(), which is stable across
+// the two views the loader produces of the same function: the
+// source-checked object in its defining package and the export-data
+// object an importing package sees. That makes cross-package edges
+// line up without sharing types.Object identity.
+
+// FuncInfo is one call-graph node: a function or method declaration in
+// the loaded package set.
+type FuncInfo struct {
+	// Key is the canonical name, types.Func.FullName():
+	// "esse/internal/linalg.Mul" or "(*esse/internal/linalg.Dense).At".
+	Key string
+	// Decl is the declaration; Decl.Body may be nil (external linkage).
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Obj  *types.Func
+	// Callees lists the keys of in-set functions this one may call,
+	// sorted and deduplicated. Calls inside nested function literals
+	// are attributed to this function: the literal may run (or be
+	// spawned) under this function's dynamic extent.
+	Callees []string
+}
+
+// CallGraph is the static call graph of one loaded package set.
+type CallGraph struct {
+	// Funcs maps canonical key → node.
+	Funcs map[string]*FuncInfo
+	// Keys holds the node keys in sorted order, so every iteration
+	// over the graph is deterministic.
+	Keys []string
+	// SCCs lists the strongly connected components in bottom-up
+	// (callee-first) order: by the time a component is visited, every
+	// component it calls into has already been visited. Mutually
+	// recursive functions share a component.
+	SCCs [][]string
+}
+
+// BuildCallGraph indexes every function declaration in pkgs and
+// resolves their static call edges.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Funcs: map[string]*FuncInfo{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Funcs[obj.FullName()] = &FuncInfo{
+					Key:  obj.FullName(),
+					Decl: fd,
+					Pkg:  pkg,
+					Obj:  obj,
+				}
+			}
+		}
+	}
+	for key := range g.Funcs {
+		g.Keys = append(g.Keys, key)
+	}
+	sort.Strings(g.Keys)
+	for _, key := range g.Keys {
+		fn := g.Funcs[key]
+		fn.Callees = calleeKeys(g, fn)
+	}
+	g.SCCs = tarjanSCC(g)
+	return g
+}
+
+// calleeKeys collects the sorted, deduplicated in-set callee keys of
+// fn, including calls made inside nested function literals.
+func calleeKeys(g *CallGraph, fn *FuncInfo) []string {
+	if fn.Decl.Body == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := StaticCallee(fn.Pkg.Info, call); callee != nil {
+			if _, inSet := g.Funcs[callee.FullName()]; inSet {
+				seen[callee.FullName()] = true
+			}
+		}
+		return true
+	})
+	if len(seen) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// StaticCallee resolves the *types.Func a call statically dispatches
+// to: a named function (possibly package-qualified) or a concrete
+// method. Calls of function values, built-ins, conversions and
+// interface methods return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			// An interface method has no body anywhere in the set; it
+			// still resolves here, but its FullName never matches a
+			// declared node, so the edge silently drops.
+			return f
+		}
+	}
+	return nil
+}
+
+// tarjanSCC computes the strongly connected components of g in
+// emission order, which for Tarjan's algorithm is reverse topological:
+// callees' components complete before their callers'. Roots and edge
+// fan-out follow g.Keys / FuncInfo.Callees order, so the result is
+// deterministic for a given package set.
+func tarjanSCC(g *CallGraph) [][]string {
+	type nodeState struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := map[string]*nodeState{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	// Iterative DFS: a frame tracks the node and how many callees have
+	// been expanded, so deep call chains cannot overflow the goroutine
+	// stack.
+	type frame struct {
+		key string
+		ci  int
+	}
+	var visit func(root string)
+	visit = func(root string) {
+		frames := []frame{{key: root}}
+		st := &nodeState{index: next, lowlink: next}
+		next++
+		states[root] = st
+		stack = append(stack, root)
+		st.onStack = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			fst := states[f.key]
+			callees := g.Funcs[f.key].Callees
+			if f.ci < len(callees) {
+				c := callees[f.ci]
+				f.ci++
+				cst, seen := states[c]
+				if !seen {
+					cst = &nodeState{index: next, lowlink: next}
+					next++
+					states[c] = cst
+					stack = append(stack, c)
+					cst.onStack = true
+					frames = append(frames, frame{key: c})
+				} else if cst.onStack {
+					if cst.index < fst.lowlink {
+						fst.lowlink = cst.index
+					}
+				}
+				continue
+			}
+			// All callees expanded: close the frame.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				pst := states[frames[len(frames)-1].key]
+				if fst.lowlink < pst.lowlink {
+					pst.lowlink = fst.lowlink
+				}
+			}
+			if fst.lowlink == fst.index {
+				var scc []string
+				for {
+					k := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					states[k].onStack = false
+					scc = append(scc, k)
+					if k == f.key {
+						break
+					}
+				}
+				sort.Strings(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	for _, key := range g.Keys {
+		if _, seen := states[key]; !seen {
+			visit(key)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func loadFixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(".", filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	g := BuildCallGraph([]*Package{loadFixturePkg(t, "interproc")})
+	want := map[string][]string{
+		"interproc.Leaf":        nil,
+		"interproc.Mid":         {"interproc.Leaf"},
+		"interproc.TopFn":       {"interproc.Leaf", "interproc.Mid"},
+		"interproc.Even":        {"interproc.Odd"},
+		"interproc.Odd":         {"interproc.Even"},
+		"interproc.SelfRec":     {"interproc.SelfRec"},
+		"interproc.CallsEmits":  {"interproc.Emits"},
+		"interproc.CallsBlocks": {"interproc.Blocks"},
+	}
+	for key, callees := range want {
+		fn := g.Funcs[key]
+		if fn == nil {
+			t.Fatalf("missing call-graph node %s (have %v)", key, g.Keys)
+		}
+		if !reflect.DeepEqual(fn.Callees, callees) {
+			t.Errorf("%s callees = %v, want %v", key, fn.Callees, callees)
+		}
+	}
+}
+
+// sccOf returns the component containing key, and its emission index.
+func sccOf(t *testing.T, g *CallGraph, key string) ([]string, int) {
+	t.Helper()
+	for i, scc := range g.SCCs {
+		for _, k := range scc {
+			if k == key {
+				return scc, i
+			}
+		}
+	}
+	t.Fatalf("%s not in any SCC", key)
+	return nil, 0
+}
+
+func TestSCCGroupingAndOrder(t *testing.T) {
+	g := BuildCallGraph([]*Package{loadFixturePkg(t, "interproc")})
+
+	evenSCC, _ := sccOf(t, g, "interproc.Even")
+	if !reflect.DeepEqual(evenSCC, []string{"interproc.Even", "interproc.Odd"}) {
+		t.Errorf("Even/Odd SCC = %v, want the mutually recursive pair together", evenSCC)
+	}
+	selfSCC, _ := sccOf(t, g, "interproc.SelfRec")
+	if !reflect.DeepEqual(selfSCC, []string{"interproc.SelfRec"}) {
+		t.Errorf("SelfRec SCC = %v, want a singleton", selfSCC)
+	}
+
+	// Callee components must be emitted before their callers'.
+	_, leafIdx := sccOf(t, g, "interproc.Leaf")
+	_, midIdx := sccOf(t, g, "interproc.Mid")
+	_, topIdx := sccOf(t, g, "interproc.TopFn")
+	if !(leafIdx < midIdx && midIdx < topIdx) {
+		t.Errorf("SCC order not callee-first: Leaf=%d Mid=%d TopFn=%d", leafIdx, midIdx, topIdx)
+	}
+}
+
+func TestCallGraphDeterminism(t *testing.T) {
+	pkg := loadFixturePkg(t, "interproc")
+	a := BuildCallGraph([]*Package{pkg})
+	b := BuildCallGraph([]*Package{pkg})
+	if !reflect.DeepEqual(a.Keys, b.Keys) {
+		t.Errorf("Keys differ across builds")
+	}
+	if !reflect.DeepEqual(a.SCCs, b.SCCs) {
+		t.Errorf("SCCs differ across builds:\n%v\n%v", a.SCCs, b.SCCs)
+	}
+}
+
+func TestEffectSummaries(t *testing.T) {
+	p := BuildProgram([]*Package{loadFixturePkg(t, "interproc")})
+	cases := []struct {
+		key  string
+		has  Effects
+		lack Effects
+	}{
+		{"interproc.Leaf", 0, EffMayBlock | EffSpawns | EffRangesMap | EffSendsChan | EffEmitsOutput},
+		{"interproc.Emits", EffEmitsOutput, EffMayBlock},
+		{"interproc.CallsEmits", EffEmitsOutput, EffMayBlock},
+		{"interproc.Blocks", EffMayBlock, EffEmitsOutput},
+		{"interproc.CallsBlocks", EffMayBlock, EffEmitsOutput},
+		{"interproc.Spawns", EffSpawns | EffSendsChan, EffEmitsOutput},
+		{"interproc.RangesMap", EffRangesMap, EffMayBlock},
+		// The recursive pair converges without looping forever.
+		{"interproc.Even", 0, EffMayBlock},
+		{"interproc.SelfRec", 0, EffMayBlock},
+	}
+	for _, c := range cases {
+		eff := p.Effects[c.key]
+		if eff&c.has != c.has {
+			t.Errorf("%s effects = %b, missing %b", c.key, eff, c.has)
+		}
+		if eff&c.lack != 0 {
+			t.Errorf("%s effects = %b, should not include %b", c.key, eff, c.lack)
+		}
+	}
+}
+
+func TestNumericSummaryFixpoint(t *testing.T) {
+	p := BuildProgram([]*Package{loadFixturePkg(t, "divguardsum")})
+	base := func(key string) uint8 {
+		t.Helper()
+		sum := p.Numeric[key]
+		if sum == nil || len(sum.Base) != 1 {
+			t.Fatalf("missing single-result numeric summary for %s", key)
+		}
+		return sum.Base[0]
+	}
+	allPos := func(key string) uint8 {
+		t.Helper()
+		return p.Numeric[key].AllPos[0]
+	}
+
+	if got := base("divguardsum.clampPos"); got != sfPos {
+		t.Errorf("clampPos Base = %b, want positive (%b)", got, sfPos)
+	}
+	if got := base("divguardsum.clampNonNeg"); got != sfNonNeg {
+		t.Errorf("clampNonNeg Base = %b, want non-negative (%b)", got, sfNonNeg)
+	}
+	if got := base("divguardsum.half"); got != 0 {
+		t.Errorf("half Base = %b, want nothing proven", got)
+	}
+	if got := allPos("divguardsum.half"); got != sfPos {
+		t.Errorf("half AllPos = %b, want positive (%b)", got, sfPos)
+	}
+	if got := allPos("divguardsum.square"); got != sfPos {
+		t.Errorf("square AllPos = %b, want positive (%b)", got, sfPos)
+	}
+	// The mutually recursive pair must reach the greatest fixpoint, not
+	// stay at the optimistic all-bits initialization or collapse to 0.
+	for _, key := range []string{"divguardsum.evenPow", "divguardsum.oddPow"} {
+		if got := base(key); got != sfPos {
+			t.Errorf("%s Base = %b, want positive (%b) via recursion fixpoint", key, got, sfPos)
+		}
+	}
+	// Multi-result summary: both results of posPair prove positive.
+	sum := p.Numeric["divguardsum.posPair"]
+	if sum == nil || len(sum.Base) != 2 {
+		t.Fatalf("posPair summary missing or wrong arity: %+v", sum)
+	}
+	if sum.Base[0] != sfPos || sum.Base[1] != sfPos {
+		t.Errorf("posPair Base = %b,%b, want both positive", sum.Base[0], sum.Base[1])
+	}
+}
+
+func TestLockPairCollection(t *testing.T) {
+	p := BuildProgram([]*Package{loadFixturePkg(t, "lockheld")})
+	type ba struct{ before, after string }
+	seen := map[ba]bool{}
+	for _, pr := range p.LockPairs {
+		seen[ba{pr.Before, pr.After}] = true
+	}
+	if !seen[ba{"(lockheld.pair).a", "(lockheld.pair).b"}] ||
+		!seen[ba{"(lockheld.pair).b", "(lockheld.pair).a"}] {
+		t.Errorf("expected both a→b and b→a pairs, got %+v", p.LockPairs)
+	}
+	// The consistently ordered type must only ever appear one way.
+	if seen[ba{"(lockheld.ordered).b", "(lockheld.ordered).a"}] {
+		t.Errorf("ordered type reported an inverted pair: %+v", p.LockPairs)
+	}
+	if !seen[ba{"(lockheld.ordered).a", "(lockheld.ordered).b"}] {
+		t.Errorf("ordered type's a→b pair missing: %+v", p.LockPairs)
+	}
+}

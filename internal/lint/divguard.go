@@ -110,12 +110,19 @@ func analyzeDivGuardFunc(pass *Pass, fn ast.Node) {
 }
 
 // divguardFunc is the per-function analysis: FlowAnalysis plus the
-// expression-safety machinery.
+// expression-safety machinery. summary.go re-runs it in summary mode
+// (noTrust set, paramSeed filled) to compute callee result masks that
+// must hold for every caller.
 type divguardFunc struct {
 	pass     *Pass
 	fn       ast.Node
 	trusted  map[types.Object]bool
 	reported map[token.Pos]bool
+	// noTrust disables the trust boundary: parameters, fields and free
+	// variables prove nothing unless paramSeed says so.
+	noTrust bool
+	// paramSeed holds entry facts for parameter names (summary mode).
+	paramSeed divState
 }
 
 func (a *divguardFunc) collectTrusted(fn ast.Node) {
@@ -148,7 +155,13 @@ func (a *divguardFunc) collectTrusted(fn ast.Node) {
 
 // --- FlowAnalysis ----------------------------------------------------------
 
-func (a *divguardFunc) Boundary() Fact { return divState{} }
+func (a *divguardFunc) Boundary() Fact {
+	st := divState{}
+	for k, m := range a.paramSeed {
+		st[k] = m
+	}
+	return st
+}
 func (a *divguardFunc) Top() Fact      { return divState(nil) }
 
 func (a *divguardFunc) Transfer(b *Block, in Fact) Fact {
@@ -302,9 +315,24 @@ func (a *divguardFunc) applyAssign(st divState, as *ast.AssignStmt) {
 		}
 		return
 	}
-	// Multi-value assignment from one call: no sign information.
+	// Multi-value assignment from one call: consult the callee's
+	// numeric summary per result (under the pre-kill state).
+	var masks []uint8
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			masks = make([]uint8, len(as.Lhs))
+			for i := range as.Lhs {
+				masks[i] = a.summaryMask(st, call, i)
+			}
+		}
+	}
 	for _, lhs := range as.Lhs {
 		a.killExpr(st, lhs)
+	}
+	for i, lhs := range as.Lhs {
+		if masks != nil {
+			a.gen(st, lhs, masks[i])
+		}
 	}
 }
 
@@ -442,6 +470,9 @@ func (a *divguardFunc) keyable(e ast.Expr) bool {
 // Indexed elements are never trusted — slice contents are computed
 // data, exactly what the analyzer exists to check.
 func (a *divguardFunc) trustedSource(e ast.Expr) bool {
+	if a.noTrust {
+		return false
+	}
 	switch v := ast.Unparen(e).(type) {
 	case *ast.Ident:
 		obj := a.pass.Info.Uses[v]
@@ -666,6 +697,9 @@ func (a *divguardFunc) callMask(st divState, call *ast.CallExpr) uint8 {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
 		return sfNonNeg
 	}
+	if m := a.summaryMask(st, call, 0); m != 0 {
+		return m
+	}
 	name := a.mathFunc(call)
 	if name == "" || len(call.Args) == 0 {
 		return 0
@@ -719,6 +753,132 @@ func (a *divguardFunc) callMask(st divState, call *ast.CallExpr) uint8 {
 		return out
 	}
 	return 0
+}
+
+// summaryMask returns the interprocedurally proven sign mask of result
+// idx of call, or 0 when no numeric summary applies. The AllPos
+// variant is used when every float argument proves positive at this
+// call site (and the argument list is simple enough to line up with
+// the parameters).
+func (a *divguardFunc) summaryMask(st divState, call *ast.CallExpr, idx int) uint8 {
+	prog := a.pass.Prog
+	if prog == nil {
+		return 0
+	}
+	callee := StaticCallee(a.pass.Info, call)
+	if callee == nil {
+		return 0
+	}
+	sum := prog.Numeric[callee.FullName()]
+	if sum == nil || idx >= len(sum.Base) {
+		return 0
+	}
+	masks := sum.Base
+	if len(sum.FloatParams) > 0 && !sum.Variadic && len(call.Args) == sum.NumParams && !call.Ellipsis.IsValid() {
+		allPos := true
+		for _, i := range sum.FloatParams {
+			if !isPos(a.safety(st, call.Args[i])) {
+				allPos = false
+				break
+			}
+		}
+		if allPos {
+			masks = sum.AllPos
+		}
+	}
+	return masks[idx]
+}
+
+// summaryResultMasks computes fn's per-result sign masks by re-running
+// the divguard dataflow over its body in summary mode: the trust
+// boundary is off (a summary must hold for every caller), and in the
+// assumePosParams variant every float parameter is seeded positive.
+// The result is the meet across every reachable return site; a body
+// with no reachable return proves nothing. summary.go iterates this to
+// a greatest fixpoint over recursive components.
+func summaryResultMasks(prog *Program, fn *FuncInfo, assumePosParams bool) []uint8 {
+	sig := fn.Obj.Type().(*types.Signature)
+	masks := make([]uint8, sig.Results().Len())
+	for i := range masks {
+		masks[i] = sfAll
+	}
+	pass := &Pass{Fset: fn.Pkg.Fset, Path: fn.Pkg.Path, RelPath: fn.Pkg.RelPath,
+		Pkg: fn.Pkg.Pkg, Info: fn.Pkg.Info, Prog: prog}
+	a := &divguardFunc{pass: pass, fn: fn.Decl,
+		trusted: map[types.Object]bool{}, reported: map[token.Pos]bool{},
+		noTrust: true, paramSeed: divState{}}
+	if assumePosParams && fn.Decl.Type.Params != nil {
+		for _, field := range fn.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && name.Name != "_" && isFloatType(obj.Type()) {
+					a.paramSeed[name.Name] = sfPos
+				}
+			}
+		}
+	}
+	cfg := BuildCFG(fn.Decl)
+	res := Forward(cfg, a)
+	var resultNames []string
+	if fn.Decl.Type.Results != nil {
+		for _, field := range fn.Decl.Type.Results.List {
+			for _, name := range field.Names {
+				resultNames = append(resultNames, name.Name)
+			}
+		}
+	}
+	sawReturn := false
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(divState)
+		if in == nil {
+			continue // unreachable return sites constrain nothing
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				sawReturn = true
+				a.meetReturn(st, ret, resultNames, masks)
+			}
+			a.step(st, n, false)
+		}
+	}
+	if !sawReturn {
+		// Every path panics or loops: vacuously anything holds, but
+		// claim nothing rather than everything.
+		for i := range masks {
+			masks[i] = 0
+		}
+	}
+	return masks
+}
+
+// meetReturn folds one return site's proven masks into the summary.
+func (a *divguardFunc) meetReturn(st divState, ret *ast.ReturnStmt, resultNames []string, masks []uint8) {
+	switch {
+	case len(ret.Results) == len(masks):
+		for i, e := range ret.Results {
+			masks[i] &= a.safety(st, e)
+		}
+	case len(ret.Results) == 0 && len(resultNames) == len(masks):
+		// Bare return: read the named results' current facts.
+		for i, name := range resultNames {
+			masks[i] &= st[name]
+		}
+	case len(ret.Results) == 1 && len(masks) > 1:
+		// return f() splat: chain through f's summary.
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			for i := range masks {
+				masks[i] &= a.summaryMask(st, call, i)
+			}
+		} else {
+			for i := range masks {
+				masks[i] = 0
+			}
+		}
+	default:
+		for i := range masks {
+			masks[i] = 0
+		}
+	}
 }
 
 // mathFunc returns the function name if call is math.<Name>(...).

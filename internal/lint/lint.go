@@ -44,6 +44,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one named invariant check, mirroring analysis.Analyzer.
@@ -74,6 +75,10 @@ type Pass struct {
 	TestFiles []*ast.File
 	Pkg       *types.Package
 	Info      *types.Info
+	// Prog carries the package set's call graph and interprocedural
+	// summaries (effects, numeric, lock order). Nil only in unit tests
+	// that drive an analyzer without a Program.
+	Prog *Program
 
 	report func(Diagnostic)
 }
@@ -107,6 +112,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		RngDeterminism, StreamShare, ErrDrop,
 		DivGuard, FloatCmp, GoroutineLeak, AliasGuard,
+		MapOrder, LockHeld,
 	}
 }
 
@@ -131,6 +137,59 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 // suppressed findings are kept, marked with Suppressed=true, so JSON
 // consumers and the audit can see what the directives are hiding.
 func RunAnalyzersAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersStats(pkgs, analyzers)
+	return diags, err
+}
+
+// AnalyzerStats is one analyzer's cost over a run, accumulated across
+// packages.
+type AnalyzerStats struct {
+	Name       string
+	Wall       time.Duration
+	Findings   int
+	Suppressed int
+}
+
+// RunStats reports where a run spent its time and how many
+// interprocedural facts the summaries produced.
+type RunStats struct {
+	// ProgramWall is the time spent building the call graph and the
+	// effect/numeric/lock summaries.
+	ProgramWall time.Duration
+	// Funcs and SCCs size the call graph; the fact counts tally the
+	// summaries: functions with a nonzero effect mask, functions with a
+	// numeric summary, transitive lock keys, and observed lock pairs.
+	Funcs, SCCs       int
+	EffectFacts       int
+	NumericSummaries  int
+	LockSummaryKeys   int
+	LockPairs         int
+	Analyzers         []AnalyzerStats
+}
+
+// RunAnalyzersStats is RunAnalyzersAll plus per-analyzer wall time and
+// interprocedural fact counts for the -stats flag.
+func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *RunStats, error) {
+	stats := &RunStats{}
+	start := time.Now()
+	prog := BuildProgram(pkgs)
+	stats.ProgramWall = time.Since(start)
+	stats.Funcs = len(prog.Graph.Keys)
+	stats.SCCs = len(prog.Graph.SCCs)
+	stats.LockPairs = len(prog.LockPairs)
+	stats.NumericSummaries = len(prog.Numeric)
+	for _, key := range prog.Graph.Keys {
+		if prog.Effects[key] != 0 {
+			stats.EffectFacts++
+		}
+		stats.LockSummaryKeys += len(prog.Locks[key])
+	}
+
+	perAnalyzer := map[string]*AnalyzerStats{}
+	for _, a := range analyzers {
+		perAnalyzer[a.Name] = &AnalyzerStats{Name: a.Name}
+	}
+
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sup := newSuppressor(pkg)
@@ -138,6 +197,7 @@ func RunAnalyzersAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, erro
 			if a.Scope != nil && !a.Scope(pkg.RelPath) {
 				continue
 			}
+			acc := perAnalyzer[a.Name]
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -147,15 +207,27 @@ func RunAnalyzersAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, erro
 				TestFiles: pkg.TestFiles,
 				Pkg:       pkg.Pkg,
 				Info:      pkg.Info,
+				Prog:      prog,
 				report: func(d Diagnostic) {
 					d.Suppressed = sup.suppressed(d)
+					if d.Suppressed {
+						acc.Suppressed++
+					} else {
+						acc.Findings++
+					}
 					diags = append(diags, d)
 				},
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			t0 := time.Now()
+			err := a.Run(pass)
+			acc.Wall += time.Since(t0)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+	}
+	for _, a := range analyzers {
+		stats.Analyzers = append(stats.Analyzers, *perAnalyzer[a.Name])
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
@@ -170,7 +242,7 @@ func RunAnalyzersAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, erro
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags, stats, nil
 }
 
 // suppressor indexes a package's //esselint: directive comments.

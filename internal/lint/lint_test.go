@@ -30,6 +30,21 @@ func TestAliasGuardFixture(t *testing.T) {
 	RunFixture(t, AliasGuard, "aliasguard")
 }
 
+func TestMapOrderFixture(t *testing.T) {
+	RunFixture(t, MapOrder, "maporder")
+}
+
+func TestLockHeldFixture(t *testing.T) {
+	RunFixture(t, LockHeld, "lockheld")
+}
+
+// TestDivGuardSummaryFixture drives divguard over call sites whose
+// safety only the interprocedural numeric summaries can prove (or
+// refuse to prove).
+func TestDivGuardSummaryFixture(t *testing.T) {
+	RunFixture(t, DivGuard, "divguardsum")
+}
+
 // TestLoadRealPackage exercises the go-list/export-data loader against
 // a real module package and checks scoping: rng sits under internal/,
 // so the whole suite applies and must come back clean.
@@ -72,6 +87,16 @@ func TestScopes(t *testing.T) {
 		{"cmd/esse-forecast", true, false, false},
 		{"examples/quickstart", false, false, false},
 		{".", false, false, false},
+	}
+	// The interprocedural analyzers gate everything under internal/ and
+	// cmd/, including the lint suite itself (the lint-self target).
+	for _, rel := range []string{"internal/lint", "cmd/esselint", "internal/sched"} {
+		if !MapOrder.Scope(rel) || !LockHeld.Scope(rel) {
+			t.Errorf("maporder/lockheld must cover %q", rel)
+		}
+	}
+	if MapOrder.Scope("examples/quickstart") || LockHeld.Scope("examples/quickstart") {
+		t.Error("maporder/lockheld must not cover examples/")
 	}
 	for _, c := range cases {
 		if got := RngDeterminism.Scope(c.rel); got != c.rngdet {

@@ -1,0 +1,459 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld enforces the two lock disciplines the continuously running
+// assimilation pipeline depends on:
+//
+//  1. A mutex must not be held across an operation that can block
+//     indefinitely — a channel send/receive, a select without default,
+//     sync.WaitGroup.Wait, time.Sleep, or a call to any function whose
+//     interprocedural effect summary (summary.go) says it may block.
+//     A blocked critical section stalls every other goroutine touching
+//     that lock; in the paper's setting that is the scheduler freezing
+//     mid-ensemble.
+//  2. Pairwise lock-acquisition order must be consistent across the
+//     whole package set: if one code path takes A then B (directly or
+//     through a callee's transitive lock summary) and another takes B
+//     then A, the two paths can deadlock. Pairs are collected globally
+//     at Program build time and inversions reported in the package
+//     that acquires second.
+//
+// Held-lock state is a must-analysis (forward dataflow, meet =
+// intersection): a lock counts as held at a point only when every path
+// to it acquired the lock without releasing. Deferred unlocks keep the
+// lock held through the body by design — that is the idiom's point.
+//
+// Lock identity is canonical-by-type for receiver fields: s.mu and
+// m.mu are the same key when s and m share a named type. Two distinct
+// instances of one type therefore collapse (documented precision
+// loss); per-instance ordering bugs need the race detector. Calls
+// through function values and interface methods contribute no summary,
+// so blocking hidden behind them is invisible (shared soundness gap of
+// the whole interprocedural layer).
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "flag mutexes held across may-block operations (channel ops, waits, blocking callees) " +
+		"and inconsistent pairwise lock-acquisition order across the package set",
+	Scope: underInternalOrCmd,
+	Run:   runLockHeld,
+}
+
+// lockOp classifies what a call does to a mutex.
+type lockOp int
+
+const (
+	lockNone lockOp = iota
+	lockTake
+	lockDrop
+)
+
+// lockCtx carries what lock-key canonicalization needs about the
+// package and enclosing function being analyzed.
+type lockCtx struct {
+	Info *types.Info
+	Pkg  *types.Package
+	Path string
+	// Enclosing qualifies function-local mutex keys; it is the
+	// enclosing function's canonical name.
+	Enclosing string
+}
+
+// lockCall classifies call as a sync.Mutex/sync.RWMutex acquisition or
+// release and returns the lock's canonical key.
+func lockCall(ctx *lockCtx, call *ast.CallExpr) (string, lockOp) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	obj, ok := ctx.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	switch recvNamed(obj) {
+	case "Mutex", "RWMutex":
+	default:
+		return "", lockNone
+	}
+	var op lockOp
+	switch obj.Name() {
+	case "Lock", "RLock":
+		op = lockTake
+	case "Unlock", "RUnlock":
+		op = lockDrop
+	default:
+		return "", lockNone
+	}
+	return lockKeyOf(ctx, sel.X), op
+}
+
+// lockAcquire reports the canonical key when call acquires a mutex
+// inside fn; summary.go records it in the function's transitive lock
+// set.
+func lockAcquire(fn *FuncInfo, call *ast.CallExpr) (string, lockOp) {
+	ctx := &lockCtx{Info: fn.Pkg.Info, Pkg: fn.Pkg.Pkg, Path: fn.Pkg.Path, Enclosing: fn.Key}
+	key, op := lockCall(ctx, call)
+	if op != lockTake {
+		return "", lockNone
+	}
+	return key, lockTake
+}
+
+// lockKeyOf canonicalizes the mutex expression so the same logical
+// lock gets the same key in every function:
+//
+//   - "(pkg.Type).field" for a mutex reached through a value of a
+//     named type — receiver-name insensitive, so s.mu in one method
+//     and m.mu in another agree;
+//   - "pkgpath.var[.field]" for package-level mutexes, local or
+//     imported;
+//   - "<enclosing>·expr" for function-local mutexes, which cannot be
+//     shared across functions except by pointer (not tracked).
+func lockKeyOf(ctx *lockCtx, x ast.Expr) string {
+	x = ast.Unparen(x)
+	path := types.ExprString(x)
+	if root := rootIdent(x); root != nil {
+		switch obj := ctx.Info.Uses[root].(type) {
+		case *types.PkgName:
+			return obj.Imported().Path() + strings.TrimPrefix(path, root.Name)
+		case *types.Var:
+			if obj.Parent() == ctx.Pkg.Scope() {
+				return ctx.Path + "." + path
+			}
+			t := obj.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return "(" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + ")" +
+					strings.TrimPrefix(path, root.Name)
+			}
+		}
+	}
+	return ctx.Enclosing + "·" + path
+}
+
+// heldSet is the must-held lock fact: key → held on every path. A nil
+// set is the solver's Top (unreached).
+type heldSet map[string]bool
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k := range h {
+		c[k] = true
+	}
+	return c
+}
+
+// heldFlow is the FlowAnalysis tracking which locks are held.
+type heldFlow struct {
+	ctx *lockCtx
+}
+
+func (h *heldFlow) Boundary() Fact { return heldSet{} }
+func (h *heldFlow) Top() Fact      { return heldSet(nil) }
+
+func (h *heldFlow) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(heldSet)
+	if st == nil {
+		return heldSet(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		replayHeld(h.ctx, n, out, nil, nil, nil)
+	}
+	return out
+}
+
+func (h *heldFlow) FlowEdge(e *Edge, out Fact) Fact { return out }
+
+func (h *heldFlow) Meet(a, b Fact) Fact {
+	sa, _ := a.(heldSet)
+	sb, _ := b.(heldSet)
+	if sa == nil {
+		return sb
+	}
+	if sb == nil {
+		return sa
+	}
+	m := heldSet{}
+	for k := range sa {
+		if sb[k] {
+			m[k] = true
+		}
+	}
+	return m
+}
+
+func (h *heldFlow) Equal(a, b Fact) bool {
+	sa, _ := a.(heldSet)
+	sb, _ := b.(heldSet)
+	if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if !sb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// replayHeld walks the lock-relevant operations of block node n in
+// source order, updating held in place. Callbacks may be nil:
+// onTake fires at each acquisition with held still holding the *prior*
+// set; onBlock fires at each may-block operation; onCall fires for
+// every statically resolved call that is not itself a lock operation.
+// Defer bodies are skipped (they run at function exit) and go
+// statements are skipped entirely (the spawned call does not block the
+// spawner, and its locks run concurrently, not nested).
+func replayHeld(ctx *lockCtx, n ast.Node, held heldSet,
+	onTake func(key string, pos token.Pos),
+	onBlock func(desc string, pos token.Pos),
+	onCall func(callee *types.Func, pos token.Pos)) {
+
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return
+	}
+	WalkBlockNode(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if onBlock != nil {
+				onBlock("channel send", v.Arrow)
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && onBlock != nil {
+				onBlock("channel receive", v.OpPos)
+			}
+		case *ast.RangeStmt:
+			if _, isChan := exprType(ctx.Info, v.X).(*types.Chan); isChan && onBlock != nil {
+				onBlock("range over channel", v.For)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(v) && onBlock != nil {
+				onBlock("select without default", v.Select)
+			}
+		case *ast.CallExpr:
+			if key, op := lockCall(ctx, v); op != lockNone {
+				if op == lockTake {
+					if onTake != nil {
+						onTake(key, v.Pos())
+					}
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return true
+			}
+			if isBlockingStdCall(ctx.Info, v) {
+				if onBlock != nil {
+					onBlock(blockDesc(ctx.Info, v), v.Pos())
+				}
+				return true
+			}
+			if onCall != nil {
+				if callee := StaticCallee(ctx.Info, v); callee != nil {
+					onCall(callee, v.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func blockDesc(info *types.Info, call *ast.CallExpr) string {
+	obj := StaticCallee(info, call)
+	if obj == nil {
+		return "blocking call"
+	}
+	if r := recvNamed(obj); r != "" {
+		return r + "." + obj.Name()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+func runLockHeld(pass *Pass) error {
+	if pass.Prog != nil {
+		reportLockInversions(pass)
+	}
+	for _, f := range pass.Files {
+		for _, fn := range FuncNodes(f) {
+			checkLockHeldFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkLockHeldFunc reports may-block operations reached with a lock
+// held on every path (part 1 of the discipline).
+func checkLockHeldFunc(pass *Pass, fn ast.Node) {
+	ctx := &lockCtx{Info: pass.Info, Pkg: pass.Pkg, Path: pass.Path, Enclosing: enclosingName(pass, fn)}
+	cfg := BuildCFG(fn)
+	res := Forward(cfg, &heldFlow{ctx: ctx})
+	reported := map[token.Pos]bool{}
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(heldSet)
+		if in == nil {
+			continue // unreachable: don't report from dead code
+		}
+		held := in.clone()
+		for _, n := range b.Nodes {
+			replayHeld(ctx, n, held, nil,
+				func(desc string, pos token.Pos) {
+					if len(held) == 0 || reported[pos] {
+						return
+					}
+					reported[pos] = true
+					pass.Reportf(pos, "%s while %s is held can stall the critical section indefinitely; "+
+						"release the lock first or make the operation non-blocking",
+						desc, strings.Join(sortedKeys(held), ", "))
+				},
+				func(callee *types.Func, pos token.Pos) {
+					if len(held) == 0 || reported[pos] || pass.Prog == nil {
+						return
+					}
+					if pass.Prog.Effects[callee.FullName()]&EffMayBlock != 0 {
+						reported[pos] = true
+						pass.Reportf(pos, "call to %s may block (channel op or wait in its call tree) while %s is held; "+
+							"release the lock before calling it",
+							callee.Name(), strings.Join(sortedKeys(held), ", "))
+					}
+				})
+		}
+	}
+}
+
+func enclosingName(pass *Pass, fn ast.Node) string {
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			return obj.FullName()
+		}
+		return pass.Path + "." + fd.Name.Name
+	}
+	pos := pass.Fset.Position(fn.Pos())
+	return fmt.Sprintf("%s.func@%d:%d", pass.Path, pos.Line, pos.Column)
+}
+
+// collectLockPairs runs the held-lock dataflow over every function in
+// the program and records each acquisition order observed: After taken
+// — directly or through a callee's transitive lock summary — while
+// Before was held. BuildProgram stores the sorted result on
+// Program.LockPairs; reportLockInversions cross-references it.
+func collectLockPairs(p *Program) []LockPair {
+	var pairs []LockPair
+	for _, key := range p.Graph.Keys {
+		fn := p.Graph.Funcs[key]
+		if fn.Decl.Body == nil {
+			continue
+		}
+		ctx := &lockCtx{Info: fn.Pkg.Info, Pkg: fn.Pkg.Pkg, Path: fn.Pkg.Path, Enclosing: key}
+		cfg := BuildCFG(fn.Decl)
+		res := Forward(cfg, &heldFlow{ctx: ctx})
+		for _, b := range cfg.Blocks {
+			in, _ := res.In[b].(heldSet)
+			if in == nil {
+				continue
+			}
+			held := in.clone()
+			for _, n := range b.Nodes {
+				replayHeld(ctx, n, held,
+					func(lk string, pos token.Pos) {
+						for _, h := range sortedKeys(held) {
+							if h != lk {
+								pairs = append(pairs, LockPair{
+									Before: h, After: lk,
+									Pos:     fn.Pkg.Fset.Position(pos),
+									PkgPath: fn.Pkg.Path,
+								})
+							}
+						}
+					},
+					nil,
+					func(callee *types.Func, pos token.Pos) {
+						if len(held) == 0 {
+							return
+						}
+						for _, lk := range p.Locks[callee.FullName()] {
+							for _, h := range sortedKeys(held) {
+								if h != lk {
+									pairs = append(pairs, LockPair{
+										Before: h, After: lk,
+										Pos:     fn.Pkg.Fset.Position(pos),
+										PkgPath: fn.Pkg.Path,
+										Via:     callee.FullName(),
+									})
+								}
+							}
+						}
+					})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Offset != b.Pos.Offset {
+			return a.Pos.Offset < b.Pos.Offset
+		}
+		if a.Before != b.Before {
+			return a.Before < b.Before
+		}
+		if a.After != b.After {
+			return a.After < b.After
+		}
+		return a.Via < b.Via
+	})
+	return pairs
+}
+
+// reportLockInversions reports, in the package owning the second
+// acquisition, every lock pair whose opposite order occurs anywhere in
+// the program (part 2 of the discipline).
+func reportLockInversions(pass *Pass) {
+	first := map[string]token.Position{}
+	for _, pr := range pass.Prog.LockPairs {
+		k := pr.Before + "\x00" + pr.After
+		if _, ok := first[k]; !ok {
+			first[k] = pr.Pos
+		}
+	}
+	seen := map[string]bool{}
+	for _, pr := range pass.Prog.LockPairs {
+		if pr.PkgPath != pass.Path {
+			continue
+		}
+		rev, ok := first[pr.After+"\x00"+pr.Before]
+		if !ok {
+			continue
+		}
+		key := pr.Pos.String() + "\x00" + pr.Before + "\x00" + pr.After
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		via := ""
+		if pr.Via != "" {
+			via = " (through " + pr.Via + ")"
+		}
+		pass.report(Diagnostic{
+			Pos:      pr.Pos,
+			Analyzer: pass.Analyzer.Name,
+			Message: fmt.Sprintf("lock %s acquired%s while %s is held, but the opposite order occurs at %s; "+
+				"inconsistent pairwise lock order can deadlock", pr.After, via, pr.Before, rev),
+		})
+	}
+}

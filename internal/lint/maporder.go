@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose iteration order
+// can become observable: Go randomizes map iteration per run, so any
+// float accumulation, serialized output, task dispatch or unsorted
+// slice produced in map order differs between runs — exactly the class
+// of bug that breaks the repository's Workers=1-vs-8 bit-identity
+// invariant (ensemble statistics must not depend on which goroutine,
+// or which hash bucket, came first).
+//
+// Inside a map-range body the analyzer reports:
+//
+//   - compound float accumulation (`s += v`, `s = s + v`) into a
+//     variable declared outside the loop — float addition does not
+//     commute in rounding, so the sum depends on visit order;
+//   - `append` to a slice declared outside the loop that is not passed
+//     to a sort.*/slices.* call later in the enclosing block — the
+//     collect-then-sort idiom is the approved fix and passes clean;
+//   - channel sends and `go` statements — task-dispatch order becomes
+//     map order;
+//   - output calls, directly (fmt.Fprintf, Write/Encode methods,
+//     binary.Write, hashes — anywhere call order becomes byte order)
+//     or through a called function whose interprocedural effect
+//     summary says it emits output, sends, or spawns (see summary.go).
+//
+// Per-entry mutation (`m[k] = f(v)`, copying into another map) and
+// order-insensitive reductions guarded by deterministic tie-breaks
+// (min/max with a key comparison) pass. Genuinely order-free sites can
+// carry an audited //esselint:allow maporder directive.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order can reach float accumulation, serialized output, " +
+		"task dispatch, or an unsorted slice (bit-reproducibility gate, interprocedural)",
+	Scope: underInternalOrCmd,
+	Run:   runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range FuncNodes(f) {
+			body := funcBody(fn)
+			if body == nil {
+				continue
+			}
+			blocks := stmtBlocks(body)
+			// One dedup set per function: nested map ranges would
+			// otherwise report their shared sites twice.
+			reported := map[token.Pos]bool{}
+			walkOwnStmts(body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := exprType(pass.Info, rng.X).(*types.Map); isMap {
+					checkMapRange(pass, rng, blocks, reported)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// stmtBlocks indexes every statement list of a function body (blocks,
+// case bodies, comm bodies), so the analyzer can see what follows a
+// range statement in its enclosing list.
+func stmtBlocks(body *ast.BlockStmt) map[ast.Stmt][]ast.Stmt {
+	idx := map[ast.Stmt][]ast.Stmt{}
+	record := func(list []ast.Stmt) {
+		for _, s := range list {
+			idx[s] = list
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BlockStmt:
+			record(v.List)
+		case *ast.CaseClause:
+			record(v.Body)
+		case *ast.CommClause:
+			record(v.Body)
+		}
+		return true
+	})
+	return idx
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, blocks map[ast.Stmt][]ast.Stmt, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+	// declaredOutside reports whether the expression's root variable
+	// outlives the loop body (so per-iteration state stays exempt).
+	declaredOutside := func(e ast.Expr) (*ast.Ident, bool) {
+		root := rootIdent(e)
+		if root == nil {
+			return nil, false
+		}
+		obj, ok := pass.Info.Uses[root].(*types.Var)
+		if !ok {
+			if obj, ok = pass.Info.Defs[root].(*types.Var); !ok {
+				return nil, false
+			}
+		}
+		return root, obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			report(v.Arrow, "channel send inside a map range dispatches in map-iteration order; "+
+				"iterate sorted keys instead")
+		case *ast.GoStmt:
+			report(v.Go, "goroutine spawned inside a map range starts in map-iteration order; "+
+				"iterate sorted keys instead")
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, v, rng, blocks, declaredOutside, report)
+		case *ast.CallExpr:
+			if isOutputCall(pass.Info, v) {
+				report(v.Pos(), "output written inside a map range serializes in map-iteration order; "+
+					"iterate sorted keys instead")
+			} else if pass.Prog != nil {
+				if callee := StaticCallee(pass.Info, v); callee != nil {
+					eff := pass.Prog.Effects[callee.FullName()]
+					if eff&(EffEmitsOutput|EffSendsChan|EffSpawns) != 0 {
+						report(v.Pos(), "call to %s inside a map range %s in map-iteration order; "+
+							"iterate sorted keys instead", callee.Name(), effectVerb(eff))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func effectVerb(eff Effects) string {
+	switch {
+	case eff&EffEmitsOutput != 0:
+		return "emits output"
+	case eff&EffSendsChan != 0:
+		return "sends on a channel"
+	default:
+		return "spawns goroutines"
+	}
+}
+
+// checkMapRangeAssign handles the two order-sensitive assignment
+// shapes: float accumulation and un-sorted appends.
+func checkMapRangeAssign(pass *Pass, as *ast.AssignStmt, rng *ast.RangeStmt,
+	blocks map[ast.Stmt][]ast.Stmt,
+	declaredOutside func(ast.Expr) (*ast.Ident, bool), report func(token.Pos, string, ...any)) {
+
+	isFloat := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) == 1 && isFloat(as.Lhs[0]) {
+			if root, outside := declaredOutside(as.Lhs[0]); outside {
+				report(as.TokPos, "float accumulation into %q in map-iteration order is not "+
+					"bit-reproducible; iterate sorted keys instead", root.Name)
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			lhs := as.Lhs[i]
+			// s = s + v (or s - v): accumulation spelled out long-hand.
+			if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok &&
+				(bin.Op == token.ADD || bin.Op == token.SUB) && isFloat(lhs) {
+				l := types.ExprString(ast.Unparen(lhs))
+				if types.ExprString(ast.Unparen(bin.X)) == l || types.ExprString(ast.Unparen(bin.Y)) == l {
+					if root, outside := declaredOutside(lhs); outside {
+						report(as.TokPos, "float accumulation into %q in map-iteration order is not "+
+							"bit-reproducible; iterate sorted keys instead", root.Name)
+					}
+				}
+			}
+			// s = append(s, ...): flag unless a sort of s follows the
+			// range statement in its enclosing statement list.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				root, outside := declaredOutside(lhs)
+				if !outside {
+					continue
+				}
+				if !sortedAfter(pass, rng, blocks, root) {
+					report(call.Pos(), "append to %q in map-iteration order without sorting it "+
+						"afterwards; sort the slice (or collect-and-sort the keys first)", root.Name)
+				}
+			}
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether a sort.* or slices.* call whose
+// arguments mention root's variable appears after rng in rng's
+// enclosing statement list — the canonical collect-then-sort idiom.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, blocks map[ast.Stmt][]ast.Stmt, root *ast.Ident) bool {
+	obj := pass.Info.Uses[root]
+	if obj == nil {
+		obj = pass.Info.Defs[root]
+	}
+	list := blocks[ast.Stmt(rng)]
+	after := false
+	for _, s := range list {
+		if s == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			callee := StaticCallee(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if r := rootIdent(arg); r != nil && pass.Info.Uses[r] == obj {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+package divguardsum
+
+import "math"
+
+// half passes its argument's sign straight through: its summary proves
+// nothing about the result.
+func half(x float64) float64 {
+	return x / 2
+}
+
+func unsafeInverse(x float64) float64 {
+	return 1 / half(x) // want "not provably nonzero"
+}
+
+// absNoZero proves non-negative but not nonzero.
+func absNoZero(x float64) float64 {
+	return math.Abs(x)
+}
+
+func stillZero(x float64) float64 {
+	return 1 / absNoZero(x) // want "not provably nonzero"
+}
+
+// clampNonNeg's Base summary is only non-negative; dividing by it
+// still needs a nonzero proof the summary cannot give.
+func clampNonNeg(x float64) float64 {
+	return math.Max(x, 0)
+}
+
+func needsPos(x, y float64) float64 {
+	return x / clampNonNeg(y) // want "not provably nonzero"
+}
+
+// ...but the same summary satisfies math.Sqrt's non-negativity
+// requirement interprocedurally: no finding here.
+func sqrtOf(x float64) float64 {
+	return math.Sqrt(clampNonNeg(x))
+}

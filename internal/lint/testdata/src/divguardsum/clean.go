@@ -1,0 +1,59 @@
+package divguardsum
+
+import "math"
+
+// clampPos's summary proves a strictly positive result for any
+// argument: PR-2 style call sites need no directive anymore.
+func clampPos(x float64) float64 {
+	return math.Max(x, 1e-12)
+}
+
+func safeInverse(x float64) float64 {
+	return 1 / clampPos(x)
+}
+
+func scaled(x, y float64) float64 {
+	return x / (clampPos(y) + 1)
+}
+
+// square's AllPos summary applies when the argument is provably
+// positive at the call site.
+func square(x float64) float64 {
+	return x * x
+}
+
+func sqrtScale(x float64) float64 {
+	s := math.Max(x, 0.5)
+	return 1 / square(s)
+}
+
+// Multi-result summaries propagate per result through a,b := f(x).
+func posPair(x float64) (float64, float64) {
+	p := math.Max(x, 1)
+	return p, p + 1
+}
+
+func useBoth(x float64) float64 {
+	a, b := posPair(x)
+	return a / b
+}
+
+// Mutual recursion: the summary fixpoint converges to "positive" for
+// both halves of the pair.
+func evenPow(x float64, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return oddPow(x, n-1) * clampPos(x)
+}
+
+func oddPow(x float64, n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return evenPow(x, n-1) * clampPos(x)
+}
+
+func usesRecursive(x float64) float64 {
+	return 1 / evenPow(x, 4)
+}

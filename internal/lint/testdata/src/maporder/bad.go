@@ -1,0 +1,56 @@
+package maporder
+
+import "fmt"
+
+func sumBad(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation"
+	}
+	return total
+}
+
+func longhandBad(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s = s + v // want "float accumulation"
+	}
+	return s
+}
+
+func appendBad(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to .keys. in map-iteration order"
+	}
+	return keys
+}
+
+func printBad(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "output written inside a map range"
+	}
+}
+
+func sendBad(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside a map range"
+	}
+}
+
+func spawnBad(m map[string]func()) {
+	for _, f := range m {
+		go f() // want "goroutine spawned inside a map range"
+	}
+}
+
+// emit's interprocedural effect summary says it writes output.
+func emit(k string) {
+	fmt.Println(k)
+}
+
+func indirectBad(m map[string]int) {
+	for k := range m {
+		emit(k) // want "call to emit inside a map range emits output"
+	}
+}

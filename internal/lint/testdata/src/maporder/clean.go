@@ -1,0 +1,62 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Collect-then-sort: the approved idiom for map iteration whose order
+// would otherwise become observable.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Per-entry mutation is order-free.
+func scale(m map[string]float64, f float64) {
+	for k, v := range m {
+		m[k] = v * f
+	}
+}
+
+// Copying into another map is order-free.
+func copyMap(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// Min-reduction with a deterministic key tiebreaker.
+func argMin(m map[string]float64) string {
+	best := ""
+	bestV := 0.0
+	first := true
+	for k, v := range m {
+		if first || v < bestV || (v <= bestV && k < best) {
+			best, bestV, first = k, v, false
+		}
+	}
+	return best
+}
+
+// Output in sorted-key order, outside any map range.
+func report(m map[string]int) {
+	for _, k := range sortedKeys(m) {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Integer counters commute exactly.
+func count(m map[string]bool) int {
+	n := 0
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

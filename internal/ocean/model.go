@@ -291,8 +291,9 @@ func (m *Model) SST() []float64 {
 // CFLNumber returns the gravity-wave CFL number c·dt/min(dx,dy); values
 // below ~0.7 are stable for the forward-backward scheme.
 func (m *Model) CFLNumber() float64 {
-	//esselint:allow divguard MeanDepth is validated positive by Model.Validate
-	c := math.Sqrt(physics.Gravity * m.Cfg.MeanDepth)
+	// Validate rejects non-positive MeanDepth; the clamp keeps the Sqrt
+	// NaN-free even on unvalidated configs.
+	c := math.Sqrt(physics.Gravity * math.Max(m.Cfg.MeanDepth, 0))
 	return c * m.Cfg.Dt / math.Min(m.Cfg.Grid.Dx, m.Cfg.Grid.Dy)
 }
 
@@ -407,8 +408,9 @@ func (m *Model) stepTracer(tr []float64, isTemp bool) {
 // this step (steady wind + smoothed Wiener increments).
 func (m *Model) sampleForcing() {
 	g := m.Cfg.Grid
-	//esselint:allow divguard Dt is validated positive by Model.Validate
-	sqrtDt := math.Sqrt(m.Cfg.Dt)
+	// Validate rejects non-positive Dt; the clamp keeps the Sqrt
+	// NaN-free even on unvalidated configs.
+	sqrtDt := math.Sqrt(math.Max(m.Cfg.Dt, 0))
 	windNoise := m.Cfg.NoiseWind * sqrtDt / m.Cfg.Dt // acceleration equivalent
 	trNoise := m.Cfg.NoiseTracer * sqrtDt
 	for j := 0; j < g.NY; j++ {

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"sort"
 
 	"esse/internal/cluster"
 )
@@ -18,7 +19,15 @@ import (
 // the paper's own treatment.
 func VirtualCluster(homeCores int, instances map[string]int, sites []SiteAllocation) (*cluster.Cluster, error) {
 	c := cluster.MITAvailable(homeCores)
-	for name, count := range instances {
+	// Sort the instance types so the node list (and therefore scheduler
+	// placement) does not depend on map-iteration order.
+	names := make([]string, 0, len(instances))
+	for name := range instances {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		count := instances[name]
 		if count <= 0 {
 			continue
 		}

@@ -13,8 +13,11 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> esselint ./... (rngdeterminism, streamshare, errdrop, divguard, floatcmp, goroutineleak, aliasguard)"
-go run ./cmd/esselint -vet=false ./...
+echo "==> esselint -stats ./... (rngdeterminism, streamshare, errdrop, divguard, floatcmp, goroutineleak, aliasguard, maporder, lockheld)"
+go run ./cmd/esselint -vet=false -stats ./...
+
+echo "==> esselint self-hosting gate (internal/lint + cmd/esselint)"
+go run ./cmd/esselint -vet=false ./internal/lint/... ./cmd/esselint/...
 
 echo "==> esselint -audit ./... (every suppression must carry a reason)"
 go run ./cmd/esselint -audit -vet=false ./... >/dev/null
