@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-self lint-fixtures audit vet verify
+.PHONY: build test race lint lint-self lint-fixtures audit vet verify bench bench-update
 
 build:
 	$(GO) build ./...
@@ -27,9 +27,11 @@ lint:
 # lint-self is the self-hosting gate: the analyzers must pass over
 # their own implementation (a lint suite that trips its own map-order
 # or lock-discipline rules has no business enforcing them). -stats
-# prints per-analyzer wall time and summary fact counts.
+# prints per-analyzer wall time and summary fact counts; -escapes
+# cross-checks allocation findings against the compiler's escape
+# analysis.
 lint-self:
-	$(GO) run ./cmd/esselint -vet=false -stats ./internal/lint/... ./cmd/esselint/...
+	$(GO) run ./cmd/esselint -vet=false -stats -escapes ./internal/lint/... ./cmd/esselint/...
 
 # lint-fixtures runs only the analyzer fixture tests — the fast inner
 # loop when developing an analyzer.
@@ -40,6 +42,15 @@ lint-fixtures:
 # is missing a reason or names an unknown analyzer.
 audit:
 	$(GO) run ./cmd/esselint -audit -vet=false ./...
+
+# bench runs every benchmark once with -benchmem and fails on any
+# allocs/op regression against the committed BENCH_4.json baseline.
+# bench-update rewrites the baseline after a deliberate change.
+bench:
+	./scripts/bench.sh
+
+bench-update:
+	./scripts/bench.sh -update
 
 verify:
 	./scripts/verify.sh

@@ -1,0 +1,193 @@
+// Command benchgate turns `go test -bench -benchmem` output into a
+// committed JSON baseline and gates changes against it. It reads the
+// benchmark stream on stdin, extracts ns/op, B/op and allocs/op per
+// benchmark, and compares allocs/op against the baseline: allocation
+// counts are deterministic enough to gate in CI, while wall time on a
+// shared runner is not (ns/op and B/op are recorded for the record but
+// never fail the build).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_4.json
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_4.json -update
+//
+// A benchmark regresses when its allocs/op exceeds the baseline by more
+// than both the relative tolerance and the absolute slack — the slack
+// absorbs worker-goroutine count differences across machines with
+// different GOMAXPROCS, the relative bound catches real per-iteration
+// leaks on the big counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's recorded cost. Allocs gates; the rest is
+// context for humans reading the baseline diff.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Baseline is the committed BENCH_4.json shape.
+type Baseline struct {
+	Note       string             `json:"note"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// canonicalName strips the -N the testing package appends to benchmark
+// names when GOMAXPROCS != 1, so baselines travel across machines. A
+// blanket `-\d+$` strip would also eat parameterized sub-benchmark
+// names like AblationSVDCadence/batch-4, so only the exact
+// -<GOMAXPROCS> of this process is removed — benchgate consumes the
+// stream on the machine that produced it, so the two agree.
+func canonicalName(field string) string {
+	name := strings.TrimPrefix(field, "Benchmark")
+	if procs := runtime.GOMAXPROCS(0); procs != 1 {
+		name = strings.TrimSuffix(name, fmt.Sprintf("-%d", procs))
+	}
+	return name
+}
+
+func parseBench(r *bufio.Scanner) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := canonicalName(fields[0])
+		var m Metrics
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp = v
+				seen = true
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if !seen {
+			continue
+		}
+		if prev, ok := out[name]; ok && prev.AllocsPerOp > m.AllocsPerOp {
+			// -count>1 or duplicate names: keep the worst observation so
+			// the gate never passes on a lucky run.
+			continue
+		}
+		out[name] = m
+	}
+	return out, r.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_4.json", "committed baseline to compare against (or write with -update)")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	out := flag.String("out", "", "optional path to write this run's parsed metrics (CI artifact)")
+	tolerance := flag.Float64("tolerance", 0.15, "relative allocs/op headroom before a regression fires")
+	slack := flag.Float64("slack", 4, "absolute allocs/op headroom (absorbs GOMAXPROCS-dependent worker spawns)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	observed, err := parseBench(sc)
+	if err != nil {
+		fatalf("reading benchmark stream: %v", err)
+	}
+	if len(observed) == 0 {
+		fatalf("no benchmark results on stdin (run with -bench=. -benchmem)")
+	}
+
+	if *out != "" {
+		writeJSON(*out, &Baseline{Note: "observed run (not the committed baseline)", Benchmarks: observed})
+	}
+
+	if *update {
+		writeJSON(*baselinePath, &Baseline{
+			Note: "allocs/op baseline for scripts/bench.sh; regenerate with `make bench-update`",
+			Benchmarks: observed,
+		})
+		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *baselinePath, len(observed))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("reading baseline: %v (run `make bench-update` to create it)", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parsing %s: %v", *baselinePath, err)
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := observed[name]
+		if !ok {
+			fmt.Printf("benchgate: FAIL %-40s missing from run (baseline %.0f allocs/op)\n", name, want.AllocsPerOp)
+			regressions++
+			continue
+		}
+		limit := want.AllocsPerOp*(1+*tolerance) + *slack
+		if got.AllocsPerOp > limit {
+			fmt.Printf("benchgate: FAIL %-40s %.0f allocs/op > limit %.1f (baseline %.0f)\n",
+				name, got.AllocsPerOp, limit, want.AllocsPerOp)
+			regressions++
+		} else if got.AllocsPerOp < want.AllocsPerOp {
+			fmt.Printf("benchgate: improved %-36s %.0f allocs/op (baseline %.0f; refresh with `make bench-update`)\n",
+				name, got.AllocsPerOp, want.AllocsPerOp)
+		}
+	}
+	var unbaselined []string
+	for name := range observed {
+		if _, ok := base.Benchmarks[name]; !ok {
+			unbaselined = append(unbaselined, name)
+		}
+	}
+	sort.Strings(unbaselined)
+	for _, name := range unbaselined {
+		fmt.Printf("benchgate: note: %s not in baseline; add it with `make bench-update`\n", name)
+	}
+	if regressions > 0 {
+		fatalf("%d allocation regression(s) against %s", regressions, *baselinePath)
+	}
+	fmt.Printf("benchgate: %d benchmarks within allocation budget\n", len(names))
+}
+
+func writeJSON(path string, b *Baseline) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatalf("encoding %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

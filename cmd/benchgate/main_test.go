@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bufio"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+const sampleStream = `
+goos: linux
+pkg: esse
+BenchmarkFig4Parallel     	       1	  11115031 ns/op	         5.037 ensemble-ms	 4526960 B/op	    1130 allocs/op
+BenchmarkAblationSVDCadence/batch-4      	       1	  47094592 ns/op	        16.00 svd-rounds	 5523128 B/op	    1595 allocs/op
+BenchmarkNoMem            	       5	    200 ns/op
+PASS
+ok  	esse	0.5s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(sampleStream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig, ok := got["Fig4Parallel"]
+	if !ok {
+		t.Fatalf("Fig4Parallel missing; parsed %v", got)
+	}
+	if fig.AllocsPerOp != 1130 || fig.BytesPerOp != 4526960 || fig.NsPerOp != 11115031 {
+		t.Errorf("Fig4Parallel = %+v", fig)
+	}
+	// Custom ReportMetric columns (svd-rounds, ensemble-ms) must not be
+	// mistaken for the standard units, and a parameterized sub-benchmark
+	// name keeps its numeric parameter.
+	cad, ok := got["AblationSVDCadence/batch-4"]
+	if !ok {
+		t.Fatalf("parameterized sub-benchmark name mangled; parsed %v", got)
+	}
+	if cad.AllocsPerOp != 1595 {
+		t.Errorf("batch-4 allocs = %v, want 1595", cad.AllocsPerOp)
+	}
+	if m, ok := got["NoMem"]; !ok || m.AllocsPerOp != 0 {
+		t.Errorf("benchmark without -benchmem columns = %+v, %v", m, ok)
+	}
+}
+
+func TestParseBenchKeepsWorstDuplicate(t *testing.T) {
+	stream := `
+BenchmarkX 	1	100 ns/op	8 B/op	3 allocs/op
+BenchmarkX 	1	100 ns/op	8 B/op	9 allocs/op
+BenchmarkX 	1	100 ns/op	8 B/op	5 allocs/op
+`
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["X"].AllocsPerOp != 9 {
+		t.Errorf("duplicate merge kept %v allocs/op, want the worst (9)", got["X"].AllocsPerOp)
+	}
+}
+
+func TestCanonicalName(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	// With one proc the testing package appends nothing: a trailing
+	// number is part of the benchmark's own name.
+	if got := canonicalName("BenchmarkA/batch-4"); got != "A/batch-4" {
+		t.Errorf("procs=1: %q", got)
+	}
+
+	runtime.GOMAXPROCS(4)
+	if got := canonicalName("BenchmarkA/batch-4-4"); got != "A/batch-4" {
+		t.Errorf("procs=4 strips one suffix: %q", got)
+	}
+	if got := canonicalName("BenchmarkStepParallel48x4-4"); got != "StepParallel48x4" {
+		t.Errorf("procs=4: %q", got)
+	}
+}

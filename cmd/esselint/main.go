@@ -38,6 +38,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic (including suppressed ones) instead of text")
 	audit := flag.Bool("audit", false, "list every //esselint:allow[file] directive; exit non-zero on directives with no reason or an unknown analyzer")
 	stats := flag.Bool("stats", false, "print per-analyzer wall time and interprocedural fact counts to stderr after the run")
+	escapes := flag.Bool("escapes", false, "cross-check hotalloc/boxing findings against the compiler's escape analysis (go build -gcflags=-m): heap facts confirm, stack facts suppress")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: esselint [flags] [package patterns]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the ESSE determinism/concurrency analyzers (default patterns: ./...).\n\n")
@@ -69,15 +70,27 @@ func main() {
 	}
 
 	failed := false
-	if *jsonOut {
-		diags, runStats, err := lint.RunAnalyzersStats(pkgs, analyzers)
+	diags, runStats, err := lint.RunAnalyzersStats(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esselint:", err)
+		os.Exit(2)
+	}
+	if *escapes {
+		facts, err := lint.LoadEscapeFacts("", patterns...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esselint:", err)
 			os.Exit(2)
 		}
+		cc := lint.CrossCheck(diags, facts)
 		if *stats {
-			printStats(runStats)
+			fmt.Fprintf(os.Stderr, "esselint: stats: escape facts: %d heap, %d stack; findings %d compiler-confirmed, %d downgraded to stack\n",
+				facts.HeapCount(), facts.StackCount(), cc.Confirmed, cc.Downgraded)
 		}
+	}
+	if *stats {
+		printStats(runStats)
+	}
+	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
 			if err := enc.Encode(jsonDiag{
@@ -96,15 +109,7 @@ func main() {
 			}
 		}
 	} else {
-		all, runStats, err := lint.RunAnalyzersStats(pkgs, analyzers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "esselint:", err)
-			os.Exit(2)
-		}
-		if *stats {
-			printStats(runStats)
-		}
-		for _, d := range all {
+		for _, d := range diags {
 			if d.Suppressed {
 				continue
 			}

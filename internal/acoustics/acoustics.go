@@ -199,8 +199,28 @@ func (f *TLField) Flatten() []float64 {
 }
 
 // ComputeTL traces the ray fan through the section and returns the TL
-// field.
+// field. The field is freshly allocated and owned by the caller; use a
+// TLSolver to amortize the grid allocations over repeated solves.
 func ComputeTL(sec *Section, cfg TLConfig) (*TLField, error) {
+	var s TLSolver
+	return s.Compute(sec, cfg)
+}
+
+// TLSolver runs repeated TL solves of one grid shape through reusable
+// buffers: the ray-deposit grid and the output field are allocated on
+// the first Compute (or whenever the requested shape changes) and
+// overwritten in place afterwards. The returned field is owned by the
+// solver — callers that retain it across calls must use ComputeTL or
+// copy it. The zero value is ready to use; a solver must not be shared
+// between goroutines.
+type TLSolver struct {
+	deposit *linalg.Dense
+	field   *TLField
+}
+
+// Compute traces the ray fan through the section into the solver's
+// reused field.
+func (s *TLSolver) Compute(sec *Section, cfg TLConfig) (*TLField, error) {
 	if cfg.NumRays < 10 {
 		return nil, fmt.Errorf("acoustics: need at least 10 rays")
 	}
@@ -213,7 +233,19 @@ func ComputeTL(sec *Section, cfg TLConfig) (*TLField, error) {
 		return nil, fmt.Errorf("acoustics: source depth %v outside water column [0, %v]", cfg.SourceDepth, zMax)
 	}
 	nr, nz := cfg.RangeCells, cfg.DepthCells
-	deposit := linalg.NewDense(nr, nz)
+	if s.deposit == nil || s.deposit.Rows != nr || s.deposit.Cols != nz {
+		s.deposit = linalg.NewDense(nr, nz)
+		s.field = &TLField{
+			Ranges: make([]float64, nr),
+			Depths: make([]float64, nz),
+			TL:     linalg.NewDense(nr, nz),
+		}
+	} else {
+		for i := range s.deposit.Data {
+			s.deposit.Data[i] = 0
+		}
+	}
+	deposit := s.deposit
 	dr := rMax / float64(nr) / 4 // 4 integration steps per output cell
 	cellH := zMax / float64(nz)
 
@@ -259,11 +291,7 @@ func ComputeTL(sec *Section, cfg TLConfig) (*TLField, error) {
 	}
 
 	alpha := physics.ThorpAttenuation(cfg.FreqKHz) // dB/km
-	out := &TLField{
-		Ranges: make([]float64, nr),
-		Depths: make([]float64, nz),
-		TL:     linalg.NewDense(nr, nz),
-	}
+	out := s.field
 	for i := 0; i < nr; i++ {
 		out.Ranges[i] = (float64(i) + 0.5) * rMax / float64(nr)
 	}
@@ -304,8 +332,11 @@ func EnsembleTL(sections []*Section, cfg TLConfig) (*TLStats, error) {
 	}
 	var mean, m2 *linalg.Dense
 	var tmpl *TLField
+	// The Welford reduction only reads each member's field before
+	// moving on, so one solver's buffers serve the whole ensemble.
+	var solver TLSolver
 	for n, sec := range sections {
-		f, err := ComputeTL(sec, cfg)
+		f, err := solver.Compute(sec, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("acoustics: member %d: %w", n, err)
 		}

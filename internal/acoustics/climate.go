@@ -81,6 +81,10 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One solver per worker amortizes the TL grids across tasks.
+			// A non-nil sink retains each field, so that path must hand
+			// out fresh allocations instead.
+			var solver TLSolver
 			for task := range tasks {
 				if ctx.Err() != nil {
 					mu.Lock()
@@ -92,7 +96,13 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 				cfg.SourceDepth = spec.SourceDepths[task.Source]
 				cfg.FreqKHz = spec.FreqsKHz[task.Freq]
 				t0 := time.Now()
-				field, err := ComputeTL(spec.Sections[task.Slice], cfg)
+				var field *TLField
+				var err error
+				if sink != nil {
+					field, err = ComputeTL(spec.Sections[task.Slice], cfg)
+				} else {
+					field, err = solver.Compute(spec.Sections[task.Slice], cfg)
+				}
 				if err != nil {
 					mu.Lock()
 					res.Failed++

@@ -130,11 +130,11 @@ func writeSnapshot(w io.Writer, version int64, m *linalg.Dense, indices []int) e
 	if _, err := w.Write([]byte(magic)); err != nil {
 		return err
 	}
+	// One Write of the whole header slice: the slice header is boxed
+	// once instead of one interface allocation per int64 field.
 	hdr := []int64{version, int64(m.Rows), int64(m.Cols)}
-	for _, h := range hdr {
-		if err := binary.Write(w, binary.LittleEndian, h); err != nil {
-			return err
-		}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
 	}
 	idx64 := make([]int64, len(indices))
 	for i, v := range indices {
@@ -189,14 +189,23 @@ func readSnapshot(r io.Reader) (*linalg.Dense, []int, int64, error) {
 	return m, indices, version, nil
 }
 
-// snapshotChecksum hashes header, indices and payload.
+// snapshotChecksum hashes header, indices and payload. Words are
+// staged through one fixed block buffer so the hash sees 512-byte
+// writes instead of one Write call per matrix element; the byte
+// stream — and therefore the checksum — is unchanged.
 func snapshotChecksum(version int64, m *linalg.Dense, indices []int) uint64 {
 	h := crc64.New(crcTable)
-	var buf [8]byte
-	put := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
+	block := make([]byte, 0, 512)
+	flush := func() {
 		//esselint:allow errdrop hash.Hash.Write is documented to never fail
-		h.Write(buf[:])
+		h.Write(block)
+		block = block[:0]
+	}
+	put := func(v uint64) {
+		if len(block)+8 > cap(block) {
+			flush()
+		}
+		block = binary.LittleEndian.AppendUint64(block, v)
 	}
 	put(uint64(version))
 	put(uint64(m.Rows))
@@ -207,5 +216,6 @@ func snapshotChecksum(version int64, m *linalg.Dense, indices []int) uint64 {
 	for _, f := range m.Data {
 		put(math.Float64bits(f))
 	}
+	flush()
 	return h.Sum64()
 }

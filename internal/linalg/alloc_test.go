@@ -1,0 +1,125 @@
+package linalg
+
+import (
+	"testing"
+)
+
+// assertAllocs pins the steady-state heap cost of a hot kernel. These
+// are the teeth behind the hotalloc analyzer: if a refactor reintroduces
+// a per-call allocation the lint suite may or may not see, this fails.
+func assertAllocs(t *testing.T, name string, want float64, fn func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(20, fn); got != want {
+		t.Errorf("%s: %.0f allocs/op, want %.0f", name, got, want)
+	}
+}
+
+// spdMatrix builds a small well-conditioned SPD matrix.
+func spdMatrix(n int) *Dense {
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, 1.0/float64(1+i+j))
+		}
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	return a
+}
+
+func TestMulIntoAllocFree(t *testing.T) {
+	// 16x16x16 = 4096 flops, far below parallelThreshold: the serial
+	// path must not touch the heap. (The parallel path spawns worker
+	// goroutines, which is an accepted, amortized-by-size cost.)
+	n := 16
+	a, b, out := spdMatrix(n), spdMatrix(n), NewDense(n, n)
+	assertAllocs(t, "mulInto", 0, func() {
+		for i := range out.Data {
+			out.Data[i] = 0
+		}
+		mulInto(out, a, b)
+	})
+}
+
+func TestOuterAddAllocFree(t *testing.T) {
+	n := 32
+	m := NewDense(n, n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i + 1)
+		y[i] = float64(n - i)
+	}
+	assertAllocs(t, "OuterAdd", 0, func() {
+		OuterAdd(m, 0.5, x, y)
+	})
+}
+
+func TestCholeskySolveIntoAllocFree(t *testing.T) {
+	n := 12
+	a := spdMatrix(n)
+	l, ok := Cholesky(a)
+	if !ok {
+		t.Fatal("Cholesky failed on SPD matrix")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i) - 3
+	}
+	y := make([]float64, n)
+	x := make([]float64, n)
+	assertAllocs(t, "cholesky solve (Into pair)", 0, func() {
+		solveLowerTriInto(y, l, b)
+		solveCholeskyTInto(x, l, y)
+	})
+}
+
+func TestLUSolveIntoAllocFree(t *testing.T) {
+	n := 12
+	f, err := LU(spdMatrix(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) + 1
+	}
+	x := make([]float64, n)
+	assertAllocs(t, "LUFactors.SolveInto", 0, func() {
+		f.SolveInto(x, b)
+	})
+}
+
+func TestSolveTridiagonalIntoAllocFree(t *testing.T) {
+	n := 64
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	super := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sub[i], diag[i], super[i], b[i] = -1, 4, -1, float64(i)
+	}
+	x := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	assertAllocs(t, "SolveTridiagonalInto", 0, func() {
+		if err := SolveTridiagonalInto(x, c, d, sub, diag, super, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMatTVecDotAxpyAllocFree(t *testing.T) {
+	n := 48
+	a := spdMatrix(n)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	assertAllocs(t, "Dot", 0, func() { _ = Dot(x, x) })
+	assertAllocs(t, "Axpy", 0, func() { Axpy(1.5, x, y) })
+	// MatVec/MatTVec return fresh slices by contract: exactly one
+	// allocation, never more.
+	assertAllocs(t, "MatVec", 1, func() { _ = MatVec(a, x) })
+	assertAllocs(t, "MatTVec", 1, func() { _ = MatTVec(a, x) })
+}

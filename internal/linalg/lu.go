@@ -67,11 +67,17 @@ func LU(a *Dense) (*LUFactors, error) {
 
 // Solve returns x with A x = b.
 func (f *LUFactors) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, f.LU.Rows), b)
+}
+
+// SolveInto solves A x = b into a caller-supplied x (len n), returning
+// it. b and x must not alias. It allocates nothing, so repeated solves
+// against one factorization can reuse a single buffer.
+func (f *LUFactors) SolveInto(x, b []float64) []float64 {
 	n := f.LU.Rows
-	if len(b) != n {
+	if len(b) != n || len(x) != n {
 		panic("linalg: LU Solve dimension mismatch")
 	}
-	x := make([]float64, n)
 	// Apply permutation, then forward substitution with unit L.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.Piv[i]]
@@ -121,12 +127,13 @@ func Invert(a *Dense) (*Dense, error) {
 	n := a.Rows
 	inv := NewDense(n, n)
 	e := make([]float64, n)
+	x := make([]float64, n)
 	for j := 0; j < n; j++ {
 		for i := range e {
 			e[i] = 0
 		}
 		e[j] = 1
-		inv.SetCol(j, f.Solve(e))
+		inv.SetCol(j, f.SolveInto(x, e))
 	}
 	return inv, nil
 }
@@ -138,32 +145,44 @@ func Invert(a *Dense) (*Dense, error) {
 // diagonally dominant systems, as implicit diffusion steps do).
 func SolveTridiagonal(sub, diag, super, b []float64) ([]float64, error) {
 	n := len(diag)
-	if len(sub) != n || len(super) != n || len(b) != n {
-		return nil, fmt.Errorf("linalg: tridiagonal band lengths disagree")
-	}
+	x := make([]float64, n)
 	c := make([]float64, n)
 	d := make([]float64, n)
+	if err := SolveTridiagonalInto(x, c, d, sub, diag, super, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveTridiagonalInto is SolveTridiagonal with caller-supplied
+// solution vector x and scratch vectors c, d (all len n, none
+// aliasing the bands or b). It allocates nothing, so per-column
+// implicit-diffusion sweeps can reuse one set of buffers.
+func SolveTridiagonalInto(x, c, d, sub, diag, super, b []float64) error {
+	n := len(diag)
+	if len(sub) != n || len(super) != n || len(b) != n || len(x) != n || len(c) != n || len(d) != n {
+		return fmt.Errorf("linalg: tridiagonal band lengths disagree")
+	}
 	if diag[0] == 0 {
-		return nil, fmt.Errorf("linalg: zero pivot at row 0")
+		return fmt.Errorf("linalg: zero pivot at row 0")
 	}
 	c[0] = super[0] / diag[0]
 	d[0] = b[0] / diag[0]
 	for i := 1; i < n; i++ {
 		den := diag[i] - sub[i]*c[i-1]
 		if den == 0 {
-			return nil, fmt.Errorf("linalg: zero pivot at row %d", i)
+			return fmt.Errorf("linalg: zero pivot at row %d", i)
 		}
 		if i < n-1 {
 			c[i] = super[i] / den
 		}
 		d[i] = (b[i] - sub[i]*d[i-1]) / den
 	}
-	x := make([]float64, n)
 	x[n-1] = d[n-1]
 	for i := n - 2; i >= 0; i-- {
 		x[i] = d[i] - c[i]*x[i+1]
 	}
-	return x, nil
+	return nil
 }
 
 // ConditionEstimate returns a cheap condition-number estimate of a

@@ -16,11 +16,15 @@ func QR(a *Dense) *QRFactors {
 		panic("linalg: QR requires Rows >= Cols")
 	}
 	r := a.Clone()
-	// Householder vectors stored per step.
+	// Householder vectors stored per step, carved from one backing
+	// array (vector k has length m-k, so the total is n*m - n(n-1)/2).
 	vs := make([][]float64, n)
+	vbuf := make([]float64, n*m-n*(n-1)/2)
+	off := 0
 	for k := 0; k < n; k++ {
 		// Build the Householder vector for column k below the diagonal.
-		v := make([]float64, m-k)
+		v := vbuf[off : off+m-k]
+		off += m - k
 		for i := k; i < m; i++ {
 			v[i-k] = r.At(i, k)
 		}
@@ -109,11 +113,16 @@ func SolveUpperTri(r *Dense, b []float64) []float64 {
 
 // SolveLowerTri solves L x = b for lower-triangular L.
 func SolveLowerTri(l *Dense, b []float64) []float64 {
+	return solveLowerTriInto(make([]float64, l.Rows), l, b)
+}
+
+// solveLowerTriInto is SolveLowerTri into a caller-supplied x (len n,
+// not aliasing b); it allocates nothing.
+func solveLowerTriInto(x []float64, l *Dense, b []float64) []float64 {
 	n := l.Rows
-	if l.Cols != n || len(b) != n {
+	if l.Cols != n || len(b) != n || len(x) != n {
 		panic("linalg: SolveLowerTri dimension mismatch")
 	}
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := l.Row(i)
@@ -184,8 +193,13 @@ func SolveSPD(a *Dense, b []float64) ([]float64, bool) {
 // solveCholeskyT solves Lᵀ x = y without forming the transpose. l must
 // be a factor returned by a successful Cholesky call.
 func solveCholeskyT(l *Dense, y []float64) []float64 {
+	return solveCholeskyTInto(make([]float64, l.Rows), l, y)
+}
+
+// solveCholeskyTInto is solveCholeskyT into a caller-supplied x (len
+// n, not aliasing y); it allocates nothing.
+func solveCholeskyTInto(x []float64, l *Dense, y []float64) []float64 {
 	n := l.Rows
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for j := i + 1; j < n; j++ {
@@ -206,13 +220,15 @@ func InvertSPD(a *Dense) (*Dense, bool) {
 		return nil, false
 	}
 	e := make([]float64, n)
+	y := make([]float64, n)
+	x := make([]float64, n)
 	for j := 0; j < n; j++ {
 		for i := range e {
 			e[i] = 0
 		}
 		e[j] = 1
-		y := SolveLowerTri(l, e)
-		inv.SetCol(j, solveCholeskyT(l, y))
+		solveLowerTriInto(y, l, e)
+		inv.SetCol(j, solveCholeskyTInto(x, l, y))
 	}
 	return inv, true
 }

@@ -137,7 +137,7 @@ func ThinSVDGram(a *Dense, k int) *SVDFactors {
 	gram := MulTA(a, a) // n×n
 	eig := SymEig(gram)
 	s := make([]float64, 0, k)
-	vcols := make([][]float64, 0, k)
+	v := NewDense(n, k)
 	col := make([]float64, n)
 	for i := 0; i < k; i++ {
 		lambda := eig.Values[i]
@@ -145,14 +145,10 @@ func ThinSVDGram(a *Dense, k int) *SVDFactors {
 			lambda = 0
 		}
 		s = append(s, math.Sqrt(lambda))
+		// Write each eigenvector straight into V through one reused
+		// column buffer.
 		eig.Vectors.Col(col, i)
-		c := make([]float64, n)
-		copy(c, col)
-		vcols = append(vcols, c)
-	}
-	v := NewDense(n, len(s))
-	for j, c := range vcols {
-		v.SetCol(j, c)
+		v.SetCol(i, col)
 	}
 	// U = A V Σ⁻¹ for non-negligible singular values.
 	u := NewDense(m, len(s))

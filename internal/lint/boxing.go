@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Boxing flags interface conversions of numeric scalars and slices
+// inside hot-package loops. Converting a float64 (or any non-pointer
+// concrete value wider than a pointer word, slices included) to an
+// interface heap-allocates the boxed copy — one allocation per
+// iteration when it happens inside a loop. The classic offenders are
+// variadic ...any call sites (fmt.Sprintf, binary.Write's any
+// parameter) fed one scalar per iteration; the fix is to hoist the
+// conversion, batch the values into one concretely-typed write, or use
+// a concrete-typed API.
+//
+// Reported shapes, per-iteration only (the shared walker lifts
+// lazy-init guards, terminating branches, and spawned literals):
+//
+//   - call arguments whose parameter type is an interface while the
+//     argument is a concrete numeric or slice value — including each
+//     element of a variadic ...any tail (splat calls pass the slice
+//     through unboxed and are exempt);
+//   - explicit conversions `any(x)` / `interface{...}(x)`;
+//   - assignments and var declarations with an interface-typed left
+//     side and a concrete numeric/slice right side.
+var Boxing = &Analyzer{
+	Name: "boxing",
+	Doc: "flag interface conversions of numeric scalars and slices in hot-package loops " +
+		"(including variadic ...any call sites): each conversion heap-allocates per iteration",
+	Scope: hotPackages,
+	Run:   runBoxing,
+}
+
+func runBoxing(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			reported := map[token.Pos]bool{}
+			walkPerIteration(pass.Info, fd.Body, func(n ast.Node) {
+				checkBoxingNode(pass, n, reported)
+			})
+		}
+	}
+	return nil
+}
+
+func checkBoxingNode(pass *Pass, n ast.Node, reported map[token.Pos]bool) {
+	report := func(pos token.Pos, arg ast.Expr, to types.Type) {
+		if reported[pos] {
+			return
+		}
+		// Constant operands box into static, compiler-interned data.
+		if isConstVal(pass.Info, arg) {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, "%s (%s) is boxed into %s per loop iteration; hoist the conversion "+
+			"or use a concretely-typed API", exprSnippet(arg),
+			shortType(exprConcreteType(pass.Info, arg)), shortType(to))
+	}
+	switch v := n.(type) {
+	case *ast.CallExpr:
+		checkBoxingCall(pass, v, report)
+	case *ast.AssignStmt:
+		if v.Tok != token.ASSIGN {
+			return
+		}
+		if len(v.Lhs) != len(v.Rhs) {
+			return
+		}
+		for i, rhs := range v.Rhs {
+			lt := exprConcreteType(pass.Info, v.Lhs[i])
+			if lt == nil || !types.IsInterface(lt) {
+				continue
+			}
+			if boxable(exprConcreteType(pass.Info, rhs)) {
+				report(rhs.Pos(), rhs, lt)
+			}
+		}
+	case *ast.ValueSpec:
+		if v.Type == nil {
+			return
+		}
+		lt := pass.Info.Types[v.Type].Type
+		if lt == nil || !types.IsInterface(lt) {
+			return
+		}
+		for _, val := range v.Values {
+			if boxable(exprConcreteType(pass.Info, val)) {
+				report(val.Pos(), val, lt)
+			}
+		}
+	}
+}
+
+func checkBoxingCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, ast.Expr, types.Type)) {
+	funTV, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Explicit conversion: any(x), MyIface(x).
+	if funTV.IsType() {
+		if types.IsInterface(funTV.Type) && len(call.Args) == 1 && boxable(exprConcreteType(pass.Info, call.Args[0])) {
+			report(call.Args[0].Pos(), call.Args[0], funTV.Type)
+		}
+		return
+	}
+	sig, ok := funTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // splat passes the slice through unboxed
+			}
+			param = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(param) {
+			continue
+		}
+		if boxable(exprConcreteType(pass.Info, arg)) {
+			report(arg.Pos(), arg, param)
+		}
+	}
+}
+
+// exprConcreteType returns e's (non-underlying) type, nil when
+// unknown.
+func exprConcreteType(info *types.Info, e ast.Expr) types.Type {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// boxable reports whether converting a value of type t to an interface
+// necessarily heap-allocates the copy: concrete numeric scalars and
+// slices. Interfaces, pointers and strings are exempt (pointers fit
+// the data word; strings are out of the analyzer's numeric scope).
+func boxable(t types.Type) bool {
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsNumeric != 0
+	case *types.Slice:
+		return true
+	}
+	return false
+}
+
+// shortType renders t package-name-qualified for diagnostics.
+func shortType(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

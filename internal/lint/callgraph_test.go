@@ -102,6 +102,20 @@ func TestEffectSummaries(t *testing.T) {
 		// The recursive pair converges without looping forever.
 		{"interproc.Even", 0, EffMayBlock},
 		{"interproc.SelfRec", 0, EffMayBlock},
+		// Allocation effects: direct, transitive, and across a
+		// mutually recursive SCC (only AllocEven allocates directly).
+		{"interproc.Allocates", EffAllocates, EffMayBlock},
+		{"interproc.CallsAllocates", EffAllocates, EffMayBlock},
+		{"interproc.AllocEven", EffAllocates, 0},
+		{"interproc.AllocOdd", EffAllocates, 0},
+		// Lazy-init guards amortize: neither the guarded allocation
+		// nor a guarded call to an allocator produces the bit.
+		{"interproc.LazyAlloc", 0, EffAllocates},
+		{"interproc.CallsLazyAlloc", 0, EffAllocates},
+		{"interproc.GuardedCall", 0, EffAllocates},
+		// Spawned literals are the spawn's cost, not an allocation
+		// effect of the spawner.
+		{"interproc.Spawns", EffSpawns, EffAllocates},
 	}
 	for _, c := range cases {
 		eff := p.Effects[c.key]

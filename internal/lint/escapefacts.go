@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EscapeFacts holds the gc escape-analysis verdicts for a package set,
+// parsed from `go build -gcflags=-m` diagnostics and keyed by absolute
+// "file:line". They are the dynamic cross-check for the static
+// allocation analyzers: a heap fact confirms a hotalloc/boxing finding
+// against the compiler's own escape analysis, while a stack fact
+// ("does not escape") proves the flagged expression never reaches the
+// heap and downgrades the finding to suppressed.
+//
+// The facts are line-granular on purpose. The compiler reports column
+// positions from its own IR, which routinely disagree with go/ast
+// positions by a token or two; matching on file:line trades a little
+// precision (two allocations on one line share a verdict) for zero
+// false mismatches.
+type EscapeFacts struct {
+	// Heap maps "file:line" to the compiler messages proving a heap
+	// allocation there ("escapes to heap", "moved to heap: x").
+	Heap map[string][]string
+	// Stack maps "file:line" to true where the compiler proved an
+	// allocation does not escape.
+	Stack map[string]bool
+}
+
+// HeapCount and StackCount size the fact tables for -stats.
+func (f *EscapeFacts) HeapCount() int  { return len(f.Heap) }
+func (f *EscapeFacts) StackCount() int { return len(f.Stack) }
+
+// LoadEscapeFacts compiles the given package patterns with the gc
+// escape-analysis diagnostics enabled (`go build -gcflags=-m`) in dir
+// ("" for the current directory) and parses the verdicts. The build
+// artifacts are discarded; repeated runs replay the cached
+// diagnostics, so the cross-check costs one compile at most.
+func LoadEscapeFacts(dir string, patterns ...string) (*EscapeFacts, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// All -m diagnostics arrive on stderr; a failed build does too.
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, out)
+	}
+	base := dir
+	if base == "" {
+		base = "."
+	}
+	abs, err := filepath.Abs(base)
+	if err != nil {
+		return nil, err
+	}
+	return ParseEscapeFacts(string(out), abs), nil
+}
+
+// ParseEscapeFacts extracts escape verdicts from -m compiler output.
+// Relative file paths are resolved against dir so the keys match the
+// absolute positions the analyzers report.
+func ParseEscapeFacts(output, dir string) *EscapeFacts {
+	facts := &EscapeFacts{Heap: map[string][]string{}, Stack: map[string]bool{}}
+	for _, line := range strings.Split(output, "\n") {
+		line = strings.TrimSpace(line)
+		// Shape: path/file.go:LINE:COL: message
+		file, lineNo, msg, ok := splitDiagLine(line)
+		if !ok {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(dir, file)
+		}
+		key := file + ":" + strconv.Itoa(lineNo)
+		switch {
+		case strings.Contains(msg, "escapes to heap"), strings.HasPrefix(msg, "moved to heap"):
+			facts.Heap[key] = append(facts.Heap[key], msg)
+		case strings.Contains(msg, "does not escape"):
+			facts.Stack[key] = true
+		}
+	}
+	return facts
+}
+
+// splitDiagLine parses "file.go:line:col: msg" (the col is optional).
+func splitDiagLine(line string) (file string, lineNo int, msg string, ok bool) {
+	if !strings.Contains(line, ".go:") {
+		return "", 0, "", false
+	}
+	i := strings.Index(line, ".go:")
+	file = line[:i+3]
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) < 2 {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[0])
+	if err != nil || n <= 0 {
+		return "", 0, "", false
+	}
+	// Optional column.
+	msg = parts[len(parts)-1]
+	if len(parts) == 3 {
+		if _, err := strconv.Atoi(parts[1]); err != nil {
+			msg = parts[1] + ":" + parts[2]
+		}
+	}
+	return file, n, strings.TrimSpace(msg), true
+}
+
+// CrossCheckStats tallies what the escape facts did to a diagnostic
+// set.
+type CrossCheckStats struct {
+	// Confirmed counts findings carrying a same-line heap fact;
+	// Downgraded counts findings suppressed by a same-line stack fact.
+	Confirmed, Downgraded int
+}
+
+// CrossCheck reconciles the allocation analyzers' findings with the
+// compiler's escape facts, in place. A hotalloc or boxing finding
+// whose line carries a heap fact is annotated "[compiler-confirmed]";
+// one whose line carries only a stack fact is downgraded to suppressed
+// — the compiler proved the value never reaches the heap, so the
+// static report is a false positive. Findings on lines the compiler
+// said nothing about (interprocedural call sites, closure creation the
+// inliner erased) are left untouched: absence of a fact is not
+// evidence.
+func CrossCheck(diags []Diagnostic, facts *EscapeFacts) CrossCheckStats {
+	var st CrossCheckStats
+	for i := range diags {
+		d := &diags[i]
+		if d.Analyzer != HotAlloc.Name && d.Analyzer != Boxing.Name {
+			continue
+		}
+		if d.Suppressed {
+			continue
+		}
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		if msgs, ok := facts.Heap[key]; ok {
+			d.Message += " [compiler-confirmed: " + msgs[0] + "]"
+			st.Confirmed++
+			continue
+		}
+		if facts.Stack[key] {
+			d.Suppressed = true
+			st.Downgraded++
+		}
+	}
+	return st
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleM = `
+# esse/internal/linalg
+internal/linalg/dense.go:30:14: make([]float64, r*c) escapes to heap
+internal/linalg/dense.go:30:2: moved to heap: data
+internal/linalg/ops.go:95:6: func literal escapes to heap
+internal/linalg/ops.go:120:13: make([]float64, a.Rows) does not escape
+internal/linalg/qr.go:23:11: can inline Norm2
+internal/linalg/qr.go:9:2: leaking param: a
+not a diagnostic line
+internal/linalg/bad.go:xx:1: unparsable line number
+`
+
+func TestParseEscapeFacts(t *testing.T) {
+	f := ParseEscapeFacts(sampleM, "/mod")
+
+	heapKey := filepath.Join("/mod", "internal/linalg/dense.go") + ":30"
+	msgs, ok := f.Heap[heapKey]
+	if !ok {
+		t.Fatalf("missing heap fact for %s; have %v", heapKey, f.Heap)
+	}
+	// Both the escape and the move on line 30 collapse onto one key.
+	if len(msgs) != 2 {
+		t.Errorf("heap messages at %s = %v, want 2", heapKey, msgs)
+	}
+	litKey := filepath.Join("/mod", "internal/linalg/ops.go") + ":95"
+	if _, ok := f.Heap[litKey]; !ok {
+		t.Errorf("missing func-literal heap fact at %s", litKey)
+	}
+	stackKey := filepath.Join("/mod", "internal/linalg/ops.go") + ":120"
+	if !f.Stack[stackKey] {
+		t.Errorf("missing stack fact at %s", stackKey)
+	}
+	// Inlining chatter, leak notes and garbage lines must not become
+	// facts.
+	if f.HeapCount() != 2 || f.StackCount() != 1 {
+		t.Errorf("fact counts = %d heap, %d stack, want 2 and 1", f.HeapCount(), f.StackCount())
+	}
+}
+
+func mkDiag(analyzer, file string, line int) Diagnostic {
+	return Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 5},
+		Analyzer: analyzer,
+		Message:  "synthetic finding",
+	}
+}
+
+func TestCrossCheck(t *testing.T) {
+	facts := &EscapeFacts{
+		Heap:  map[string][]string{"/mod/a.go:10": {"make([]T, n) escapes to heap"}},
+		Stack: map[string]bool{"/mod/a.go:20": true},
+	}
+	diags := []Diagnostic{
+		mkDiag("hotalloc", "/mod/a.go", 10), // heap fact → confirmed
+		mkDiag("boxing", "/mod/a.go", 20),   // stack fact → downgraded
+		mkDiag("hotalloc", "/mod/a.go", 30), // no fact → untouched
+		mkDiag("divguard", "/mod/a.go", 10), // wrong analyzer → untouched
+	}
+	st := CrossCheck(diags, facts)
+	if st.Confirmed != 1 || st.Downgraded != 1 {
+		t.Fatalf("stats = %+v, want 1 confirmed, 1 downgraded", st)
+	}
+	if !strings.Contains(diags[0].Message, "[compiler-confirmed: make([]T, n) escapes to heap]") {
+		t.Errorf("heap-fact diag not annotated: %q", diags[0].Message)
+	}
+	if !diags[1].Suppressed {
+		t.Error("stack-fact diag not downgraded to suppressed")
+	}
+	if diags[2].Suppressed || strings.Contains(diags[2].Message, "compiler") {
+		t.Errorf("fact-free diag modified: %+v", diags[2])
+	}
+	if diags[3].Suppressed || strings.Contains(diags[3].Message, "compiler") {
+		t.Errorf("non-allocation analyzer diag modified: %+v", diags[3])
+	}
+	// Already-suppressed findings stay out of the tallies.
+	sup := mkDiag("hotalloc", "/mod/a.go", 10)
+	sup.Suppressed = true
+	if st := CrossCheck([]Diagnostic{sup}, facts); st.Confirmed != 0 {
+		t.Errorf("suppressed diag counted: %+v", st)
+	}
+}
+
+// TestLoadEscapeFacts compiles this package with -gcflags=-m and
+// expects the parser to find real verdicts — the end-to-end contract
+// of the -escapes flag.
+func TestLoadEscapeFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the package; skipped in -short")
+	}
+	facts, err := LoadEscapeFacts("", ".")
+	if err != nil {
+		t.Fatalf("LoadEscapeFacts: %v", err)
+	}
+	if facts.HeapCount() == 0 {
+		t.Error("no heap facts parsed from this package's own build")
+	}
+	for key := range facts.Heap {
+		if !filepath.IsAbs(strings.SplitN(key, ".go:", 2)[0] + ".go") {
+			t.Fatalf("non-absolute fact key %q", key)
+		}
+	}
+}

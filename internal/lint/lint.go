@@ -113,6 +113,7 @@ func Analyzers() []*Analyzer {
 		RngDeterminism, StreamShare, ErrDrop,
 		DivGuard, FloatCmp, GoroutineLeak, AliasGuard,
 		MapOrder, LockHeld,
+		HotAlloc, Preallocate, Boxing,
 	}
 }
 

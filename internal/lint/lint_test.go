@@ -38,6 +38,18 @@ func TestLockHeldFixture(t *testing.T) {
 	RunFixture(t, LockHeld, "lockheld")
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	RunFixture(t, HotAlloc, "hotalloc")
+}
+
+func TestPreallocateFixture(t *testing.T) {
+	RunFixture(t, Preallocate, "preallocate")
+}
+
+func TestBoxingFixture(t *testing.T) {
+	RunFixture(t, Boxing, "boxing")
+}
+
 // TestDivGuardSummaryFixture drives divguard over call sites whose
 // safety only the interprocedural numeric summaries can prove (or
 // refuse to prove).

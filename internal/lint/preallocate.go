@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Preallocate flags the grow-by-append anti-pattern in hot-package
+// loops when the final capacity is statically derivable: `s = append(s,
+// ...)` inside a loop whose trip count the analyzer can name — the
+// length of a ranged operand, a constant or loop-invariant `i < n`
+// bound, or a call to an effect-free in-set function (whose numeric
+// summary the interprocedural layer already computed) — while s's
+// declaration provably lacks a capacity (`var s []T`, `[]T{}`,
+// `make([]T, 0)`, or nil). Each such append chain reallocates
+// O(log n) times and copies O(n) elements; declaring the slice with
+// `make([]T, 0, bound)` removes every reallocation.
+//
+// Appends are only attributed to their nearest enclosing loop (an
+// inner loop with an underivable bound hides its appends from the
+// outer one), splat appends (`append(s, xs...)`) are skipped (the
+// element count is not the trip count), and bounds whose variables are
+// reassigned inside the loop body — the growing-worklist idiom — are
+// rejected as not loop-invariant.
+var Preallocate = &Analyzer{
+	Name: "preallocate",
+	Doc: "flag append-in-loop targets with a derivable final capacity (ranged len, constant " +
+		"or invariant trip count, effect-free callee bound) declared without one; demand make(T, 0, n)",
+	Scope: hotPackages,
+	Run:   runPreallocate,
+}
+
+func runPreallocate(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range FuncNodes(f) {
+			body := funcBody(fn)
+			if body == nil {
+				continue
+			}
+			walkOwnStmts(body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.ForStmt:
+					if bound, ok := forBound(pass, v); ok {
+						checkLoopAppends(pass, v, v.Body, bound, body)
+					}
+				case *ast.RangeStmt:
+					if bound, ok := rangeBound(pass, v); ok {
+						checkLoopAppends(pass, v, v.Body, bound, body)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkLoopAppends reports append targets of loop (with derivable
+// bound) declared without capacity. Nested loops and function literals
+// are pruned: their appends are not bounded by this loop's trip count.
+func checkLoopAppends(pass *Pass, loop ast.Stmt, body *ast.BlockStmt, bound string, fnBody *ast.BlockStmt) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(body, func(m ast.Node) bool {
+		if m == body {
+			return true
+		}
+		switch m.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		}
+		as, ok := m.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+			return true
+		}
+		lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[lhs].(*types.Var)
+		if !ok || seen[obj] {
+			return true
+		}
+		first, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || pass.Info.Uses[first] != types.Object(obj) {
+			return true
+		}
+		// The target must outlive the loop; per-iteration slices reset
+		// each time and never see the full bound.
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			return true
+		}
+		if !declLacksCapacity(pass, fnBody, obj) {
+			return true
+		}
+		seen[obj] = true
+		slice, ok := obj.Type().Underlying().(*types.Slice)
+		if !ok {
+			return true
+		}
+		elem := types.TypeString(slice.Elem(), func(p *types.Package) string { return p.Name() })
+		pass.Reportf(call.Pos(), "append to %q grows without capacity though the loop bound %s is derivable; "+
+			"declare it with make([]%s, 0, %s)", lhs.Name, bound, elem, bound)
+		return true
+	})
+}
+
+// forBound derives the trip count of a canonical counted loop
+// `for i := 0; i < n; i++` (or i <= n), requiring the bound expression
+// to be hoistable and loop-invariant and the counter untouched in the
+// body.
+func forBound(pass *Pass, loop *ast.ForStmt) (string, bool) {
+	init, ok := loop.Init.(*ast.AssignStmt)
+	if !ok || init.Tok != token.DEFINE || len(init.Lhs) != 1 || len(init.Rhs) != 1 {
+		return "", false
+	}
+	counter, ok := init.Lhs[0].(*ast.Ident)
+	if !ok || !isConstZero(pass.Info, init.Rhs[0]) {
+		return "", false
+	}
+	cond, ok := ast.Unparen(loop.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return "", false
+	}
+	lhs, ok := ast.Unparen(cond.X).(*ast.Ident)
+	if !ok || lhs.Name != counter.Name {
+		return "", false
+	}
+	post, ok := loop.Post.(*ast.IncDecStmt)
+	if !ok || post.Tok != token.INC {
+		return "", false
+	}
+	if id, ok := ast.Unparen(post.X).(*ast.Ident); !ok || id.Name != counter.Name {
+		return "", false
+	}
+	bound := ast.Unparen(cond.Y)
+	if !hoistable(pass, bound) {
+		return "", false
+	}
+	roots := exprRootObjects(pass, bound)
+	if cobj, ok := pass.Info.Defs[counter]; ok {
+		roots[cobj] = true
+	}
+	if mutatedIn(pass, loop.Body, roots) {
+		return "", false
+	}
+	s := types.ExprString(bound)
+	if cond.Op == token.LEQ {
+		s += "+1"
+	}
+	return s, true
+}
+
+// rangeBound derives the trip count of a range loop: len(X) for
+// slices, arrays, maps and strings, X itself for an integer range.
+// Channel ranges have no static bound.
+func rangeBound(pass *Pass, rng *ast.RangeStmt) (string, bool) {
+	if !hoistable(pass, rng.X) {
+		return "", false
+	}
+	// Range evaluates its operand once, so body mutation of X cannot
+	// change the trip count — but reassigning X would desynchronize a
+	// hoisted len(X); reject that too for an honest suggestion.
+	if mutatedIn(pass, rng.Body, exprRootObjects(pass, rng.X)) {
+		return "", false
+	}
+	switch t := exprType(pass.Info, rng.X).(type) {
+	case *types.Slice, *types.Array, *types.Map:
+		return "len(" + types.ExprString(rng.X) + ")", true
+	case *types.Basic:
+		if t.Info()&types.IsString != 0 {
+			return "len(" + types.ExprString(rng.X) + ")", true
+		}
+		if t.Info()&types.IsInteger != 0 {
+			return types.ExprString(rng.X), true
+		}
+	}
+	return "", false
+}
+
+// hoistable reports whether e can be evaluated once before the loop:
+// identifiers, field selections, literals, len/cap, arithmetic over
+// hoistable operands, and calls to in-set functions whose effect
+// summary is clean (no blocking, spawning, output or allocation —
+// their numeric summaries make the result a known quantity).
+func hoistable(pass *Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.BasicLit:
+		return v.Kind == token.INT
+	case *ast.SelectorExpr:
+		return hoistable(pass, v.X)
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return hoistable(pass, v.X) && hoistable(pass, v.Y)
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+			if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin {
+				if id.Name != "len" && id.Name != "cap" {
+					return false
+				}
+				return len(v.Args) == 1 && hoistable(pass, v.Args[0])
+			}
+		}
+		if pass.Prog == nil {
+			return false
+		}
+		callee := StaticCallee(pass.Info, v)
+		if callee == nil {
+			return false
+		}
+		if _, inSet := pass.Prog.Graph.Funcs[callee.FullName()]; !inSet {
+			return false
+		}
+		if pass.Prog.Effects[callee.FullName()] != 0 {
+			return false
+		}
+		for _, a := range v.Args {
+			if !hoistable(pass, a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// exprRootObjects collects the root variables e reads through.
+func exprRootObjects(pass *Pass, e ast.Expr) map[types.Object]bool {
+	roots := map[types.Object]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				roots[v] = true
+			}
+		}
+		return true
+	})
+	return roots
+}
+
+// mutatedIn reports whether any of objs is assigned, incremented, or
+// has its address taken inside n.
+func mutatedIn(pass *Pass, n ast.Node, objs map[types.Object]bool) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	uses := func(e ast.Expr) bool {
+		root := rootIdent(e)
+		if root == nil {
+			return false
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			obj = pass.Info.Defs[root]
+		}
+		return obj != nil && objs[obj]
+	}
+	mutated := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if mutated {
+			return false
+		}
+		switch v := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if uses(lhs) {
+					mutated = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if uses(v.X) {
+				mutated = true
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.AND && uses(v.X) {
+				mutated = true
+			}
+		}
+		return !mutated
+	})
+	return mutated
+}
+
+// declLacksCapacity locates obj's declaration inside fnBody and
+// reports whether it provably lacks a capacity: `var s []T`, `s :=
+// []T{}`, `s := make([]T, 0)`, or an explicit nil. Declarations with a
+// capacity, a nonzero length, or outside the function (parameters,
+// fields, package variables) return false.
+func declLacksCapacity(pass *Pass, fnBody *ast.BlockStmt, obj types.Object) bool {
+	lacks, found := false, false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok != token.DEFINE || len(v.Lhs) != len(v.Rhs) {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.Info.Defs[id] != obj {
+					continue
+				}
+				found, lacks = true, initLacksCapacity(pass, v.Rhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, name := range v.Names {
+				if pass.Info.Defs[name] != obj {
+					continue
+				}
+				found = true
+				if len(v.Values) == 0 {
+					lacks = true
+				} else if i < len(v.Values) {
+					lacks = initLacksCapacity(pass, v.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return found && lacks
+}
+
+func initLacksCapacity(pass *Pass, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		if _, ok := exprType(pass.Info, v).(*types.Slice); ok {
+			return len(v.Elts) == 0
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(v.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false
+		}
+		if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+			return false
+		}
+		return len(v.Args) == 2 && isConstZero(pass.Info, v.Args[1])
+	case *ast.Ident:
+		return v.Name == "nil"
+	}
+	return false
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil && tv.Value.String() == "0"
+}

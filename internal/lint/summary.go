@@ -52,6 +52,14 @@ const (
 	// EffEmitsOutput: may write to a stream, writer, hash or encoder —
 	// anything where call order becomes observable byte order.
 	EffEmitsOutput
+	// EffAllocates: may perform heap allocation on an ordinary call —
+	// make/new, slice or map composite literals, &T{} pointer literals,
+	// string concatenation, or the creation of a capturing closure.
+	// Allocation under a lazy-init guard (`if buf == nil`, `if cap(buf)
+	// < n`) is amortized and deliberately excluded, as are goroutine
+	// bodies (a per-call spawn is EffSpawns' cost to report). hotalloc
+	// consumes this bit at loop-borne call sites.
+	EffAllocates
 )
 
 // NumSummary is the numeric summary of one function's results.
@@ -120,9 +128,11 @@ func (p *Program) FuncEffects(info *types.Info, call *ast.CallExpr) Effects {
 func (p *Program) computeEffects() {
 	direct := map[string]Effects{}
 	directLocks := map[string]map[string]bool{}
+	unguarded := map[string]map[string]bool{}
 	for _, key := range p.Graph.Keys {
 		fn := p.Graph.Funcs[key]
 		direct[key], directLocks[key] = directEffects(fn)
+		unguarded[key] = unguardedCallees(fn)
 	}
 	// Bottom-up over SCCs; within a component, iterate the OR/union
 	// system to its (ascending) fixpoint.
@@ -133,7 +143,13 @@ func (p *Program) computeEffects() {
 				eff := direct[key]
 				locks := directLocks[key]
 				for _, callee := range p.Graph.Funcs[key].Callees {
-					eff |= p.Effects[callee]
+					ceff := p.Effects[callee]
+					// Allocation amortized behind a lazy-init guard at
+					// every call site is not the caller's per-call cost.
+					if !unguarded[key][callee] {
+						ceff &^= EffAllocates
+					}
+					eff |= ceff
 					for _, lk := range p.Locks[callee] {
 						if !locks[lk] {
 							locks[lk] = true
@@ -173,6 +189,9 @@ func directEffects(fn *FuncInfo) (Effects, map[string]bool) {
 	}
 	info := fn.Pkg.Info
 	var eff Effects
+	if allocatesDirectly(info, fn.Decl.Body) {
+		eff |= EffAllocates
+	}
 	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.SendStmt:

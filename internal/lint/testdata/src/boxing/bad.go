@@ -1,0 +1,64 @@
+package boxing
+
+import "fmt"
+
+func sink(v any)             {}
+func pair(a, b interface{})  {}
+func variadic(vs ...any) int { return len(vs) }
+
+func interfaceParam(xs []float64) {
+	for _, x := range xs {
+		sink(x) // want ".x. \\(float64\\) is boxed into any per loop iteration"
+	}
+}
+
+func variadicTail(xs []float64) {
+	for i, x := range xs {
+		fmt.Printf("%d %v\n", i, x) // want ".i. \\(int\\) is boxed into" ".x. \\(float64\\) is boxed into"
+	}
+}
+
+func variadicBare(xs []float64) int {
+	n := 0
+	for _, x := range xs {
+		n += variadic(x, x*2) // want ".x. \\(float64\\) is boxed into" "boxed into"
+	}
+	return n
+}
+
+func explicitConversion(xs []float64) []any {
+	out := make([]any, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, any(x)) // want "boxed into any per loop iteration"
+	}
+	return out
+}
+
+func assignBox(xs []float64) any {
+	var v any
+	for _, x := range xs {
+		v = x // want "boxed into any per loop iteration"
+	}
+	return v
+}
+
+func declBox(xs []int) any {
+	var last any
+	for _, x := range xs {
+		var v any = x // want ".x. \\(int\\) is boxed into"
+		last = v
+	}
+	return last
+}
+
+func sliceBox(rows [][]float64) {
+	for _, r := range rows {
+		sink(r) // want ".r. \\(\\[\\]float64\\) is boxed into"
+	}
+}
+
+func namedInterfaceParam(xs []float64) {
+	for _, x := range xs {
+		pair(x, 1.5) // want "boxed into"
+	}
+}

@@ -1,0 +1,52 @@
+package boxing
+
+import "fmt"
+
+// Splat calls pass the already-boxed slice through unchanged.
+func splat(args []any) {
+	for i := 0; i < 3; i++ {
+		fmt.Println(args...)
+	}
+}
+
+// Constant operands box into compiler-interned static data.
+func constants(n int) {
+	for i := 0; i < n; i++ {
+		fmt.Printf("%d %s\n", 42, "x")
+	}
+}
+
+// Hoisted conversion: one box, reused each iteration.
+func hoisted(xs []float64) int {
+	n := 0
+	v := any(len(xs))
+	for range xs {
+		n += variadic(v)
+	}
+	return n
+}
+
+// Strings and pointers do not heap-allocate on conversion (the
+// analyzer's scope is numeric scalars and slices).
+func stringsAndPointers(names []string, x *float64) {
+	for _, s := range names {
+		sink(s)
+		sink(x)
+	}
+}
+
+// Concretely-typed APIs are the recommended fix.
+func concreteParam(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += double(x)
+	}
+	return t
+}
+
+func double(x float64) float64 { return 2 * x }
+
+// Boxing outside any loop is a one-time cost.
+func outsideLoop(x float64) any {
+	return x
+}

@@ -1,0 +1,52 @@
+package preallocate
+
+func rangeLen(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x*2) // want "append to .out. grows without capacity though the loop bound len\\(xs\\)"
+	}
+	return out
+}
+
+func countedBound(n int) []int {
+	out := []int{}
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "loop bound n is derivable"
+	}
+	return out
+}
+
+func inclusiveBound(n int) []int {
+	out := make([]int, 0)
+	for i := 0; i <= n; i++ {
+		out = append(out, i) // want "loop bound n\\+1 is derivable"
+	}
+	return out
+}
+
+func intRange(n int) []int {
+	var out []int
+	for i := range n {
+		out = append(out, i) // want "loop bound n is derivable"
+	}
+	return out
+}
+
+// dim is effect-free and in-set, so its result is a derivable bound.
+func dim() int { return 16 }
+
+func calleeBound(scale float64) []float64 {
+	var out []float64
+	for i := 0; i < dim(); i++ {
+		out = append(out, scale*float64(i)) // want "loop bound dim\\(\\) is derivable"
+	}
+	return out
+}
+
+func nilDecl(xs []string) []string {
+	var out []string = nil
+	for range xs {
+		out = append(out, "x") // want "grows without capacity"
+	}
+	return out
+}

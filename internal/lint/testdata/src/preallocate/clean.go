@@ -1,0 +1,78 @@
+package preallocate
+
+// Declared with the derivable capacity: the fix the analyzer demands.
+func withCapacity(xs []float64) []float64 {
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// A nonzero length is a deliberate choice, not a missing capacity.
+func withLength(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * 2
+	}
+	return out
+}
+
+// The growing-worklist idiom: the ranged operand is reassigned in the
+// body, so the trip count is not the final length.
+func worklist(seed []int) []int {
+	queue := seed
+	var seen []int
+	for i := 0; i < len(queue); i++ {
+		seen = append(seen, queue[i])
+		if queue[i] > 0 {
+			queue = append(queue, queue[i]-1)
+		}
+	}
+	return seen
+}
+
+// Splat appends add an unknown element count per iteration.
+func splat(chunks [][]float64) []float64 {
+	var out []float64
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// Appends attribute to their nearest enclosing loop; here that inner
+// loop has a non-canonical bound the analyzer cannot derive, which
+// hides the append from the derivable outer loop.
+func innerUnderivable(xs []float64) []float64 {
+	var out []float64
+	for range xs {
+		for j := 1; j*j < len(xs); j++ {
+			out = append(out, float64(j))
+		}
+	}
+	return out
+}
+
+// A per-iteration target resets each time and never sees the bound.
+func perIteration(xs [][]float64) int {
+	total := 0
+	for _, row := range xs {
+		var tmp []float64
+		tmp = append(tmp, row...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// The counter bound is mutated in the body: not loop-invariant.
+func mutatedBound(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			n--
+		}
+		out = append(out, i)
+	}
+	return out
+}

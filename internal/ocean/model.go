@@ -167,6 +167,16 @@ type Model struct {
 	newEta, newU, newV []float64
 	newTr              []float64
 	fx, fy, ftr        []float64
+
+	// Parallel-phase worker closures, created once on the first
+	// StepParallel so stepping allocates no per-step closures. The
+	// tracer worker reads its per-level state from trSlab/trDecay/
+	// trSurface, which stepTracerParallel writes serially before each
+	// parallelRows barrier.
+	momentumFn, continuityFn, tracerFn func(jLo, jHi int)
+	trSlab                             []float64
+	trDecay                            float64
+	trSurface                          bool
 }
 
 // New builds a model with the climatological initial state: linear

@@ -23,56 +23,18 @@ func (m *Model) StepParallel(tasks int) {
 		m.Step()
 		return
 	}
+	m.initPhases()
 	g := m.Cfg.Grid
-	dt := m.Cfg.Dt
-	dx, dy := g.Dx, g.Dy
-	f := m.Cfg.Coriolis
-	r := m.Cfg.BottomFriction
-	nu := m.Cfg.Viscosity
 
 	m.sampleForcing() // serial: keeps the noise sequence task-count independent
 
 	// --- Momentum phase: disjoint row bands of newU/newV ---
-	m.parallelRows(tasks, func(jLo, jHi int) {
-		for j := jLo; j < jHi; j++ {
-			if j == 0 || j == g.NY-1 {
-				continue
-			}
-			for i := 1; i < g.NX-1; i++ {
-				id := g.Idx2(i, j)
-				ddxEta := (m.eta[g.Idx2(i+1, j)] - m.eta[g.Idx2(i-1, j)]) / (2 * dx)
-				ddyEta := (m.eta[g.Idx2(i, j+1)] - m.eta[g.Idx2(i, j-1)]) / (2 * dy)
-				dudx := (m.u[g.Idx2(i+1, j)] - m.u[g.Idx2(i-1, j)]) / (2 * dx)
-				dudy := (m.u[g.Idx2(i, j+1)] - m.u[g.Idx2(i, j-1)]) / (2 * dy)
-				dvdx := (m.v[g.Idx2(i+1, j)] - m.v[g.Idx2(i-1, j)]) / (2 * dx)
-				dvdy := (m.v[g.Idx2(i, j+1)] - m.v[g.Idx2(i, j-1)]) / (2 * dy)
-				lapU := laplacian(m.u, g, i, j, dx, dy)
-				lapV := laplacian(m.v, g, i, j, dx, dy)
-				adv := m.u[id]*dudx + m.v[id]*dudy
-				m.newU[id] = m.u[id] + dt*(-physics.Gravity*ddxEta+f*m.v[id]-r*m.u[id]-adv+nu*lapU+m.fx[id])
-				adv = m.u[id]*dvdx + m.v[id]*dvdy
-				m.newV[id] = m.v[id] + dt*(-physics.Gravity*ddyEta-f*m.u[id]-r*m.v[id]-adv+nu*lapV+m.fy[id])
-			}
-		}
-	})
+	m.parallelRows(tasks, m.momentumFn)
 	applyClosedBoundary(m.newU, g)
 	applyClosedBoundary(m.newV, g)
 
 	// --- Continuity phase ---
-	h := m.Cfg.MeanDepth
-	m.parallelRows(tasks, func(jLo, jHi int) {
-		for j := jLo; j < jHi; j++ {
-			if j == 0 || j == g.NY-1 {
-				continue
-			}
-			for i := 1; i < g.NX-1; i++ {
-				id := g.Idx2(i, j)
-				div := (m.newU[g.Idx2(i+1, j)]-m.newU[g.Idx2(i-1, j)])/(2*dx) +
-					(m.newV[g.Idx2(i, j+1)]-m.newV[g.Idx2(i, j-1)])/(2*dy)
-				m.newEta[id] = m.eta[id] - dt*h*div
-			}
-		}
-	})
+	m.parallelRows(tasks, m.continuityFn)
 	zeroGradientBoundary(m.newEta, g)
 	m.eta, m.newEta = m.newEta, m.eta
 	m.u, m.newU = m.newU, m.u
@@ -85,22 +47,67 @@ func (m *Model) StepParallel(tasks int) {
 		panic(err)
 	}
 
-	m.time += dt
+	m.time += m.Cfg.Dt
 }
 
-// stepTracerParallel mirrors stepTracer with row-band parallelism per
-// level.
-func (m *Model) stepTracerParallel(tr []float64, isTemp bool, tasks int) {
-	g := m.Cfg.Grid
-	dt := m.Cfg.Dt
-	dx, dy := g.Dx, g.Dy
-	kappa := m.Cfg.Diffusivity
-	n2 := g.N2()
-	for k := 0; k < g.NZ; k++ {
-		decay := math.Exp(-g.Depths[k] / math.Max(m.Cfg.EkmanDepth, 1))
-		slab := tr[k*n2 : (k+1)*n2]
-		out := m.newTr
-		m.parallelRows(tasks, func(jLo, jHi int) {
+// initPhases lazily builds the per-phase worker closures. Each closure
+// captures only the model and rereads configuration and the
+// double-buffered field slices on every invocation, so one closure per
+// phase serves every subsequent step — repeated stepping allocates
+// nothing.
+func (m *Model) initPhases() {
+	if m.momentumFn == nil {
+		m.momentumFn = func(jLo, jHi int) {
+			g := m.Cfg.Grid
+			dt := m.Cfg.Dt
+			dx, dy := g.Dx, g.Dy
+			f := m.Cfg.Coriolis
+			r := m.Cfg.BottomFriction
+			nu := m.Cfg.Viscosity
+			for j := jLo; j < jHi; j++ {
+				if j == 0 || j == g.NY-1 {
+					continue
+				}
+				for i := 1; i < g.NX-1; i++ {
+					id := g.Idx2(i, j)
+					ddxEta := (m.eta[g.Idx2(i+1, j)] - m.eta[g.Idx2(i-1, j)]) / (2 * dx)
+					ddyEta := (m.eta[g.Idx2(i, j+1)] - m.eta[g.Idx2(i, j-1)]) / (2 * dy)
+					dudx := (m.u[g.Idx2(i+1, j)] - m.u[g.Idx2(i-1, j)]) / (2 * dx)
+					dudy := (m.u[g.Idx2(i, j+1)] - m.u[g.Idx2(i, j-1)]) / (2 * dy)
+					dvdx := (m.v[g.Idx2(i+1, j)] - m.v[g.Idx2(i-1, j)]) / (2 * dx)
+					dvdy := (m.v[g.Idx2(i, j+1)] - m.v[g.Idx2(i, j-1)]) / (2 * dy)
+					lapU := laplacian(m.u, g, i, j, dx, dy)
+					lapV := laplacian(m.v, g, i, j, dx, dy)
+					adv := m.u[id]*dudx + m.v[id]*dudy
+					m.newU[id] = m.u[id] + dt*(-physics.Gravity*ddxEta+f*m.v[id]-r*m.u[id]-adv+nu*lapU+m.fx[id])
+					adv = m.u[id]*dvdx + m.v[id]*dvdy
+					m.newV[id] = m.v[id] + dt*(-physics.Gravity*ddyEta-f*m.u[id]-r*m.v[id]-adv+nu*lapV+m.fy[id])
+				}
+			}
+		}
+		m.continuityFn = func(jLo, jHi int) {
+			g := m.Cfg.Grid
+			dt := m.Cfg.Dt
+			dx, dy := g.Dx, g.Dy
+			h := m.Cfg.MeanDepth
+			for j := jLo; j < jHi; j++ {
+				if j == 0 || j == g.NY-1 {
+					continue
+				}
+				for i := 1; i < g.NX-1; i++ {
+					id := g.Idx2(i, j)
+					div := (m.newU[g.Idx2(i+1, j)]-m.newU[g.Idx2(i-1, j)])/(2*dx) +
+						(m.newV[g.Idx2(i, j+1)]-m.newV[g.Idx2(i, j-1)])/(2*dy)
+					m.newEta[id] = m.eta[id] - dt*h*div
+				}
+			}
+		}
+		m.tracerFn = func(jLo, jHi int) {
+			g := m.Cfg.Grid
+			dt := m.Cfg.Dt
+			dx, dy := g.Dx, g.Dy
+			kappa := m.Cfg.Diffusivity
+			slab, decay, out := m.trSlab, m.trDecay, m.newTr
 			for j := jLo; j < jHi; j++ {
 				if j == 0 || j == g.NY-1 {
 					continue
@@ -122,16 +129,32 @@ func (m *Model) stepTracerParallel(tr []float64, isTemp bool, tasks int) {
 					}
 					lap := laplacian(slab, g, i, j, dx, dy)
 					val := slab[id] + dt*(-uu*ddxT-vv*ddyT+kappa*lap)
-					if isTemp && k == 0 {
+					if m.trSurface {
 						val += m.ftr[id]
 					}
 					out[id] = val
 				}
 			}
-		})
-		// Copy interior back (barrier above guarantees out is complete).
+		}
+	}
+}
+
+// stepTracerParallel mirrors stepTracer with row-band parallelism per
+// level. Per-level state reaches the shared tracer worker through the
+// model's trSlab/trDecay/trSurface fields, written serially before the
+// spawn so the goroutine start orders the writes before every read.
+func (m *Model) stepTracerParallel(tr []float64, isTemp bool, tasks int) {
+	g := m.Cfg.Grid
+	n2 := g.N2()
+	for k := 0; k < g.NZ; k++ {
+		m.trDecay = math.Exp(-g.Depths[k] / math.Max(m.Cfg.EkmanDepth, 1))
+		m.trSlab = tr[k*n2 : (k+1)*n2]
+		m.trSurface = isTemp && k == 0
+		m.parallelRows(tasks, m.tracerFn)
+		// Copy interior back (barrier above guarantees newTr is complete).
+		slab := m.trSlab
 		for j := 1; j < g.NY-1; j++ {
-			row := out[j*g.NX : (j+1)*g.NX]
+			row := m.newTr[j*g.NX : (j+1)*g.NX]
 			copy(slab[j*g.NX+1:(j+1)*g.NX-1], row[1:g.NX-1])
 		}
 		zeroGradientBoundary(slab, g)

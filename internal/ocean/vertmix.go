@@ -17,7 +17,10 @@ type VerticalMixer struct {
 	// bands are precomputed per column since the grid is uniform.
 	sub, diag, super []float64
 	rhs              []float64
-	nz               int
+	// x, c, d are Thomas-solver scratch, reused across columns so a
+	// full mixing sweep allocates nothing.
+	x, c, d []float64
+	nz      int
 }
 
 // newVerticalMixer builds the implicit operator (I − dt·Kv·D2) for the
@@ -29,6 +32,9 @@ func newVerticalMixer(depths []float64, kv, dt float64) *VerticalMixer {
 		diag:  make([]float64, nz),
 		super: make([]float64, nz),
 		rhs:   make([]float64, nz),
+		x:     make([]float64, nz),
+		c:     make([]float64, nz),
+		d:     make([]float64, nz),
 		nz:    nz,
 	}
 	if nz == 1 {
@@ -64,12 +70,11 @@ func (m *VerticalMixer) mixColumn(tr []float64, off, stride int) error {
 	for k := 0; k < m.nz; k++ {
 		m.rhs[k] = tr[off+k*stride]
 	}
-	x, err := linalg.SolveTridiagonal(m.sub, m.diag, m.super, m.rhs)
-	if err != nil {
+	if err := linalg.SolveTridiagonalInto(m.x, m.c, m.d, m.sub, m.diag, m.super, m.rhs); err != nil {
 		return err
 	}
 	for k := 0; k < m.nz; k++ {
-		tr[off+k*stride] = x[k]
+		tr[off+k*stride] = m.x[k]
 	}
 	return nil
 }

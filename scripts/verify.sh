@@ -13,8 +13,8 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> esselint -stats ./... (rngdeterminism, streamshare, errdrop, divguard, floatcmp, goroutineleak, aliasguard, maporder, lockheld)"
-go run ./cmd/esselint -vet=false -stats ./...
+echo "==> esselint -stats -escapes ./... (determinism, numerics, concurrency, allocation analyzers + compiler escape-fact cross-check)"
+go run ./cmd/esselint -vet=false -stats -escapes ./...
 
 echo "==> esselint self-hosting gate (internal/lint + cmd/esselint)"
 go run ./cmd/esselint -vet=false ./internal/lint/... ./cmd/esselint/...
