@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-self lint-fixtures audit vet verify bench bench-update
+.PHONY: build test race lint lint-self lint-fixtures audit vet verify bench bench-update smoke
 
 build:
 	$(GO) build ./...
@@ -44,13 +44,18 @@ audit:
 	$(GO) run ./cmd/esselint -audit -vet=false ./...
 
 # bench runs every benchmark once with -benchmem and fails on any
-# allocs/op regression against the committed BENCH_4.json baseline.
+# allocs/op regression against the committed BENCH_5.json baseline.
 # bench-update rewrites the baseline after a deliberate change.
 bench:
 	./scripts/bench.sh
 
 bench-update:
 	./scripts/bench.sh -update
+
+# smoke boots mtc-sim with -telemetry-addr and strictly scrapes its
+# /metrics, /events and /trace endpoints (scripts/smoke_metrics.sh).
+smoke:
+	./scripts/smoke_metrics.sh
 
 verify:
 	./scripts/verify.sh

@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_4.json
-//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_4.json -update
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_5.json
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_5.json -update
 //
 // A benchmark regresses when its allocs/op exceeds the baseline by more
 // than both the relative tolerance and the absolute slack — the slack
@@ -38,7 +38,7 @@ type Metrics struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// Baseline is the committed BENCH_4.json shape.
+// Baseline is the committed BENCH_5.json shape.
 type Baseline struct {
 	Note       string             `json:"note"`
 	Benchmarks map[string]Metrics `json:"benchmarks"`
@@ -97,7 +97,7 @@ func parseBench(r *bufio.Scanner) (map[string]Metrics, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_4.json", "committed baseline to compare against (or write with -update)")
+	baselinePath := flag.String("baseline", "BENCH_5.json", "committed baseline to compare against (or write with -update)")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
 	out := flag.String("out", "", "optional path to write this run's parsed metrics (CI artifact)")
 	tolerance := flag.Float64("tolerance", 0.15, "relative allocs/op headroom before a regression fires")

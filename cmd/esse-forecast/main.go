@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"esse/internal/core"
 	"esse/internal/jobdir"
 	"esse/internal/metrics"
 	"esse/internal/monitor"
 	"esse/internal/realtime"
+	"esse/internal/telemetry"
 	"esse/internal/workflow"
 )
 
@@ -36,6 +38,8 @@ func main() {
 		showMaps = flag.Bool("maps", true, "print Fig 5/6 style uncertainty maps")
 		pgmDir   = flag.String("pgm", "", "directory to write PGM uncertainty images (optional)")
 		status   = flag.String("status", "", "serve live ensemble progress on this address (e.g. :8090)")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /events, /trace and /debug/pprof on this address (e.g. :9090)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing) of the run to this file")
 		trackDir = flag.String("trackdir", "", "jobdir tracking directory: members persist and restarts skip completed work")
 		adaptive = flag.Int("adaptive", 0, "adaptively planned CTD casts per cycle")
 		smooth   = flag.Bool("smooth", false, "reanalyze each cycle's start state (ESSE smoother)")
@@ -56,15 +60,32 @@ func main() {
 	cfg.Smooth = *smooth
 	cfg.Deterministic = *det
 
+	var tel *telemetry.Telemetry
+	if *telAddr != "" || *traceOut != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+	}
+	if *telAddr != "" {
+		sampler := telemetry.StartRuntimeSampler(tel, 0)
+		defer sampler.Stop()
+		go func() {
+			if err := http.ListenAndServe(*telAddr, tel.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "esse-forecast: telemetry server:", err)
+			}
+		}()
+		fmt.Printf("telemetry: %s\n", telemetry.DisplayURL(*telAddr, "/metrics"))
+	}
 	if *status != "" {
 		mon := monitor.New(0)
 		cfg.Ensemble.OnProgress = mon.Callback()
 		go func() {
-			if err := http.ListenAndServe(*status, mon.Handler()); err != nil {
+			// The monitor mux also carries the telemetry endpoints when
+			// telemetry is on (tel may be nil; HandlerWith tolerates that).
+			if err := http.ListenAndServe(*status, mon.HandlerWith(tel)); err != nil {
 				fmt.Fprintln(os.Stderr, "esse-forecast: status server:", err)
 			}
 		}()
-		fmt.Printf("live progress: http://localhost%s/status\n", *status)
+		fmt.Printf("live progress: %s\n", telemetry.DisplayURL(*status, "/status"))
 	}
 	if *trackDir != "" {
 		cfg.WrapRunner = func(cycle int, r workflow.MemberRunner) workflow.MemberRunner {
@@ -119,4 +140,27 @@ func main() {
 	}
 	fmt.Println("\nTimelines (Fig 1):")
 	fmt.Print(sys.Tl.Render(64))
+
+	if *traceOut != "" {
+		// Wall-clock spans plus the paper-time Timeline (one trace second
+		// per paper time unit) in one Chrome trace file.
+		events := tel.Tracer().ChromeEvents()
+		events = append(events, telemetry.TimelineChromeEvents(sys.Tl, time.Second)...)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esse-forecast:", err)
+			os.Exit(1)
+		}
+		if err := telemetry.WriteChromeTrace(f, events); err == nil {
+			err = f.Close()
+		} else {
+			//esselint:allow errdrop the write error takes precedence over close
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "esse-forecast: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d events) to %s — load in chrome://tracing\n", len(events), *traceOut)
+	}
 }

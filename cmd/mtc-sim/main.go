@@ -7,10 +7,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"esse/internal/cluster"
 	"esse/internal/sched"
+	"esse/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +28,23 @@ func main() {
 		failure  = flag.Float64("failure", 0, "per-job failure probability")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		matrix   = flag.Bool("matrix", false, "run the full section 5.2.1 configuration matrix")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /events, /trace and /debug/pprof on this address (e.g. :9090)")
+		telHold  = flag.Duration("telemetry-hold", 0, "keep the telemetry server up this long after the run (for scrapers)")
 	)
 	flag.Parse()
+
+	var tel *telemetry.Telemetry
+	if *telAddr != "" {
+		tel = telemetry.New()
+		sampler := telemetry.StartRuntimeSampler(tel, 0)
+		defer sampler.Stop()
+		go func() {
+			if err := http.ListenAndServe(*telAddr, tel.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "mtc-sim: telemetry server:", err)
+			}
+		}()
+		fmt.Printf("telemetry: %s\n", telemetry.DisplayURL(*telAddr, "/metrics"))
+	}
 
 	c := cluster.MITAvailable(*cores)
 	spec := sched.ESSEJob()
@@ -66,10 +84,31 @@ func main() {
 		cfg.IOMode = sched.MixedNFS
 	}
 
+	sp := tel.Span("mtc-sim", "simulate", -1, 0)
 	res := sched.SimulateBatched(c, *jobs, spec, cfg, *batch)
+	sp.End()
 	fmt.Printf("workload=%s jobs=%d cores=%d policy=%v io=%v array=%v batch=%d\n",
 		*workload, *jobs, *cores, cfg.Policy, cfg.IOMode, cfg.JobArray, *batch)
 	printResult(res)
+
+	if tel != nil {
+		publishResult(tel, res)
+		if *telHold > 0 {
+			fmt.Printf("holding telemetry server for %v\n", *telHold)
+			time.Sleep(*telHold)
+		}
+	}
+}
+
+// publishResult exposes the simulation outcome as gauges so a scraper
+// sees the run's headline numbers on /metrics.
+func publishResult(tel *telemetry.Telemetry, res *sched.Result) {
+	tel.Gauge("mtc_sim_makespan_seconds", "Simulated makespan of the workload.").Set(res.Makespan)
+	tel.Gauge("mtc_sim_jobs", "Simulated jobs by final outcome.", "outcome", "completed").Set(float64(res.JobsCompleted))
+	tel.Gauge("mtc_sim_jobs", "Simulated jobs by final outcome.", "outcome", "failed").Set(float64(res.JobsFailed))
+	tel.Gauge("mtc_sim_pert_cpu_utilization", "Perturbation-phase CPU utilization (0..1).").Set(res.PertCPUUtilization)
+	tel.Gauge("mtc_sim_mean_dispatch_delay_seconds", "Mean scheduler dispatch delay.").Set(res.MeanDispatchDelay)
+	tel.Gauge("mtc_sim_nfs_megabytes_moved", "Simulated NFS traffic.").Set(res.NFSMBMoved)
 }
 
 func runMatrix(c *cluster.Cluster, jobs int, seed uint64) {

@@ -23,6 +23,7 @@ import (
 	"esse/internal/ocean"
 	"esse/internal/opendap"
 	"esse/internal/rng"
+	"esse/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 		ny      = flag.Int("ny", 16, "grid points north")
 		nz      = flag.Int("nz", 4, "vertical levels")
 		seed    = flag.Uint64("seed", 1, "random seed")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics, /events, /trace and /debug/pprof on this address (e.g. :9090)")
 
 		fetch   = flag.String("fetch", "", "client mode: base URL of a running server")
 		dataset = flag.String("dataset", "forecast-000", "client: dataset name")
@@ -49,6 +51,18 @@ func main() {
 	g := grid.MontereyBay(*nx, *ny, *nz)
 	master := rng.New(*seed)
 	srv := opendap.NewServer()
+	if *telAddr != "" {
+		tel := telemetry.New()
+		srv.Instrument(tel)
+		sampler := telemetry.StartRuntimeSampler(tel, 0)
+		defer sampler.Stop()
+		go func() {
+			if err := http.ListenAndServe(*telAddr, tel.Handler()); err != nil {
+				log.Println("telemetry server:", err)
+			}
+		}()
+		log.Printf("telemetry on %s", telemetry.DisplayURL(*telAddr, "/metrics"))
+	}
 	for m := 0; m < *members; m++ {
 		st := master.Split(uint64(m))
 		cfg := ocean.DefaultConfig(g)

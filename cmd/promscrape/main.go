@@ -1,0 +1,96 @@
+// Command promscrape fetches a Prometheus text exposition over HTTP and
+// strictly parses it with internal/telemetry's parser, exiting non-zero
+// on any malformed line. CI uses it to verify that a smoke-run binary's
+// /metrics endpoint serves a scrapeable exposition; -require asserts
+// that specific families are present.
+//
+//	promscrape -url http://localhost:9090/metrics -require mtc_sim_makespan_seconds
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"esse/internal/telemetry"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "http://localhost:9090/metrics", "exposition URL to scrape")
+		require = flag.String("require", "", "comma-separated metric families that must be present")
+		retries = flag.Int("retries", 10, "connection attempts before giving up")
+		wait    = flag.Duration("wait", 500*time.Millisecond, "delay between connection attempts")
+		parse   = flag.Bool("parse", true, "parse the body as a Prometheus exposition (false: just require a 200 response)")
+	)
+	flag.Parse()
+
+	body, err := fetch(*url, *retries, *wait)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promscrape:", err)
+		os.Exit(1)
+	}
+	if !*parse {
+		fmt.Printf("fetched %d bytes from %s\n", len(body), *url)
+		return
+	}
+	exp, err := telemetry.ParsePrometheus(bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promscrape: unparseable exposition:", err)
+		os.Exit(1)
+	}
+	samples := 0
+	for _, f := range exp.Families {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("scraped %d families, %d samples from %s\n", len(exp.Families), samples, *url)
+
+	if *require != "" {
+		missing := 0
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if exp.Family(name) == nil {
+				fmt.Fprintf(os.Stderr, "promscrape: required family %q not found\n", name)
+				missing++
+			}
+		}
+		if missing > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func fetch(url string, retries int, wait time.Duration) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(wait)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		//esselint:allow errdrop response body close after full read; nothing can be lost
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			lastErr = fmt.Errorf("GET %s: %s", url, resp.Status)
+			continue
+		}
+		return body, nil
+	}
+	return nil, fmt.Errorf("after %d attempts: %w", retries, lastErr)
+}

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"esse/internal/telemetry"
 )
 
 // ClimateSpec enumerates the "acoustic climate" workload: TL for every
@@ -19,6 +21,15 @@ type ClimateSpec struct {
 	FreqsKHz     []float64
 	Base         TLConfig
 	Workers      int
+	// Telemetry, when non-nil, receives per-task lifecycle events and
+	// TL task metrics. The nil default is a no-op on every hot path.
+	Telemetry *telemetry.Telemetry
+}
+
+// taskID flattens a ClimateTask into the linear index used for
+// lifecycle events and trace span names.
+func (s *ClimateSpec) taskID(t ClimateTask) int {
+	return (t.Slice*len(s.SourceDepths)+t.Source)*len(s.FreqsKHz) + t.Freq
 }
 
 // TaskCount returns the total number of independent TL tasks.
@@ -58,14 +69,25 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 		workers = 1
 	}
 	start := time.Now()
+
+	// Metric registration allocates, so it happens before any task loop
+	// runs; the handles are nil no-ops when telemetry is disabled.
+	tel := spec.Telemetry
+	cTasksDone := tel.Counter("esse_acoustics_tasks_total", "Acoustic climate TL tasks by final outcome.", "outcome", "done")
+	cTasksFailed := tel.Counter("esse_acoustics_tasks_total", "Acoustic climate TL tasks by final outcome.", "outcome", "failed")
+	cTasksCancelled := tel.Counter("esse_acoustics_tasks_total", "Acoustic climate TL tasks by final outcome.", "outcome", "cancelled")
+	hTaskSec := tel.Histogram("esse_acoustics_task_seconds", "Wall-clock duration of one TL computation.", nil)
+
 	tasks := make(chan ClimateTask)
 	go func() {
 		defer close(tasks)
 		for si := range spec.Sections {
 			for di := range spec.SourceDepths {
 				for fi := range spec.FreqsKHz {
+					t := ClimateTask{Slice: si, Source: di, Freq: fi}
+					tel.Emit("climate", spec.taskID(t), 0, telemetry.PhaseQueued)
 					select {
-					case tasks <- ClimateTask{Slice: si, Source: di, Freq: fi}:
+					case tasks <- t:
 					case <-ctx.Done():
 						return
 					}
@@ -79,6 +101,7 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		lane := int64(w + 1)
 		go func() {
 			defer wg.Done()
 			// One solver per worker amortizes the TL grids across tasks.
@@ -86,7 +109,12 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 			// out fresh allocations instead.
 			var solver TLSolver
 			for task := range tasks {
+				// Emitted by the receiving worker so queued < dispatched <
+				// running is ordered per task, not racing the dispatcher.
+				tel.Emit("climate", spec.taskID(task), 0, telemetry.PhaseDispatched)
 				if ctx.Err() != nil {
+					tel.Emit("climate", spec.taskID(task), 0, telemetry.PhaseCancelled)
+					cTasksCancelled.Inc()
 					mu.Lock()
 					res.Cancelled++
 					mu.Unlock()
@@ -95,6 +123,8 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 				cfg := spec.Base
 				cfg.SourceDepth = spec.SourceDepths[task.Source]
 				cfg.FreqKHz = spec.FreqsKHz[task.Freq]
+				tel.Emit("climate", spec.taskID(task), 0, telemetry.PhaseRunning)
+				sp := tel.Span("acoustics", "tl-task", int64(spec.taskID(task)), lane)
 				t0 := time.Now()
 				var field *TLField
 				var err error
@@ -103,12 +133,18 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 				} else {
 					field, err = solver.Compute(spec.Sections[task.Slice], cfg)
 				}
+				sp.End()
+				hTaskSec.Observe(time.Since(t0).Seconds())
 				if err != nil {
+					tel.Emit("climate", spec.taskID(task), 0, telemetry.PhaseFailed)
+					cTasksFailed.Inc()
 					mu.Lock()
 					res.Failed++
 					mu.Unlock()
 					continue
 				}
+				tel.Emit("climate", spec.taskID(task), 0, telemetry.PhaseDone)
+				cTasksDone.Inc()
 				if sink != nil {
 					sink(task, field)
 				}

@@ -29,8 +29,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"esse/internal/linalg"
+	"esse/internal/telemetry"
 )
 
 const magic = "ESSECOV2"
@@ -47,6 +49,21 @@ type Store struct {
 
 	// stats
 	writes int64
+
+	// telemetry handles (nil no-ops unless Instrument is called)
+	cWrites   *telemetry.Counter
+	cReads    *telemetry.Counter
+	hWriteSec *telemetry.Histogram
+}
+
+// Instrument registers the store's metrics in tel. Call it before the
+// store is shared between goroutines; with a nil tel it is a no-op.
+func (s *Store) Instrument(tel *telemetry.Telemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cWrites = tel.Counter("esse_covstore_writes_total", "Covariance snapshots published through the triple-file protocol.")
+	s.cReads = tel.Counter("esse_covstore_reads_total", "Safe-file snapshot reads by the SVD stage.")
+	s.hWriteSec = tel.Histogram("esse_covstore_write_seconds", "Wall-clock duration of one snapshot write + atomic publish.", nil)
 }
 
 // Open creates (or reuses) a store rooted at dir.
@@ -75,6 +92,7 @@ func (s *Store) WriteSnapshot(m *linalg.Dense, indices []int) (int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	t0 := time.Now()
 	s.version++
 	v := s.version
 	live := s.livePath(s.toggle)
@@ -97,12 +115,15 @@ func (s *Store) WriteSnapshot(m *linalg.Dense, indices []int) (int64, error) {
 		return 0, fmt.Errorf("covstore: publish: %w", err)
 	}
 	s.writes++
+	s.cWrites.Inc()
+	s.hWriteSec.Observe(time.Since(t0).Seconds())
 	return v, nil
 }
 
 // ReadSafe reads the most recently published snapshot. It returns
 // os.ErrNotExist if nothing has been published yet.
 func (s *Store) ReadSafe() (*linalg.Dense, []int, int64, error) {
+	s.cReads.Inc()
 	f, err := os.Open(s.safePath())
 	if err != nil {
 		return nil, nil, 0, err

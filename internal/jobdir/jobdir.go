@@ -25,11 +25,28 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"esse/internal/telemetry"
 )
 
 // Tracker manages per-member status and state files in one directory.
 type Tracker struct {
 	dir string
+
+	// telemetry handles (nil no-ops unless Instrument is called)
+	cCompletes  *telemetry.Counter
+	cResets     *telemetry.Counter
+	cStateSaves *telemetry.Counter
+	cStateLoads *telemetry.Counter
+}
+
+// Instrument registers the tracker's metrics in tel. Call it before
+// the tracker is shared between goroutines; a nil tel is a no-op.
+func (t *Tracker) Instrument(tel *telemetry.Telemetry) {
+	t.cCompletes = tel.Counter("esse_jobdir_completes_total", "Member status files recorded.")
+	t.cResets = tel.Counter("esse_jobdir_resets_total", "Member statuses forgotten to force a rerun.")
+	t.cStateSaves = tel.Counter("esse_jobdir_state_saves_total", "Member forecast states persisted.")
+	t.cStateLoads = tel.Counter("esse_jobdir_state_loads_total", "Member forecast states reloaded.")
 }
 
 // Open creates (or reopens) a tracker directory.
@@ -65,6 +82,7 @@ func (t *Tracker) Complete(index, code int) error {
 	if err := os.Rename(tmp, t.statusPath(index)); err != nil {
 		return fmt.Errorf("jobdir: %w", err)
 	}
+	t.cCompletes.Inc()
 	return nil
 }
 
@@ -92,6 +110,7 @@ func (t *Tracker) Reset(index int) error {
 			return fmt.Errorf("jobdir: %w", err)
 		}
 	}
+	t.cResets.Inc()
 	return nil
 }
 
@@ -163,6 +182,7 @@ func (t *Tracker) SaveState(index int, state []float64) error {
 	if err := os.Rename(tmp, t.statePath(index)); err != nil {
 		return fmt.Errorf("jobdir: %w", err)
 	}
+	t.cStateSaves.Inc()
 	return nil
 }
 
@@ -188,5 +208,6 @@ func (t *Tracker) LoadState(index int) ([]float64, error) {
 	for i := range state {
 		state[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8+8*i:]))
 	}
+	t.cStateLoads.Inc()
 	return state, nil
 }

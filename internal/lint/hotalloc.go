@@ -43,7 +43,7 @@ var HotAlloc = &Analyzer{
 
 // hotPackages scopes the performance analyzers to the packages the
 // benchmark suite spends its cycles in.
-var hotPackages = underAny("internal/linalg", "internal/ocean", "internal/covstore", "internal/acoustics")
+var hotPackages = underAny("internal/linalg", "internal/ocean", "internal/covstore", "internal/acoustics", "internal/telemetry")
 
 func runHotAlloc(pass *Pass) error {
 	for _, f := range pass.Files {

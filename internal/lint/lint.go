@@ -114,6 +114,7 @@ func Analyzers() []*Analyzer {
 		DivGuard, FloatCmp, GoroutineLeak, AliasGuard,
 		MapOrder, LockHeld,
 		HotAlloc, Preallocate, Boxing,
+		MetricLabels,
 	}
 }
 

@@ -50,6 +50,10 @@ func TestBoxingFixture(t *testing.T) {
 	RunFixture(t, Boxing, "boxing")
 }
 
+func TestMetricLabelsFixture(t *testing.T) {
+	RunFixture(t, MetricLabels, "metriclabels")
+}
+
 // TestDivGuardSummaryFixture drives divguard over call sites whose
 // safety only the interprocedural numeric summaries can prove (or
 // refuse to prove).

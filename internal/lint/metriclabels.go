@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// MetricLabels enforces the telemetry label-pair convention at every
+// call site of a label-taking function. internal/telemetry declares its
+// label parameters as a trailing `labelKV ...string` variadic; the
+// registry canonicalizes a series key from those pairs at registration
+// time and panics on malformed input. This analyzer moves that failure
+// to compile time:
+//
+//   - label arguments must come in key/value pairs (even count);
+//   - every key (the even positions) must be a compile-time string
+//     constant, so the label set of a series is fixed at build time
+//     and registration cannot allocate per-call key material;
+//   - keys must be strictly ascending (sorted and deduplicated), so
+//     two call sites naming the same series agree on its identity
+//     without a runtime sort.
+//
+// Wrappers are followed through the call graph: a function with its
+// own trailing `...string` variadic that splats it into a label-taking
+// callee's label position is itself label-taking, and its call sites
+// are checked instead. Splatting any other slice into the label
+// position defeats static validation and is reported.
+var MetricLabels = &Analyzer{
+	Name: "metriclabels",
+	Doc: "telemetry label arguments must be constant, sorted, deduplicated key/value pairs; " +
+		"wrappers forwarding their own label variadic are followed through the call graph",
+	Scope: underInternalOrCmd,
+	Run:   runMetricLabels,
+}
+
+// trailingStringVariadic returns the parameter index of fn's trailing
+// variadic ...string parameter, or -1 when fn has no such parameter.
+func trailingStringVariadic(fn *types.Func) int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() == 0 {
+		return -1
+	}
+	last := sig.Params().Len() - 1
+	sl, ok := sig.Params().At(last).Type().(*types.Slice)
+	if !ok {
+		return -1
+	}
+	b, ok := sl.Elem().(*types.Basic)
+	if !ok || b.Kind() != types.String {
+		return -1
+	}
+	return last
+}
+
+// isSeedLabelFunc reports whether fn follows the telemetry naming
+// convention directly: a trailing variadic ...string parameter named
+// exactly "labelKV". Parameter names survive in export data, so this
+// recognizes telemetry's API from any importing package without
+// needing the callee's source in the analyzed set.
+func isSeedLabelFunc(fn *types.Func) bool {
+	idx := trailingStringVariadic(fn)
+	if idx < 0 {
+		return false
+	}
+	return fn.Type().(*types.Signature).Params().At(idx).Name() == "labelKV"
+}
+
+// metricLabelTakers computes (once per Program) the set of in-set
+// functions whose trailing variadic is a label parameter: the seed
+// signatures plus an ascending fixpoint over wrappers that splat their
+// own trailing ...string variadic into a label-taking callee.
+func (p *Program) metricLabelTakers() map[string]bool {
+	p.labelOnce.Do(func() {
+		set := map[string]bool{}
+		for _, key := range p.Graph.Keys {
+			info := p.Graph.Funcs[key]
+			if info.Obj != nil && isSeedLabelFunc(info.Obj) {
+				set[key] = true
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, key := range p.Graph.Keys {
+				if set[key] {
+					continue
+				}
+				info := p.Graph.Funcs[key]
+				if info.Obj == nil || info.Decl == nil || info.Decl.Body == nil {
+					continue
+				}
+				if trailingStringVariadic(info.Obj) < 0 {
+					continue
+				}
+				if forwardsLabelVariadic(info, set) {
+					set[key] = true
+					changed = true
+				}
+			}
+		}
+		p.labelTakers = set
+	})
+	return p.labelTakers
+}
+
+// forwardsLabelVariadic reports whether info's body splats its own
+// trailing variadic parameter into the label position of a
+// label-taking callee (seed signature or already in set).
+func forwardsLabelVariadic(info *FuncInfo, set map[string]bool) bool {
+	obj := finalVariadicParamObj(info.Pkg.Info, info.Decl)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !call.Ellipsis.IsValid() || len(call.Args) == 0 {
+			return true
+		}
+		callee := StaticCallee(info.Pkg.Info, call)
+		if callee == nil || (!isSeedLabelFunc(callee) && !set[callee.FullName()]) {
+			return true
+		}
+		// In a splat call the argument count equals the parameter
+		// count, so the last argument is the variadic (label) slot.
+		if id, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.Ident); ok &&
+			info.Pkg.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// finalVariadicParamObj resolves the types.Object of decl's trailing
+// variadic parameter, or nil when the last parameter is not variadic
+// or is unnamed.
+func finalVariadicParamObj(info *types.Info, decl *ast.FuncDecl) types.Object {
+	params := decl.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	last := params.List[len(params.List)-1]
+	if _, ok := last.Type.(*ast.Ellipsis); !ok || len(last.Names) == 0 {
+		return nil
+	}
+	return info.Defs[last.Names[len(last.Names)-1]]
+}
+
+func runMetricLabels(pass *Pass) error {
+	var takers map[string]bool
+	if pass.Prog != nil {
+		takers = pass.Prog.metricLabelTakers()
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The enclosing function's own label variadic, if any: a
+			// splat forwarding it is the sanctioned wrapper pattern
+			// (the wrapper's call sites are checked instead).
+			ownVariadic := finalVariadicParamObj(pass.Info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := StaticCallee(pass.Info, call)
+				if callee == nil || (!isSeedLabelFunc(callee) && !takers[callee.FullName()]) {
+					return true
+				}
+				start := trailingStringVariadic(callee)
+				if start < 0 {
+					return true
+				}
+				checkLabelCall(pass, call, callee, start, ownVariadic)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkLabelCall validates the label arguments of one call to a
+// label-taking function whose variadic begins at parameter index
+// start.
+func checkLabelCall(pass *Pass, call *ast.CallExpr, callee *types.Func, start int, ownVariadic types.Object) {
+	name := callee.Name()
+	if call.Ellipsis.IsValid() {
+		arg := ast.Unparen(call.Args[len(call.Args)-1])
+		if id, ok := arg.(*ast.Ident); ok && ownVariadic != nil && pass.Info.Uses[id] == ownVariadic {
+			return // forwarding this function's own label parameter
+		}
+		pass.Reportf(call.Ellipsis, "%s: labels splatted from a slice cannot be statically validated; "+
+			"pass constant key/value pairs or forward a trailing ...string label parameter", name)
+		return
+	}
+	labels := call.Args[start:]
+	if len(labels)%2 != 0 {
+		pass.Reportf(call.Pos(), "%s: odd number of label arguments (%d); labels are key/value pairs", name, len(labels))
+		return
+	}
+	prev, hasPrev := "", false
+	for i := 0; i < len(labels); i += 2 {
+		key := labels[i]
+		tv, ok := pass.Info.Types[key]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			pass.Reportf(key.Pos(), "%s: label key must be a compile-time string constant", name)
+			hasPrev = false
+			continue
+		}
+		k := constant.StringVal(tv.Value)
+		if hasPrev {
+			if k == prev {
+				pass.Reportf(key.Pos(), "%s: duplicate label key %q", name, k)
+			} else if k < prev {
+				pass.Reportf(key.Pos(), "%s: label keys unsorted: %q after %q", name, k, prev)
+			}
+		}
+		prev, hasPrev = k, true
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // This file computes the per-function summaries the interprocedural
@@ -98,6 +99,11 @@ type Program struct {
 	// LockPairs lists every observed acquisition order, sorted by
 	// position. lockheld cross-references them for inversions.
 	LockPairs []LockPair
+
+	// labelTakers caches metriclabels' label-taking function set
+	// (seed signatures plus wrapper propagation); see metriclabels.go.
+	labelTakers map[string]bool
+	labelOnce   sync.Once
 }
 
 // BuildProgram computes the call graph and all summaries for pkgs.

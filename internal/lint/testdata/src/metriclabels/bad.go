@@ -1,0 +1,39 @@
+package metriclabels
+
+// counter mimics internal/telemetry's registration convention: the
+// trailing variadic named labelKV is the metriclabels seed signature.
+func counter(name, help string, labelKV ...string) int {
+	return len(labelKV)
+}
+
+// wrap forwards its own trailing ...string variadic into counter's
+// label position, so wrapper propagation makes it label-taking too.
+func wrap(name string, kv ...string) int {
+	return counter(name, "help", kv...)
+}
+
+func badCalls() {
+	counter("m", "h", "b", "1", "a", "2")     // want "label keys unsorted"
+	counter("m", "h", "a", "1", "a", "2")     // want "duplicate label key"
+	counter("m", "h", "a")                    // want "odd number of label arguments"
+	counter("m", "h", "outcome", "done", "a") // want "odd number of label arguments"
+
+	k := dynamicKey()
+	counter("m", "h", k, "1") // want "compile-time string constant"
+
+	wrap("m", "b", "1", "a", "2") // want "label keys unsorted"
+
+	kv := []string{"a", "1"}
+	counter("m", "h", kv...) // want "splatted from a slice"
+}
+
+// splatNotOwnParam splats a local slice, not its own label variadic:
+// the labels cannot be validated at this call site or any other.
+func splatNotOwnParam(name string, kv ...string) int {
+	local := append([]string{"z", "9"}, kv...)
+	return counter(name, "h", local...) // want "splatted from a slice"
+}
+
+func dynamicKey() string {
+	return "runtime-key"
+}

@@ -1,0 +1,24 @@
+package metriclabels
+
+func cleanCalls() {
+	counter("m", "h")
+	counter("m", "h", "outcome", "done")
+	counter("m", "h", "a", "1", "b", "2")
+	counter("m", "h", "a", dynamicKey(), "b", "2") // values need not be constant
+
+	const k = "stage"
+	counter("m", "h", k, "forecast") // named constants are compile-time keys
+
+	wrap("m", "a", "1", "b", "2") // wrapper call sites obey the same rules
+}
+
+// forward is the sanctioned wrapper shape: splatting its OWN trailing
+// label variadic is not a violation — forward's call sites are checked
+// instead (and become label-taking transitively, two hops deep).
+func forward(name string, kv ...string) int {
+	return wrap(name, kv...)
+}
+
+func useForward() {
+	forward("m", "x", "1", "y", "2")
+}

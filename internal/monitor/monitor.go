@@ -16,14 +16,23 @@ import (
 	"sync"
 	"time"
 
+	"esse/internal/telemetry"
 	"esse/internal/workflow"
 )
+
+// histEntry pairs a snapshot with the value of the update counter at
+// the moment it arrived, so /history reports true update ordinals even
+// after the ring has dropped older entries.
+type histEntry struct {
+	p       workflow.Progress
+	updates int64
+}
 
 // Monitor aggregates progress snapshots from one or more ensemble runs.
 type Monitor struct {
 	mu      sync.RWMutex
 	latest  workflow.Progress
-	history []workflow.Progress
+	history []histEntry
 	updates int64
 	maxHist int
 }
@@ -43,7 +52,7 @@ func (m *Monitor) Callback() func(workflow.Progress) {
 		m.mu.Lock()
 		m.latest = p
 		m.updates++
-		m.history = append(m.history, p)
+		m.history = append(m.history, histEntry{p: p, updates: m.updates})
 		if len(m.history) > m.maxHist {
 			m.history = m.history[len(m.history)-m.maxHist:]
 		}
@@ -93,16 +102,29 @@ func (m *Monitor) Handler() http.Handler {
 		_, _ = io.WriteString(w, b.String())
 	})
 	mux.HandleFunc("/history", func(w http.ResponseWriter, r *http.Request) {
+		// Snapshot under the read lock; convert and encode outside it so
+		// a slow client cannot stretch the critical section.
 		m.mu.RLock()
-		out := make([]statusJSON, len(m.history))
-		for i, p := range m.history {
-			out[i] = toJSON(p, int64(i+1))
-		}
+		entries := make([]histEntry, len(m.history))
+		copy(entries, m.history)
 		m.mu.RUnlock()
+		out := make([]statusJSON, len(entries))
+		for i, e := range entries {
+			out[i] = toJSON(e.p, e.updates)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		//esselint:allow errdrop a failed write means the client went away; nothing to do
 		_ = json.NewEncoder(w).Encode(out)
 	})
+	return mux
+}
+
+// HandlerWith serves the monitor endpoints plus tel's /metrics,
+// /events, /trace and /debug/pprof/* on one mux. A nil tel degrades to
+// the plain Handler set.
+func (m *Monitor) HandlerWith(tel *telemetry.Telemetry) http.Handler {
+	mux := m.Handler().(*http.ServeMux)
+	tel.Mount(mux)
 	return mux
 }
 

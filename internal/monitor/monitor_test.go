@@ -61,11 +61,11 @@ func TestMonitorHistoryMonotone(t *testing.T) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	prev := -1
-	for i, p := range m.history {
-		if p.Completed < prev {
-			t.Fatalf("history not monotone at %d: %d < %d", i, p.Completed, prev)
+	for i, e := range m.history {
+		if e.p.Completed < prev {
+			t.Fatalf("history not monotone at %d: %d < %d", i, e.p.Completed, prev)
 		}
-		prev = p.Completed
+		prev = e.p.Completed
 	}
 	if len(m.history) == 0 {
 		t.Fatal("empty history")
@@ -83,8 +83,11 @@ func TestMonitorHistoryBounded(t *testing.T) {
 	if len(m.history) != 5 {
 		t.Fatalf("history length %d, want 5", len(m.history))
 	}
-	if m.history[4].Completed != 49 {
+	if m.history[4].p.Completed != 49 {
 		t.Fatal("history did not keep the newest snapshots")
+	}
+	if m.history[4].updates != 50 {
+		t.Fatalf("newest history entry carries update %d, want 50", m.history[4].updates)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"esse/internal/ncdf"
+	"esse/internal/telemetry"
 )
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
@@ -41,6 +42,23 @@ type Server struct {
 	// stats
 	requests int64
 	bytes    int64
+
+	// telemetry handles (nil no-ops unless Instrument is called)
+	cList  *telemetry.Counter
+	cDDS   *telemetry.Counter
+	cDODS  *telemetry.Counter
+	cBytes *telemetry.Counter
+}
+
+// Instrument registers the server's metrics in tel. Call it before
+// serving; a nil tel is a no-op.
+func (s *Server) Instrument(tel *telemetry.Telemetry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cList = tel.Counter("esse_opendap_requests_total", "OpenDAP requests by endpoint.", "endpoint", "datasets")
+	s.cDDS = tel.Counter("esse_opendap_requests_total", "OpenDAP requests by endpoint.", "endpoint", "dds")
+	s.cDODS = tel.Counter("esse_opendap_requests_total", "OpenDAP requests by endpoint.", "endpoint", "dods")
+	s.cBytes = tel.Counter("esse_opendap_bytes_total", "Payload bytes served.")
 }
 
 // NewServer returns an empty server.
@@ -76,6 +94,7 @@ func (s *Server) count(n int64) {
 	s.requests++
 	s.bytes += n
 	s.mu.Unlock()
+	s.cBytes.Add(uint64(n))
 }
 
 func (s *Server) get(name string) (*ncdf.File, bool) {
@@ -86,6 +105,7 @@ func (s *Server) get(name string) (*ncdf.File, bool) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.cList.Inc()
 	s.mu.RLock()
 	names := make([]string, 0, len(s.datasets))
 	for n := range s.datasets {
@@ -100,6 +120,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDDS(w http.ResponseWriter, r *http.Request) {
+	s.cDDS.Inc()
 	name := strings.TrimPrefix(r.URL.Path, "/dds/")
 	f, ok := s.get(name)
 	if !ok {
@@ -113,6 +134,7 @@ func (s *Server) handleDDS(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDODS(w http.ResponseWriter, r *http.Request) {
+	s.cDODS.Inc()
 	name := strings.TrimPrefix(r.URL.Path, "/dods/")
 	f, ok := s.get(name)
 	if !ok {

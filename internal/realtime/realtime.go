@@ -25,6 +25,7 @@ import (
 	"esse/internal/obs"
 	"esse/internal/ocean"
 	"esse/internal/rng"
+	"esse/internal/telemetry"
 	"esse/internal/trace"
 	"esse/internal/workflow"
 )
@@ -79,6 +80,11 @@ type Config struct {
 	// hook for the jobdir resume layer, instrumentation, or fault
 	// injection. It receives the cycle number and the raw runner.
 	WrapRunner func(cycle int, r workflow.MemberRunner) workflow.MemberRunner
+	// Telemetry, when non-nil, instruments the cycle driver with
+	// wall-clock phase spans, per-cycle lifecycle events and skill
+	// gauges; NewSystem propagates it to Ensemble.Telemetry unless the
+	// ensemble already carries its own bundle.
+	Telemetry *telemetry.Telemetry
 	// Seed drives all randomness (truth, noise, perturbations).
 	Seed uint64
 	// Serial switches the per-cycle ensemble to the Fig. 3 serial engine
@@ -165,6 +171,9 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	if cfg.Deterministic && cfg.Smooth {
 		return nil, fmt.Errorf("realtime: Smooth requires ensemble anomalies; incompatible with Deterministic")
+	}
+	if cfg.Telemetry != nil && cfg.Ensemble.Telemetry == nil {
+		cfg.Ensemble.Telemetry = cfg.Telemetry
 	}
 	g := grid.MontereyBay(cfg.NX, cfg.NY, cfg.NZ)
 	oceanCfg := ocean.DefaultConfig(g)
@@ -278,6 +287,12 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	s.cycleNum++
 	cycleSeed := s.seeds.Split(uint64(1000 + k))
 
+	tel := s.Cfg.Telemetry
+	tel.Emit("cycle", k, 0, telemetry.PhaseRunning)
+	cycleSpan := tel.Span("realtime", "cycle", int64(k), 0)
+	defer cycleSpan.End()
+	cycleStart := time.Now()
+
 	var truthAtStart []float64
 	if s.Cfg.Smooth {
 		truthAtStart = s.truth.State(nil)
@@ -294,8 +309,10 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	forecasterStart := time.Now()
 
 	// Central (unperturbed) forecast, in scaled space for the engine.
+	spCentral := tel.Span("realtime", "central-forecast", int64(k), 0)
 	central := s.runMember(s.analysis, cycleSeed.Split(0))
 	centralZ := s.scaler.ToScaled(nil, central)
+	spCentral.End()
 
 	// MTC ensemble: member i perturbs the analysis with the current
 	// (scaled-space) subspace and integrates with its own stochastic
@@ -331,6 +348,7 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 
 	var ens *workflow.Result
 	var err error
+	spEnsemble := tel.Span("realtime", "ensemble", int64(k), 0)
 	switch {
 	case s.Cfg.Deterministic:
 		ens, err = s.deterministicForecast(ctx, centralZ)
@@ -339,7 +357,9 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	default:
 		ens, err = workflow.RunParallel(ctx, s.Cfg.Ensemble, centralZ, runner)
 	}
+	spEnsemble.End()
 	if err != nil {
+		tel.Emit("cycle", k, 0, telemetry.PhaseFailed)
 		return nil, fmt.Errorf("realtime: cycle %d ensemble: %w", k, err)
 	}
 
@@ -348,25 +368,34 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	network, scaled := s.Network, s.scaled
 	var castLocs [][2]int
 	if s.Cfg.AdaptiveCasts > 0 {
+		spAdaptive := tel.Span("realtime", "adaptive-sampling", int64(k), 0)
 		castStd := s.Cfg.AdaptiveCastStd
 		if castStd <= 0 {
 			castStd = 0.05
 		}
 		castLocs, err = s.PlanAdaptiveCasts(ens.Subspace, s.Cfg.AdaptiveCasts, castStd)
 		if err != nil {
+			spAdaptive.End()
+			tel.Emit("cycle", k, 0, telemetry.PhaseFailed)
 			return nil, fmt.Errorf("realtime: cycle %d adaptive planning: %w", k, err)
 		}
 		network, scaled, err = s.AugmentedNetwork(castLocs, castStd)
 		if err != nil {
+			spAdaptive.End()
+			tel.Emit("cycle", k, 0, telemetry.PhaseFailed)
 			return nil, fmt.Errorf("realtime: cycle %d adaptive network: %w", k, err)
 		}
+		spAdaptive.End()
 	}
 
 	// Observe the truth and assimilate in scaled space.
+	spAssim := tel.Span("realtime", "assimilate", int64(k), 0)
 	y := network.Sample(s.truth.State(nil), cycleSeed.Split(999))
 	yz := scaled.ScaleObs(y)
 	an, err := core.Assimilate(ens.Mean, ens.Subspace, scaled, yz)
+	spAssim.End()
 	if err != nil {
+		tel.Emit("cycle", k, 0, telemetry.PhaseFailed)
 		return nil, fmt.Errorf("realtime: cycle %d assimilation: %w", k, err)
 	}
 
@@ -387,10 +416,13 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	if s.Cfg.Smooth {
 		// Reanalyze the cycle-start state with this cycle's innovation
 		// (base network only: the smoother shares the filter's H).
+		spSmooth := tel.Span("realtime", "smooth", int64(k), 0)
 		innovZ := linalg.VecSub(s.scaled.ScaleObs(s.Network.Sample(s.truth.State(nil), cycleSeed.Split(998))),
 			s.scaled.ApplyH(ens.Mean))
 		smoothed, err := s.smoothStart(startAnalysis, cache, ens.Anomalies, ens.MemberIndices, innovZ)
+		spSmooth.End()
 		if err != nil {
+			tel.Emit("cycle", k, 0, telemetry.PhaseFailed)
 			return nil, fmt.Errorf("realtime: cycle %d smoothing: %w", k, err)
 		}
 		res.SmoothedStart = smoothed
@@ -405,6 +437,15 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 		obsStart, obsStart+time.Since(forecasterStart).Seconds())
 	// Each member simulation covers the same stretch of ocean time.
 	s.Tl.Add(trace.SimulationTime, fmt.Sprintf("sim%d", k), obsStart, s.clock)
+
+	tel.Counter("esse_realtime_cycles_total", "Completed forecast/assimilation cycles.").Inc()
+	tel.Histogram("esse_realtime_cycle_seconds", "Wall-clock duration of one full cycle.", nil).
+		Observe(time.Since(cycleStart).Seconds())
+	tel.Gauge("esse_realtime_rmse_temperature", "Temperature RMSE against truth for the last cycle.", "stage", "forecast").
+		Set(res.RMSEForecastT)
+	tel.Gauge("esse_realtime_rmse_temperature", "Temperature RMSE against truth for the last cycle.", "stage", "analysis").
+		Set(res.RMSEAnalysisT)
+	tel.Emit("cycle", k, 0, telemetry.PhaseDone)
 	return res, nil
 }
 

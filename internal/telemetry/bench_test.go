@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The benchmark suite feeds scripts/bench.sh's allocation gate: the
+// enabled hot-path updates (Add/Observe/Emit) and the whole disabled
+// path must report 0 allocs/op.
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := New().Counter("esse_bench_total", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := New().Gauge("esse_bench_gauge", "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := New().Histogram("esse_bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%16) * 0.1)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.1)
+	}
+}
+
+func BenchmarkEventLogEmit(b *testing.B) {
+	l := NewEventLog(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Emit("member", i, 0, PhaseDone)
+	}
+}
+
+func BenchmarkEventLogEmitDisabled(b *testing.B) {
+	var l *EventLog
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Emit("member", i, 0, PhaseDone)
+	}
+}
+
+func BenchmarkSpanStartEndDisabled(b *testing.B) {
+	var tel *Telemetry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tel.Span("workflow", "member", int64(i), 0)
+		sp.End()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	tel := New()
+	tel.Counter("esse_bench_scrape_total", "C.", "outcome", "done").Add(3)
+	tel.Gauge("esse_bench_scrape_gauge", "G.").Set(1.5)
+	tel.Histogram("esse_bench_scrape_seconds", "H.", nil).Observe(0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tel.Registry().WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

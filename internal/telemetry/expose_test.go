@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// scrapeString renders the registry into a string.
+func scrapeString(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestExpositionRoundTrip pins the writer/parser pair: the writer's
+// canonical output parses back, and re-rendering the parse reproduces
+// the bytes exactly.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esse_rt_total", "Counted things.", "outcome", "done").Add(3)
+	r.Counter("esse_rt_total", "Counted things.", "outcome", "failed").Add(1)
+	r.Gauge("esse_rt_gauge", `Help with \ backslash and
+newline.`).Set(-2.25)
+	h := r.Histogram("esse_rt_seconds", "Latencies.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+
+	text := scrapeString(t, r)
+	exp, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	var sb strings.Builder
+	if err := exp.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != text {
+		t.Fatalf("render != original\n--- wrote ---\n%s--- re-rendered ---\n%s", text, sb.String())
+	}
+
+	// The parse sees the structure, not just the bytes.
+	fam := exp.Family("esse_rt_seconds")
+	if fam == nil || fam.Type != "histogram" || fam.Help != "Latencies." {
+		t.Fatalf("histogram family = %+v", fam)
+	}
+	if n := len(fam.Samples); n != 6 { // 4 buckets (incl +Inf) + sum + count
+		t.Fatalf("histogram samples = %d, want 6", n)
+	}
+	g := exp.Family("esse_rt_gauge")
+	if g == nil || g.Help != "Help with \\ backslash and\nnewline." {
+		t.Fatalf("help not unescaped: %+v", g)
+	}
+}
+
+func TestExpositionValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esse_v_total", "", "outcome", "done").Add(7)
+	h := r.Histogram("esse_v_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+
+	exp, err := ParsePrometheus(strings.NewReader(scrapeString(t, r)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("esse_v_total", "outcome", "done"); !ok || v != 7 {
+		t.Fatalf("counter value = %v, %v", v, ok)
+	}
+	// Histogram buckets are cumulative and end at +Inf == count.
+	if v, ok := exp.Value("esse_v_seconds_bucket", "le", "1"); !ok || v != 1 {
+		t.Fatalf("le=1 bucket = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("esse_v_seconds_bucket", "le", "2"); !ok || v != 2 {
+		t.Fatalf("le=2 bucket = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("esse_v_seconds_bucket", "le", "+Inf"); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("esse_v_seconds_count"); !ok || v != 3 {
+		t.Fatalf("count = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("esse_v_seconds_sum"); !ok || v != 11 {
+		t.Fatalf("sum = %v, %v", v, ok)
+	}
+	if _, ok := exp.Value("esse_v_total"); ok {
+		t.Fatal("label-less lookup must not match the labelled series")
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("esse_esc", "", "path", "a\\b\"c\nd").Set(1)
+	text := scrapeString(t, r)
+	exp, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if v, ok := exp.Value("esse_esc", "path", "a\\b\"c\nd"); !ok || v != 1 {
+		t.Fatalf("escaped label round-trip failed: %v %v in\n%s", v, ok, text)
+	}
+}
+
+func TestParsePrometheusErrors(t *testing.T) {
+	bad := []string{
+		"esse_x",                      // no value
+		"esse_x notanumber",           // bad value
+		"esse_x{k=\"v\" 1",            // unterminated label set
+		"esse_x{k=\"v\\q\"} 1",        // unknown escape
+		"esse_x{k=v} 1",               // unquoted value
+		"esse_x{=\"v\"} 1",            // empty key
+		"esse_x 1 2 3",                // trailing junk
+		"9leading 1",                  // invalid name
+		"# TYPE esse_x wavelet",       // unknown type
+		"# TYPE esse_x",               // truncated TYPE
+		"# HELP  trailing",            // HELP without name
+		"esse_x{k=\"unterminated} 1",  // unterminated value
+		"esse_x{k=\"v\"} 1 notatime",  // bad timestamp
+	}
+	for _, line := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParsePrometheus(%q) accepted malformed input", line)
+		}
+	}
+
+	good := []string{
+		"",                             // empty body
+		"# arbitrary comment\n",        // non-header comment
+		"esse_x 1 1700000000\n",        // timestamp accepted
+		"esse_x{} 1\n",                 // empty label set
+		"esse_x{le=\"0.5\"} 1\n",       // le legal in parse direction
+		"# TYPE esse_x counter\nesse_x 1\n",
+	}
+	for _, text := range good {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err != nil {
+			t.Errorf("ParsePrometheus(%q): %v", text, err)
+		}
+	}
+}
+
+// TestHistogramBucketOrdering checks the exposition's cumulative-bucket
+// invariant on the default layout.
+func TestHistogramBucketOrdering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("esse_def_seconds", "", nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) * 0.17)
+	}
+	exp, err := ParsePrometheus(strings.NewReader(scrapeString(t, r)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := exp.Family("esse_def_seconds")
+	if fam == nil {
+		t.Fatal("family missing")
+	}
+	prev := -1.0
+	buckets := 0
+	for _, s := range fam.Samples {
+		if s.Name != "esse_def_seconds_bucket" {
+			continue
+		}
+		buckets++
+		if s.Value < prev {
+			t.Fatalf("bucket counts not cumulative: %v after %v", s.Value, prev)
+		}
+		prev = s.Value
+	}
+	if buckets != len(DefBuckets)+1 {
+		t.Fatalf("bucket samples = %d, want %d", buckets, len(DefBuckets)+1)
+	}
+	if math.Abs(prev-100) > 0 {
+		t.Fatalf("+Inf bucket = %v, want 100", prev)
+	}
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	tel := New()
+	tel.Counter("esse_http_total", "Handled requests.").Add(2)
+	h := tel.Handler()
+
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	exp, err := ParsePrometheus(rec.Body)
+	if err != nil {
+		t.Fatalf("unparseable scrape: %v", err)
+	}
+	if v, ok := exp.Value("esse_http_total"); !ok || v != 2 {
+		t.Fatalf("esse_http_total = %v, %v", v, ok)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	tel := New()
+	for i := 0; i < 5; i++ {
+		tel.Emit("member", i, 0, PhaseDone)
+	}
+	h := tel.Handler()
+
+	rec := get(t, h, "/events")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var reply struct {
+		Total  int64   `json:"total"`
+		Oldest int64   `json:"oldest"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Total != 5 || reply.Oldest != 0 || len(reply.Events) != 5 {
+		t.Fatalf("reply = %+v", reply)
+	}
+
+	rec = get(t, h, "/events?since=3")
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Events) != 2 || reply.Events[0].Seq != 3 {
+		t.Fatalf("since=3 reply = %+v", reply)
+	}
+
+	// A drained increment is an empty array, not null.
+	rec = get(t, h, "/events?since=5")
+	if !strings.Contains(rec.Body.String(), `"events": []`) {
+		t.Fatalf("empty increment = %s", rec.Body.String())
+	}
+
+	if rec := get(t, h, "/events?since=bogus"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad since status = %d", rec.Code)
+	}
+	if rec := get(t, h, "/events?since=-1"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("negative since status = %d", rec.Code)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	tel := New()
+	sp := tel.Span("workflow", "member", 4, 1)
+	sp.End()
+	rec := get(t, tel.Handler(), "/trace")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var evs []ChromeEvent
+	if err := json.Unmarshal(rec.Body.Bytes(), &evs); err != nil {
+		t.Fatalf("trace body not JSON: %v", err)
+	}
+	if len(evs) != 1 || evs[0].Name != "member-4" || evs[0].Ph != "X" {
+		t.Fatalf("trace = %+v", evs)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	rec := get(t, New().Handler(), "/debug/pprof/cmdline")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof status = %d", rec.Code)
+	}
+}
+
+func TestNilTelemetryHTTP(t *testing.T) {
+	var tel *Telemetry
+	tel.Mount(nil)               // must not panic
+	tel.Mount(http.NewServeMux()) // no-op
+	h := tel.Handler()
+	if rec := get(t, h, "/metrics"); rec.Code != http.StatusNotFound {
+		t.Fatalf("nil telemetry /metrics status = %d, want 404", rec.Code)
+	}
+}

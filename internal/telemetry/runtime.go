@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// RuntimeSampler periodically publishes Go runtime health — heap
+// bytes, GC cycles and pause time, goroutine count — as gauges in a
+// Registry, using the runtime/metrics sample API so reads do not
+// stop the world the way runtime.ReadMemStats does.
+type RuntimeSampler struct {
+	samples    []metrics.Sample
+	heap       *Gauge
+	gcCycles   *Gauge
+	gcPauseSec *Gauge
+	goroutines *Gauge
+	interval   time.Duration
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// runtime/metrics names sampled; indices into RuntimeSampler.samples.
+const (
+	sampleHeap = iota
+	sampleGCCycles
+	sampleGCPause
+	sampleCount
+)
+
+// StartRuntimeSampler registers the runtime gauges in t's registry and
+// starts a sampling goroutine (interval <= 0 selects 1s). It returns
+// nil — and starts nothing — when telemetry is disabled. Call Stop to
+// shut the goroutine down.
+func StartRuntimeSampler(t *Telemetry, interval time.Duration) *RuntimeSampler {
+	if t == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &RuntimeSampler{
+		samples:    make([]metrics.Sample, sampleCount),
+		heap:       t.Gauge("go_heap_objects_bytes", "Bytes of heap memory occupied by live plus unswept objects."),
+		gcCycles:   t.Gauge("go_gc_cycles_total", "Completed GC cycles since process start."),
+		gcPauseSec: t.Gauge("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause seconds."),
+		goroutines: t.Gauge("go_goroutines", "Number of live goroutines."),
+		interval:   interval,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	s.samples[sampleHeap].Name = "/memory/classes/heap/objects:bytes"
+	s.samples[sampleGCCycles].Name = "/gc/cycles/total:gc-cycles"
+	s.samples[sampleGCPause].Name = "/sched/pauses/total/gc:seconds"
+	s.SampleOnce()
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.SampleOnce()
+		}
+	}
+}
+
+// SampleOnce reads the runtime metrics and updates the gauges. Safe to
+// call directly (tests, final pre-shutdown readings); nil-safe.
+func (s *RuntimeSampler) SampleOnce() {
+	if s == nil {
+		return
+	}
+	metrics.Read(s.samples)
+	if v := s.samples[sampleHeap].Value; v.Kind() == metrics.KindUint64 {
+		s.heap.Set(float64(v.Uint64()))
+	}
+	if v := s.samples[sampleGCCycles].Value; v.Kind() == metrics.KindUint64 {
+		s.gcCycles.Set(float64(v.Uint64()))
+	}
+	if v := s.samples[sampleGCPause].Value; v.Kind() == metrics.KindFloat64Histogram {
+		s.gcPauseSec.Set(histTotalSeconds(v.Float64Histogram()))
+	}
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+}
+
+// histTotalSeconds approximates the cumulative seconds in a
+// runtime/metrics float64 histogram by summing count × bucket midpoint
+// (edge buckets use their finite bound).
+func histTotalSeconds(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	total := 0.0
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if isInfOrNaN(lo) {
+			mid = hi
+		} else if isInfOrNaN(hi) {
+			mid = lo
+		}
+		total += float64(n) * mid
+	}
+	return total
+}
+
+func isInfOrNaN(v float64) bool {
+	//esselint:allow floatcmp NaN self-inequality test plus infinity bound checks on runtime histogram edges
+	return v != v || v > 1e300 || v < -1e300
+}
+
+// Stop terminates the sampling goroutine and waits for it to exit,
+// taking one final sample so shutdown-time readings are fresh.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.SampleOnce()
+}

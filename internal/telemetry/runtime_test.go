@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeSampler(t *testing.T) {
+	tel := New()
+	s := StartRuntimeSampler(tel, time.Hour) // tick never fires; SampleOnce drives it
+	if s == nil {
+		t.Fatal("sampler must start when telemetry is enabled")
+	}
+	s.SampleOnce()
+
+	exp, err := ParsePrometheus(strings.NewReader(scrapeString(t, tel.Registry())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("go_goroutines"); !ok || v < 1 {
+		t.Fatalf("go_goroutines = %v, %v", v, ok)
+	}
+	if v, ok := exp.Value("go_heap_objects_bytes"); !ok || v <= 0 {
+		t.Fatalf("go_heap_objects_bytes = %v, %v", v, ok)
+	}
+	if _, ok := exp.Value("go_gc_cycles_total"); !ok {
+		t.Fatal("go_gc_cycles_total missing")
+	}
+	if _, ok := exp.Value("go_gc_pause_seconds_total"); !ok {
+		t.Fatal("go_gc_pause_seconds_total missing")
+	}
+
+	s.Stop() // must terminate the goroutine and not hang
+}
+
+func TestRuntimeSamplerDisabled(t *testing.T) {
+	s := StartRuntimeSampler(nil, time.Millisecond)
+	if s != nil {
+		t.Fatal("disabled telemetry must not start a sampler")
+	}
+	s.SampleOnce() // nil-safe
+	s.Stop()       // nil-safe
+}

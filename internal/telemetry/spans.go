@@ -1,0 +1,213 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"esse/internal/trace"
+)
+
+// Tracer records wall-clock spans and exports them as Chrome
+// trace-event JSON, the format chrome://tracing and ui.perfetto.dev
+// load directly. Each span becomes a "complete" (ph "X") event; spans
+// on the same lane (tid) nest by time containment, so opening an outer
+// cycle span and inner member spans renders the hierarchical Gantt of
+// the paper's Fig. 1 from a real run.
+//
+// The hot path is allocation-free: Start captures a timestamp into a
+// value-type Span, End appends one spanRecord by value under the
+// tracer lock. Names with ids ("member-12") are rendered only at
+// export. The nil *Tracer is a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	base  time.Time
+	spans []spanRecord
+}
+
+// spanRecord is one finished span, stored by value.
+type spanRecord struct {
+	cat, name string
+	id        int64 // rendered as "name-id" at export when >= 0
+	lane      int64 // Chrome tid
+	start     time.Duration
+	dur       time.Duration
+}
+
+// Span is an open interval handed out by Tracer.Start. It is a value:
+// copying it is cheap and starting one never heap-allocates. End may
+// be called at most once; on a Span from a nil Tracer, End is a no-op.
+type Span struct {
+	tr    *Tracer
+	cat   string
+	name  string
+	id    int64
+	lane  int64
+	start time.Duration
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{base: time.Now()}
+}
+
+// Start opens a span in category cat. id >= 0 is appended to the name
+// at export time ("name-id"); pass -1 for none. lane selects the
+// Chrome tid row — use the worker id or member index so concurrent
+// tasks land on separate rows.
+func (t *Tracer) Start(cat, name string, id, lane int64) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, cat: cat, name: name, id: id, lane: lane, start: time.Since(t.base)}
+}
+
+// End closes the span and records it. No-op on a zero Span.
+func (s Span) End() {
+	if s.tr == nil {
+		return
+	}
+	end := time.Since(s.tr.base)
+	s.tr.mu.Lock()
+	s.tr.spans = append(s.tr.spans, spanRecord{
+		cat:   s.cat,
+		name:  s.name,
+		id:    s.id,
+		lane:  s.lane,
+		start: s.start,
+		dur:   end - s.start,
+	})
+	s.tr.mu.Unlock()
+}
+
+// Len returns the number of finished spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// ChromeEvent is one trace event in the Chrome trace-event JSON array
+// format. Ph, Ts and Pid intentionally have no omitempty: viewers
+// require them even when zero.
+type ChromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int64   `json:"pid"`
+	Tid  int64   `json:"tid"`
+}
+
+// chromePidWall is the pid lane for wall-clock spans; chromePidPaper
+// holds converted paper-time Timeline rows so the two clocks never
+// share an axis.
+const (
+	chromePidWall  = 1
+	chromePidPaper = 2
+)
+
+// ChromeEvents renders the finished spans as complete ("X") events with
+// microsecond timestamps relative to the tracer's start.
+func (t *Tracer) ChromeEvents() []ChromeEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := make([]spanRecord, len(t.spans))
+	copy(recs, t.spans)
+	t.mu.Unlock()
+	out := make([]ChromeEvent, 0, len(recs))
+	name := make([]byte, 0, 64)
+	for _, r := range recs {
+		name = name[:0]
+		name = append(name, r.name...)
+		if r.id >= 0 {
+			name = append(name, '-')
+			name = strconv.AppendInt(name, r.id, 10)
+		}
+		out = append(out, ChromeEvent{
+			Name: string(name),
+			Cat:  r.cat,
+			Ph:   "X",
+			Ts:   float64(r.start.Nanoseconds()) / 1e3,
+			Dur:  float64(r.dur.Nanoseconds()) / 1e3,
+			Pid:  chromePidWall,
+			Tid:  r.lane,
+		})
+	}
+	return out
+}
+
+// TimelineChromeEvents converts a paper-time Timeline into trace rows
+// on a separate pid, one tid per Kind, treating one paper time unit as
+// timeUnit of trace time. Merging these with Tracer.ChromeEvents in a
+// single export shows simulated ocean/forecaster time next to where
+// the wall-clock actually went.
+func TimelineChromeEvents(tl *trace.Timeline, timeUnit time.Duration) []ChromeEvent {
+	if tl == nil {
+		return nil
+	}
+	spans := tl.Spans()
+	out := make([]ChromeEvent, 0, len(spans))
+	usPerUnit := float64(timeUnit.Nanoseconds()) / 1e3
+	for _, s := range spans {
+		out = append(out, ChromeEvent{
+			Name: s.Label,
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			Ts:   s.Start * usPerUnit,
+			Dur:  s.Duration() * usPerUnit,
+			Pid:  chromePidPaper,
+			Tid:  int64(s.Kind),
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace writes events as a Chrome trace-event JSON array.
+// The output loads directly into chrome://tracing and Perfetto.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	buf := make([]byte, 0, 64+128*len(events))
+	buf = append(buf, '[', '\n')
+	for i, e := range events {
+		if i > 0 {
+			buf = append(buf, ',', '\n')
+		}
+		buf = appendChromeEvent(buf, e)
+	}
+	buf = append(buf, '\n', ']', '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+// appendChromeEvent renders one event without encoding/json so export
+// stays a single-buffer append pass. encoding/json round-trip of this
+// output is pinned by tests.
+func appendChromeEvent(buf []byte, e ChromeEvent) []byte {
+	buf = append(buf, `{"name":`...)
+	buf = strconv.AppendQuote(buf, e.Name)
+	if e.Cat != "" {
+		buf = append(buf, `,"cat":`...)
+		buf = strconv.AppendQuote(buf, e.Cat)
+	}
+	buf = append(buf, `,"ph":`...)
+	buf = strconv.AppendQuote(buf, e.Ph)
+	buf = append(buf, `,"ts":`...)
+	buf = strconv.AppendFloat(buf, e.Ts, 'f', -1, 64)
+	if e.Dur != 0 {
+		buf = append(buf, `,"dur":`...)
+		buf = strconv.AppendFloat(buf, e.Dur, 'f', -1, 64)
+	}
+	buf = append(buf, `,"pid":`...)
+	buf = strconv.AppendInt(buf, e.Pid, 10)
+	buf = append(buf, `,"tid":`...)
+	buf = strconv.AppendInt(buf, e.Tid, 10)
+	buf = append(buf, '}')
+	return buf
+}

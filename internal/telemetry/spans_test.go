@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"esse/internal/trace"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Start("workflow", "cycle", 1, 0)
+	inner := tr.Start("workflow", "member", 12, 3)
+	time.Sleep(time.Millisecond)
+	inner.End()
+	outer.End()
+
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	evs := tr.ChromeEvents()
+	if len(evs) != 2 {
+		t.Fatalf("ChromeEvents = %d, want 2", len(evs))
+	}
+	// End order is record order: inner finished first.
+	if evs[0].Name != "member-12" || evs[1].Name != "cycle-1" {
+		t.Fatalf("names = %q, %q", evs[0].Name, evs[1].Name)
+	}
+	for _, e := range evs {
+		if e.Ph != "X" {
+			t.Fatalf("ph = %q, want X", e.Ph)
+		}
+		if e.Pid != chromePidWall {
+			t.Fatalf("pid = %d, want %d", e.Pid, chromePidWall)
+		}
+		if e.Dur <= 0 {
+			t.Fatalf("dur = %v, want > 0", e.Dur)
+		}
+	}
+	if evs[0].Tid != 3 || evs[1].Tid != 0 {
+		t.Fatalf("tids = %d, %d, want 3, 0", evs[0].Tid, evs[1].Tid)
+	}
+	// The outer span contains the inner one in time.
+	if evs[1].Ts > evs[0].Ts || evs[1].Ts+evs[1].Dur < evs[0].Ts+evs[0].Dur {
+		t.Fatalf("outer [%v,%v] does not contain inner [%v,%v]",
+			evs[1].Ts, evs[1].Ts+evs[1].Dur, evs[0].Ts, evs[0].Ts+evs[0].Dur)
+	}
+
+	// id -1 leaves the name unsuffixed.
+	sp := tr.Start("workflow", "svd", -1, 0)
+	sp.End()
+	if evs := tr.ChromeEvents(); evs[2].Name != "svd" {
+		t.Fatalf("name = %q, want svd", evs[2].Name)
+	}
+}
+
+// TestChromeTraceRoundTrip pins the hand-rolled JSON writer against
+// encoding/json: the output must decode into the same events, and the
+// required keys (ph, ts, pid) must be present even when zero.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	in := []ChromeEvent{
+		{Name: "cycle-1", Cat: "workflow", Ph: "X", Ts: 0, Dur: 1500, Pid: 1, Tid: 0},
+		{Name: `quote"and\slash`, Ph: "X", Ts: 12.25, Dur: 0.5, Pid: 2, Tid: 7},
+		{Name: "zero", Ph: "X", Ts: 0, Dur: 0, Pid: 0, Tid: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+
+	var out []ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("event %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+
+	// Required keys survive zero values (no omitempty on ph/ts/pid/tid).
+	var generic []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range generic {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := m[key]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, key, m)
+			}
+		}
+		if m["ph"] != "X" {
+			t.Fatalf("event %d ph = %v", i, m["ph"])
+		}
+	}
+
+	// An empty trace is still a valid JSON array.
+	buf.Reset()
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var empty []ChromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("empty trace: %v, %v", empty, err)
+	}
+}
+
+func TestTimelineChromeEvents(t *testing.T) {
+	tl := trace.New()
+	tl.Add(trace.ObservationTime, "obs batch", 0, 2)
+	tl.Add(trace.SimulationTime, "cycle 1", 1, 4)
+
+	evs := TimelineChromeEvents(tl, time.Second)
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	for _, e := range evs {
+		if e.Pid != chromePidPaper {
+			t.Fatalf("pid = %d, want %d", e.Pid, chromePidPaper)
+		}
+		if e.Ph != "X" {
+			t.Fatalf("ph = %q, want X", e.Ph)
+		}
+	}
+	// One paper time unit = 1 s = 1e6 trace µs; one tid per Kind.
+	var obs, sim *ChromeEvent
+	for i := range evs {
+		switch evs[i].Tid {
+		case int64(trace.ObservationTime):
+			obs = &evs[i]
+		case int64(trace.SimulationTime):
+			sim = &evs[i]
+		}
+	}
+	if obs == nil || sim == nil {
+		t.Fatalf("missing kind lanes: %+v", evs)
+	}
+	if obs.Ts != 0 || obs.Dur != 2e6 {
+		t.Fatalf("obs = ts %v dur %v, want 0, 2e6", obs.Ts, obs.Dur)
+	}
+	if sim.Ts != 1e6 || sim.Dur != 3e6 {
+		t.Fatalf("sim = ts %v dur %v, want 1e6, 3e6", sim.Ts, sim.Dur)
+	}
+
+	if evs := TimelineChromeEvents(nil, time.Second); evs != nil {
+		t.Fatalf("nil timeline = %+v, want nil", evs)
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("cat", "name", 0, 0)
+	sp.End()
+	if tr.Len() != 0 || tr.ChromeEvents() != nil {
+		t.Fatal("nil tracer must be inert")
+	}
+}

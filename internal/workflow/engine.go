@@ -27,6 +27,7 @@ import (
 	"esse/internal/core"
 	"esse/internal/covstore"
 	"esse/internal/linalg"
+	"esse/internal/telemetry"
 	"esse/internal/trace"
 )
 
@@ -88,6 +89,11 @@ type Config struct {
 	// for the user to monitor the progress of one's jobs", §5.3.1). The
 	// callback runs on the coordinator goroutine and must be fast.
 	OnProgress func(Progress)
+	// Telemetry, when non-nil, receives per-member lifecycle events
+	// (queued → dispatched → running → retried → done/failed/cancelled),
+	// wall-clock spans for members and SVD rounds, and engine metrics.
+	// The nil default makes every instrumentation call a no-op.
+	Telemetry *telemetry.Telemetry
 }
 
 // Progress is a point-in-time snapshot of a running ensemble.
@@ -210,6 +216,19 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 	acc := core.NewAccumulator(central)
 	tl := trace.New()
 
+	// Metric registration may allocate, so it happens once up front; the
+	// handles below are lock-free (and nil no-ops when telemetry is off).
+	tel := cfg.Telemetry
+	cMembersDone := tel.Counter("esse_workflow_members_total", "Ensemble members by final outcome.", "outcome", "done")
+	cMembersFailed := tel.Counter("esse_workflow_members_total", "Ensemble members by final outcome.", "outcome", "failed")
+	cMembersCancelled := tel.Counter("esse_workflow_members_total", "Ensemble members by final outcome.", "outcome", "cancelled")
+	cRetries := tel.Counter("esse_workflow_retries_total", "Member attempts that failed and were retried.")
+	cSVDRounds := tel.Counter("esse_workflow_svd_rounds_total", "SVD/convergence stage executions.")
+	hMemberSec := tel.Histogram("esse_workflow_member_seconds", "Wall-clock duration of one ensemble member forecast.", nil)
+	hSVDSec := tel.Histogram("esse_workflow_svd_seconds", "Wall-clock duration of one SVD/convergence round.", nil)
+	gTarget := tel.Gauge("esse_workflow_target_members", "Current ensemble size target.")
+	gTarget.Set(float64(cfg.InitialSize))
+
 	var target atomic.Int64
 	target.Store(int64(cfg.InitialSize))
 	var launched atomic.Int64
@@ -223,9 +242,14 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 	go func() {
 		defer close(jobs)
 		next := 0
+		queued := -1
 		for {
 			t := int(target.Load())
 			if next < t {
+				if next > queued {
+					queued = next
+					tel.Emit("member", next, 0, telemetry.PhaseQueued)
+				}
 				select {
 				case jobs <- next:
 					next++
@@ -251,11 +275,21 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
+		lane := int64(w + 1) // trace tid; lane 0 is the coordinator
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
 				t0 := time.Since(start)
-				state, err := runWithRetries(runCtx, cfg.Retries, idx, runner)
+				// Dispatched is emitted by the receiving worker, not the
+				// dispatcher after its send: both orderings are the same
+				// instant on an unbuffered channel, but this one makes
+				// queued < dispatched < running a per-member guarantee in
+				// the event stream rather than a goroutine race.
+				tel.Emit("member", idx, 0, telemetry.PhaseDispatched)
+				tel.Emit("member", idx, 0, telemetry.PhaseRunning)
+				sp := tel.Span("workflow", "member", int64(idx), lane)
+				state, err := runWithRetries(runCtx, cfg.Retries, idx, runner, tel, cRetries)
+				sp.End()
 				results <- memberDone{index: idx, state: state, err: err, start: t0, end: time.Since(start)}
 			}
 		}()
@@ -278,6 +312,10 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 	}
 
 	runSVD := func() error {
+		sp := tel.Span("workflow", "svd", int64(res.SVDRounds), 0)
+		defer sp.End()
+		svdStart := time.Now()
+		defer func() { hSVDSec.Observe(time.Since(svdStart).Seconds()) }()
 		anoms := acc.Anomalies()
 		indices := acc.Indices()
 		if cfg.Store != nil {
@@ -297,6 +335,7 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 		}
 		cur = core.SubspaceFromAnomalies(anoms, cfg.MaxRank, cfg.SigmaRelTol)
 		res.SVDRounds++
+		cSVDRounds.Inc()
 		lastSVD = anoms.Cols
 		if prev != nil {
 			ok, rho := cfg.Criterion.Converged(prev, cur)
@@ -309,6 +348,7 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 				case DrainAndUse:
 					// Stop dispatching beyond what is already launched.
 					target.Store(launched.Load())
+					gTarget.Set(float64(launched.Load()))
 					select {
 					case targetChanged <- struct{}{}:
 					default:
@@ -347,13 +387,20 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 				continue
 			}
 			res.MembersUsed++
+			cMembersDone.Inc()
+			hMemberSec.Observe((done.end - done.start).Seconds())
+			tel.Emit("member", done.index, 0, telemetry.PhaseDone)
 			tl.Add(trace.SimulationTime, fmt.Sprintf("member-%d", done.index),
 				done.start.Seconds(), done.end.Seconds())
 		case errors.Is(done.err, context.Canceled) || errors.Is(done.err, context.DeadlineExceeded):
 			res.MembersCancelled++
+			cMembersCancelled.Inc()
+			tel.Emit("member", done.index, 0, telemetry.PhaseCancelled)
 			continue
 		default:
 			res.MembersFailed++
+			cMembersFailed.Inc()
+			tel.Emit("member", done.index, 0, telemetry.PhaseFailed)
 		}
 
 		if res.MembersUsed >= lastSVD+cfg.SVDBatch && !res.Converged {
@@ -376,6 +423,7 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 			}
 			next := growTarget(t, &cfg)
 			target.Store(int64(next))
+			gTarget.Set(float64(next))
 			res.PoolSizes = append(res.PoolSizes, next)
 			select {
 			case targetChanged <- struct{}{}:
@@ -408,11 +456,15 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 	return res, nil
 }
 
-func runWithRetries(ctx context.Context, retries, idx int, runner MemberRunner) ([]float64, error) {
+func runWithRetries(ctx context.Context, retries, idx int, runner MemberRunner, tel *telemetry.Telemetry, cRetries *telemetry.Counter) ([]float64, error) {
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
+		}
+		if attempt > 0 {
+			tel.Emit("member", idx, attempt, telemetry.PhaseRetried)
+			cRetries.Inc()
 		}
 		var state []float64
 		state, err = runner(ctx, idx)

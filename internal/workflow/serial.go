@@ -26,6 +26,7 @@ func RunSerial(ctx context.Context, cfg Config, central []float64, runner Member
 	}
 	start := time.Now()
 	tl := trace.New()
+	cRetries := cfg.Telemetry.Counter("esse_workflow_retries_total", "Member attempts that failed and were retried.")
 	acc := core.NewAccumulator(central)
 	res := &Result{Timeline: tl, PoolSizes: []int{cfg.InitialSize}, Central: acc.Central()}
 
@@ -53,7 +54,7 @@ func RunSerial(ctx context.Context, cfg Config, central []float64, runner Member
 				break
 			}
 			t0 := time.Since(start)
-			state, err := runWithRetries(ctx, cfg.Retries, idx, runner)
+			state, err := runWithRetries(ctx, cfg.Retries, idx, runner, cfg.Telemetry, cRetries)
 			if err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					res.MembersCancelled++

@@ -1,13 +1,13 @@
 #!/bin/sh
 # bench.sh — the allocation-regression gate. Runs every benchmark once
 # with -benchmem and feeds the stream to cmd/benchgate, which compares
-# allocs/op against the committed BENCH_4.json baseline (15% relative
+# allocs/op against the committed BENCH_5.json baseline (15% relative
 # tolerance plus a small absolute slack for GOMAXPROCS-dependent worker
 # spawns; ns/op is recorded but never gated — wall time on shared
 # runners is noise, allocation counts are not).
 #
-#   scripts/bench.sh           gate against BENCH_4.json
-#   scripts/bench.sh -update   rewrite BENCH_4.json from this run
+#   scripts/bench.sh           gate against BENCH_5.json
+#   scripts/bench.sh -update   rewrite BENCH_5.json from this run
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,7 +20,7 @@ echo "==> go test -bench=. -benchtime=1x -benchmem ./..."
 go test -run='^$' -bench=. -benchtime=1x -benchmem -count=1 ./... | tee "$tmp"
 
 if [ "$mode" = "-update" ]; then
-    go run ./cmd/benchgate -baseline BENCH_4.json -update <"$tmp"
+    go run ./cmd/benchgate -baseline BENCH_5.json -update <"$tmp"
 else
-    go run ./cmd/benchgate -baseline BENCH_4.json -out bench-observed.json <"$tmp"
+    go run ./cmd/benchgate -baseline BENCH_5.json -out bench-observed.json <"$tmp"
 fi

@@ -25,4 +25,7 @@ go run ./cmd/esselint -audit -vet=false ./... >/dev/null
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> telemetry smoke (mtc-sim /metrics scrape via promscrape)"
+./scripts/smoke_metrics.sh
+
 echo "verify: all gates passed"
