@@ -154,7 +154,7 @@ func main() {
 		if err := telemetry.WriteChromeTrace(f, events); err == nil {
 			err = f.Close()
 		} else {
-			//esselint:allow errdrop the write error takes precedence over close
+			// The write error takes precedence over close.
 			f.Close()
 		}
 		if err != nil {

@@ -83,8 +83,12 @@ func main() {
 		}
 		cc := lint.CrossCheck(diags, facts)
 		if *stats {
-			fmt.Fprintf(os.Stderr, "esselint: stats: escape facts: %d heap, %d stack; findings %d compiler-confirmed, %d downgraded to stack\n",
-				facts.HeapCount(), facts.StackCount(), cc.Confirmed, cc.Downgraded)
+			source := "recompiled"
+			if facts.Cached {
+				source = "cache hit"
+			}
+			fmt.Fprintf(os.Stderr, "esselint: stats: escape facts (%s): %d heap, %d stack; findings %d compiler-confirmed, %d downgraded to stack\n",
+				source, facts.HeapCount(), facts.StackCount(), cc.Confirmed, cc.Downgraded)
 		}
 	}
 	if *stats {
@@ -138,6 +142,8 @@ func main() {
 func printStats(s *lint.RunStats) {
 	fmt.Fprintf(os.Stderr, "esselint: stats: call graph %d funcs in %d SCCs; summaries: %d effect, %d numeric, %d lock keys, %d lock pairs; program build %v\n",
 		s.Funcs, s.SCCs, s.EffectFacts, s.NumericSummaries, s.LockSummaryKeys, s.LockPairs, s.ProgramWall.Round(time.Microsecond))
+	fmt.Fprintf(os.Stderr, "esselint: stats: concurrency facts: %d ctx-taking funcs, %d atomic keys, %d funcs entered with locks held\n",
+		s.CtxParams, s.AtomicKeys, s.EntryHeldFuncs)
 	for _, a := range s.Analyzers {
 		fmt.Fprintf(os.Stderr, "esselint: stats: %-16s %10v  findings=%d suppressed=%d\n",
 			a.Name, a.Wall.Round(time.Microsecond), a.Findings, a.Suppressed)
@@ -145,14 +151,20 @@ func printStats(s *lint.RunStats) {
 }
 
 // runAudit prints the tree's suppression directives and returns the
-// process exit code: 1 if any directive is missing a reason or names an
-// unknown analyzer, 0 otherwise.
+// process exit code: 1 if any directive is missing a reason, names an
+// unknown analyzer, or no longer suppresses any finding; 0 otherwise.
 func runAudit(pkgs []*lint.Package, analyzers []*lint.Analyzer) int {
 	dirs := lint.CollectDirectives(pkgs)
 	for _, d := range dirs {
 		fmt.Println(d)
 	}
 	problems := lint.AuditDirectives(dirs, analyzers)
+	diags, err := lint.RunAnalyzersAll(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "esselint:", err)
+		return 2
+	}
+	problems = append(problems, lint.AuditUnusedDirectives(dirs, diags)...)
 	for _, p := range problems {
 		fmt.Fprintln(os.Stderr, "esselint: audit:", p)
 	}

@@ -80,7 +80,7 @@ func fetch(url string, retries int, wait time.Duration) ([]byte, error) {
 			continue
 		}
 		body, err := io.ReadAll(resp.Body)
-		//esselint:allow errdrop response body close after full read; nothing can be lost
+		// Response body close after full read; nothing can be lost.
 		resp.Body.Close()
 		if err != nil {
 			lastErr = err

@@ -56,9 +56,22 @@ func PropagateSubspace(ctx context.Context, prop Propagator, mean []float64, sub
 	var firstErr error
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
+launch:
 	for j := 0; j < p; j++ {
+		// Acquire a worker slot or stop launching on cancellation: a
+		// bare send would block past ctx if every worker were stuck in a
+		// slow propagator.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			mu.Unlock()
+			break launch
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(j int) {
 			defer wg.Done()
 			defer func() { <-sem }()

@@ -123,7 +123,12 @@ func (s *Store) WriteSnapshot(m *linalg.Dense, indices []int) (int64, error) {
 // ReadSafe reads the most recently published snapshot. It returns
 // os.ErrNotExist if nothing has been published yet.
 func (s *Store) ReadSafe() (*linalg.Dense, []int, int64, error) {
-	s.cReads.Inc()
+	// Snapshot the counter under the lock: Instrument writes it under mu
+	// and may race a concurrent reader. The nil counter is a no-op.
+	s.mu.Lock()
+	cReads := s.cReads
+	s.mu.Unlock()
+	cReads.Inc()
 	f, err := os.Open(s.safePath())
 	if err != nil {
 		return nil, nil, 0, err

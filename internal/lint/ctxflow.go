@@ -1,0 +1,579 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces context/cancellation propagation discipline on the
+// engine's concurrent paths. A function that receives a
+// context.Context has promised its caller it can be cancelled; the
+// analyzer flags the places where that promise is broken:
+//
+//   - a select with no default and no ctx.Done() case, a bare channel
+//     send/receive, a range over a channel, a time.Sleep, or a
+//     WaitGroup.Wait reached anywhere in the function's extent (nested
+//     literals included — they run or are spawned under it) that cannot
+//     observe cancellation;
+//   - a call that drops the live context by passing
+//     context.Background() or context.TODO() to a context-taking
+//     callee;
+//   - a context.WithCancel/WithTimeout/WithDeadline whose cancel
+//     function is not called, deferred, or handed onward on every
+//     control-flow path (defer-aware CFG may-analysis) — each
+//     unresolved path leaks the child context's resources;
+//   - time.After inside a loop (any function): each iteration allocates
+//     a timer that is not collected until it fires.
+//
+// Escape hatches: receives from ctx.Done() or from a channel the
+// extent closes (a close guarantees the receive unblocks); sends on a
+// channel the extent drains with a range loop (the drain outlives the
+// senders by construction); Wait in an extent that also selects on
+// ctx.Done() or checks ctx.Err() (the workers it waits for are
+// cancellation-aware); operations inside defer statements (shutdown
+// cleanup runs after cancellation by design).
+//
+// Soundness gaps, stated plainly: a context stored into a struct and
+// consulted elsewhere is invisible (the analysis is per-declaration);
+// hatches are extent-wide rather than per-channel-instance, so one
+// close(ch) blesses every operation on that variable; callees that
+// block without taking a context are not flagged at the caller (the
+// lockheld/effect layer owns blocking callees); literals with their own
+// ctx parameter inside a context-free declaration are checked, but a
+// stored context's identity is not tracked across calls.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context-carrying functions that can block without observing ctx.Done(), dropped contexts " +
+		"(Background/TODO passed to ctx-taking callees), cancel funcs not called on every path, and time.After in loops",
+	Scope: underInternalOrCmd,
+	Run:   runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxDecl(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkCtxDecl(pass *Pass, fd *ast.FuncDecl) {
+	// Cancel-path and timer-in-loop checks apply to every function.
+	for _, fn := range funcNodesWithin(fd) {
+		checkCancelPaths(pass, fn)
+	}
+	checkTimeAfterLoops(pass, fd)
+
+	// Blocking/propagation checks apply to context extents: the
+	// declaration when it takes a ctx, else any literal that does.
+	if hasCtxParam(pass.Info, fd.Type) {
+		checkCtxExtent(pass, fd.Body)
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if hasCtxParam(pass.Info, lit.Type) {
+			checkCtxExtent(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// funcNodesWithin returns fd plus every literal nested in it.
+func funcNodesWithin(fd *ast.FuncDecl) []ast.Node {
+	fns := []ast.Node{fd}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fns = append(fns, lit)
+		}
+		return true
+	})
+	return fns
+}
+
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		if tv, ok := info.Types[f.Type]; ok && isCtxType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxExtent gathers the hatch facts of one context extent.
+type ctxExtent struct {
+	doneSelect bool                // a select with a ctx.Done() case exists
+	recvDone   bool                // a bare <-ctx.Done() exists
+	ctxErr     bool                // ctx.Err() is consulted
+	closed     map[*types.Var]bool // channels the extent closes
+	drained    map[*types.Var]bool // channels the extent drains via range
+	comms      map[ast.Node]bool   // send/recv nodes that are select comms
+	inDefer    func(token.Pos) bool
+}
+
+func gatherExtent(pass *Pass, body *ast.BlockStmt) *ctxExtent {
+	ext := &ctxExtent{
+		closed:  map[*types.Var]bool{},
+		drained: map[*types.Var]bool{},
+		comms:   map[ast.Node]bool{},
+	}
+	var deferRanges [][2]token.Pos
+	chanRoot := func(e ast.Expr) *types.Var {
+		root := rootIdent(ast.Unparen(e))
+		if root == nil {
+			return nil
+		}
+		v, _ := pass.Info.Uses[root].(*types.Var)
+		return v
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			deferRanges = append(deferRanges, [2]token.Pos{v.Pos(), v.End()})
+		case *ast.SelectStmt:
+			for _, c := range v.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				ext.comms[cc.Comm] = true
+				if commReceivesDone(pass.Info, cc.Comm) {
+					ext.doneSelect = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && isDoneCall(pass.Info, v.X) {
+				ext.recvDone = true
+			}
+		case *ast.CallExpr:
+			if isCtxMethod(pass.Info, v, "Err") {
+				ext.ctxErr = true
+			}
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && len(v.Args) == 1 {
+				if _, builtin := pass.Info.Uses[id].(*types.Builtin); builtin && id.Name == "close" {
+					if cv := chanRoot(v.Args[0]); cv != nil {
+						ext.closed[cv] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if _, isChan := exprType(pass.Info, v.X).(*types.Chan); isChan {
+				if cv := chanRoot(v.X); cv != nil {
+					ext.drained[cv] = true
+				}
+			}
+		}
+		return true
+	})
+	ext.inDefer = func(p token.Pos) bool {
+		for _, r := range deferRanges {
+			if r[0] <= p && p < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	return ext
+}
+
+// commReceivesDone reports whether a select comm is a receive from a
+// context's Done channel.
+func commReceivesDone(info *types.Info, comm ast.Stmt) bool {
+	var x ast.Expr
+	switch v := comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(v.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			x = u.X
+		}
+	case *ast.AssignStmt:
+		if len(v.Rhs) == 1 {
+			if u, ok := ast.Unparen(v.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				x = u.X
+			}
+		}
+	}
+	return x != nil && isDoneCall(info, x)
+}
+
+// isDoneCall reports whether e is ctx.Done() for a context-typed ctx.
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return isCtxMethod(info, call, "Done")
+}
+
+// isCtxMethod reports whether call is <context-typed expr>.<name>().
+func isCtxMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isCtxType(tv.Type)
+}
+
+// checkCtxExtent applies the blocking/propagation checks to one
+// context extent.
+func checkCtxExtent(pass *Pass, body *ast.BlockStmt) {
+	ext := gatherExtent(pass, body)
+	chanRootVar := func(e ast.Expr) *types.Var {
+		root := rootIdent(ast.Unparen(e))
+		if root == nil {
+			return nil
+		}
+		v, _ := pass.Info.Uses[root].(*types.Var)
+		return v
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectStmt:
+			if selectHasDefault(v) || ext.inDefer(v.Pos()) {
+				return true
+			}
+			hasDone := false
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil && commReceivesDone(pass.Info, cc.Comm) {
+					hasDone = true
+					break
+				}
+			}
+			if !hasDone {
+				pass.Reportf(v.Pos(), "select in a context-carrying function has no ctx.Done() case and no default; "+
+					"it can block past cancellation — add a Done case")
+			}
+		case *ast.SendStmt:
+			if ext.comms[ast.Node(v)] || ext.inDefer(v.Pos()) {
+				return true
+			}
+			if cv := chanRootVar(v.Chan); cv != nil && ext.drained[cv] {
+				return true // a range loop in this extent drains the channel
+			}
+			pass.Reportf(v.Pos(), "channel send in a context-carrying function outside any select; "+
+				"it can block past cancellation — select on the send and ctx.Done()")
+		case *ast.ExprStmt:
+			// Bare receive as a statement: <-ch. A select comm of this
+			// shape is recorded under the ExprStmt itself.
+			if ext.comms[ast.Node(v)] {
+				return true
+			}
+			if u, ok := ast.Unparen(v.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				checkRecv(pass, ext, u, chanRootVar)
+			}
+		case *ast.AssignStmt:
+			if ext.comms[ast.Node(v)] {
+				return true
+			}
+			for _, rhs := range v.Rhs {
+				if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					checkRecv(pass, ext, u, chanRootVar)
+				}
+			}
+		case *ast.RangeStmt:
+			if _, isChan := exprType(pass.Info, v.X).(*types.Chan); !isChan || ext.inDefer(v.Pos()) {
+				return true
+			}
+			if cv := chanRootVar(v.X); cv != nil && ext.closed[cv] {
+				return true
+			}
+			pass.Reportf(v.Pos(), "range over a channel that is never closed in this extent; "+
+				"in a context-carrying function the loop can block past cancellation")
+		case *ast.CallExpr:
+			checkCtxCall(pass, ext, v)
+		}
+		return true
+	})
+}
+
+// checkRecv flags a bare channel receive that cannot observe
+// cancellation.
+func checkRecv(pass *Pass, ext *ctxExtent, u *ast.UnaryExpr, chanRootVar func(ast.Expr) *types.Var) {
+	if ext.comms[ast.Node(u)] || ext.inDefer(u.Pos()) || isDoneCall(pass.Info, u.X) {
+		return
+	}
+	// A comm of the form `x := <-ch` is recorded by its AssignStmt; the
+	// UnaryExpr itself may also be the comm node.
+	if cv := chanRootVar(u.X); cv != nil && ext.closed[cv] {
+		return
+	}
+	pass.Reportf(u.Pos(), "channel receive in a context-carrying function outside any select, from a channel "+
+		"this extent never closes; it can block past cancellation — select on the receive and ctx.Done()")
+}
+
+// checkCtxCall flags blocking std calls without a cancellation hatch
+// and context drops at call sites.
+func checkCtxCall(pass *Pass, ext *ctxExtent, call *ast.CallExpr) {
+	if obj := StaticCallee(pass.Info, call); obj != nil && obj.Pkg() != nil {
+		switch {
+		case obj.Pkg().Path() == "time" && obj.Name() == "Sleep":
+			if !ext.inDefer(call.Pos()) {
+				pass.Reportf(call.Pos(), "time.Sleep in a context-carrying function ignores cancellation; "+
+					"use a timer and select on it and ctx.Done()")
+			}
+		case obj.Pkg().Path() == "sync" && obj.Name() == "Wait" && recvNamed(obj) == "WaitGroup":
+			if !ext.doneSelect && !ext.recvDone && !ext.ctxErr && !ext.inDefer(call.Pos()) {
+				pass.Reportf(call.Pos(), "WaitGroup.Wait in a context-carrying function whose extent never observes "+
+					"ctx.Done() or ctx.Err(); if a worker blocks, cancellation cannot unwind the wait")
+			}
+		}
+	}
+	// Dropped context: Background()/TODO() passed to a ctx-taking
+	// callee from inside a context extent.
+	if pass.Prog == nil {
+		return
+	}
+	callee := StaticCallee(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	idx, takes := pass.Prog.CtxParam[callee.FullName()]
+	if !takes {
+		return
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	if sig == nil || idx >= len(call.Args) {
+		return
+	}
+	arg, ok := ast.Unparen(call.Args[idx]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if fresh := StaticCallee(pass.Info, arg); fresh != nil && fresh.Pkg() != nil &&
+		fresh.Pkg().Path() == "context" && (fresh.Name() == "Background" || fresh.Name() == "TODO") {
+		pass.Reportf(call.Args[idx].Pos(), "call to %s drops the live context by passing context.%s(); "+
+			"pass the function's ctx through so cancellation propagates", callee.Name(), fresh.Name())
+	}
+}
+
+// --- cancel-path analysis ---------------------------------------------------
+
+// cancelFact maps each live cancel function variable to the position of
+// the context.WithX call that produced it. Presence means "some path
+// reaches here without resolving the cancel"; the analysis is a may-
+// analysis (meet = union), so a cancel resolved on only one branch
+// stays live on the other.
+type cancelFact map[*types.Var]token.Pos
+
+func (f cancelFact) clone() cancelFact {
+	c := make(cancelFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+type cancelFlow struct {
+	info *types.Info
+}
+
+func (cf *cancelFlow) Boundary() Fact { return cancelFact{} }
+func (cf *cancelFlow) Top() Fact      { return cancelFact(nil) }
+
+func (cf *cancelFlow) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(cancelFact)
+	if st == nil {
+		return cancelFact(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		replayCancel(cf.info, n, out, nil)
+	}
+	return out
+}
+
+func (cf *cancelFlow) FlowEdge(e *Edge, out Fact) Fact { return out }
+
+func (cf *cancelFlow) Meet(a, b Fact) Fact {
+	sa, _ := a.(cancelFact)
+	sb, _ := b.(cancelFact)
+	if sa == nil {
+		return sb
+	}
+	if sb == nil {
+		return sa
+	}
+	m := sa.clone()
+	for k, v := range sb {
+		if _, ok := m[k]; !ok {
+			m[k] = v
+		}
+	}
+	return m
+}
+
+func (cf *cancelFlow) Equal(a, b Fact) bool {
+	sa, _ := a.(cancelFact)
+	sb, _ := b.(cancelFact)
+	if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
+		return false
+	}
+	for k := range sa {
+		if _, ok := sb[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// cancelFuncNames are the context constructors returning a CancelFunc.
+var cancelFuncNames = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+// replayCancel updates the live-cancel fact through one block node:
+// a `_, cancel := context.WithX(...)` assignment gens the cancel var;
+// any other mention of the var — a call, a defer, an argument, an
+// assignment, a return — kills it (the cancel was invoked or handed to
+// someone who can). onReturn fires at each ReturnStmt after the
+// return's own mentions are applied, so `return ctx, cancel` hands the
+// cancel onward rather than leaking it.
+func replayCancel(info *types.Info, n ast.Node, st cancelFact, onReturn func(*ast.ReturnStmt, cancelFact)) {
+	var genVar *types.Var
+	var genPos token.Pos
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) == 2 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if obj := StaticCallee(info, call); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "context" && cancelFuncNames[obj.Name()] {
+				if id, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						genVar, genPos = v, call.Pos()
+					} else if v, ok := info.Uses[id].(*types.Var); ok {
+						genVar, genPos = v, call.Pos()
+					}
+				}
+			}
+		}
+	}
+	// Kill on any mention, excluding the defining identifier itself.
+	// Defer bodies are included deliberately: a deferred cancel()
+	// resolves the path it executes on.
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			// A literal capturing cancel counts as resolution: walk it
+			// for mentions, then prune (its body is another segment for
+			// every other analysis, but capture alone hands the cancel
+			// onward).
+			ast.Inspect(m, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						delete(st, v)
+					}
+				}
+				return true
+			})
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			delete(st, v)
+		}
+		return true
+	})
+	if genVar != nil {
+		st[genVar] = genPos
+	}
+	if ret, ok := n.(*ast.ReturnStmt); ok && onReturn != nil {
+		onReturn(ret, st.clone())
+	}
+}
+
+// checkCancelPaths flags context.WithX calls whose cancel is not
+// resolved on every path out of fn.
+func checkCancelPaths(pass *Pass, fn ast.Node) {
+	if funcBody(fn) == nil {
+		return
+	}
+	cfg := BuildCFG(fn)
+	res := Forward(cfg, &cancelFlow{info: pass.Info})
+	flagged := map[token.Pos]bool{}
+	flag := func(st cancelFact) {
+		for _, pos := range st {
+			if !flagged[pos] {
+				flagged[pos] = true
+				pass.Reportf(pos, "cancel function from this context.With call is not called, deferred or handed onward "+
+					"on every path out of the function; the leaked path pins the child context's timer and goroutine")
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(cancelFact)
+		if in == nil {
+			continue
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			replayCancel(pass.Info, n, st, func(_ *ast.ReturnStmt, at cancelFact) {
+				flag(at)
+			})
+		}
+	}
+	// Fall-off-the-end paths: blocks feeding Exit whose last node is
+	// neither a return nor a terminating call.
+	for _, e := range cfg.Exit.Preds {
+		b := e.From
+		if len(b.Nodes) > 0 {
+			last := b.Nodes[len(b.Nodes)-1]
+			if _, isRet := last.(*ast.ReturnStmt); isRet {
+				continue
+			}
+			if es, isExpr := last.(*ast.ExprStmt); isExpr && isTerminatingCall(es.X) {
+				continue
+			}
+		}
+		if out, _ := res.Out[b].(cancelFact); out != nil {
+			flag(out)
+		}
+	}
+}
+
+// checkTimeAfterLoops flags time.After calls inside loops anywhere in
+// fd (nested literals included — the loop is what repeats).
+func checkTimeAfterLoops(pass *Pass, fd *ast.FuncDecl) {
+	var loops [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, [2]token.Pos{n.Pos(), n.End()})
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := StaticCallee(pass.Info, call)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" || obj.Name() != "After" {
+			return true
+		}
+		for _, r := range loops {
+			if r[0] <= call.Pos() && call.Pos() < r[1] {
+				pass.Reportf(call.Pos(), "time.After inside a loop allocates a timer every iteration that lives until it fires; "+
+					"hoist a time.NewTimer (resetting it) or use a time.Ticker")
+				break
+			}
+		}
+		return true
+	})
+}

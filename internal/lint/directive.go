@@ -115,3 +115,42 @@ func knownNames(analyzers []*Analyzer) string {
 	names = append(names, "all")
 	return strings.Join(names, ", ")
 }
+
+// AuditUnusedDirectives cross-checks the directives against an actual
+// run: a directive that no longer suppresses any finding is dead weight
+// that silently licenses a future regression, so the audit retires it.
+// diags must come from RunAnalyzersAll (suppressed findings included).
+// Directives in _test.go files are exempt — several analyzers skip
+// test files entirely, so absence of a finding there proves nothing.
+func AuditUnusedDirectives(dirs []Directive, diags []Diagnostic) []string {
+	matches := func(d Directive) bool {
+		for _, g := range diags {
+			if !g.Suppressed || g.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Analyzer != "all" && d.Analyzer != g.Analyzer {
+				continue
+			}
+			if d.Kind == "allowfile" {
+				return true
+			}
+			// An allow directive covers its own line and the line below.
+			if g.Pos.Line == d.Pos.Line || g.Pos.Line == d.Pos.Line+1 {
+				return true
+			}
+		}
+		return false
+	}
+	var problems []string
+	for _, d := range dirs {
+		if d.Analyzer == "" || strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue
+		}
+		if !matches(d) {
+			problems = append(problems,
+				fmt.Sprintf("%s: //esselint:%s %s suppresses no current finding; retire it",
+					d.Pos, d.Kind, d.Analyzer))
+		}
+	}
+	return problems
+}

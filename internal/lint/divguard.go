@@ -162,7 +162,7 @@ func (a *divguardFunc) Boundary() Fact {
 	}
 	return st
 }
-func (a *divguardFunc) Top() Fact      { return divState(nil) }
+func (a *divguardFunc) Top() Fact { return divState(nil) }
 
 func (a *divguardFunc) Transfer(b *Block, in Fact) Fact {
 	st, _ := in.(divState)

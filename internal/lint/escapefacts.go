@@ -1,9 +1,15 @@
 package lint
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,6 +34,9 @@ type EscapeFacts struct {
 	// Stack maps "file:line" to true where the compiler proved an
 	// allocation does not escape.
 	Stack map[string]bool
+	// Cached reports whether the diagnostics were replayed from the
+	// on-disk cache instead of recompiling.
+	Cached bool
 }
 
 // HeapCount and StackCount size the fact tables for -stats.
@@ -36,18 +45,17 @@ func (f *EscapeFacts) StackCount() int { return len(f.Stack) }
 
 // LoadEscapeFacts compiles the given package patterns with the gc
 // escape-analysis diagnostics enabled (`go build -gcflags=-m`) in dir
-// ("" for the current directory) and parses the verdicts. The build
-// artifacts are discarded; repeated runs replay the cached
-// diagnostics, so the cross-check costs one compile at most.
+// ("" for the current directory) and parses the verdicts.
+//
+// The raw diagnostics are cached on disk under `.esselint-cache/` at
+// the module root (override the directory with ESSELINT_CACHE_DIR;
+// set it to "off" to disable). The cache key is a content hash of
+// go.mod, go.sum and every .go source in the hot packages — the only
+// packages whose findings CrossCheck consults — plus the toolchain
+// version and the build patterns, so an unchanged hot tree replays
+// the diagnostics without paying the `go build -gcflags=-m` compile.
+// CI persists the directory across runs for the same reason.
 func LoadEscapeFacts(dir string, patterns ...string) (*EscapeFacts, error) {
-	args := append([]string{"build", "-gcflags=-m"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	// All -m diagnostics arrive on stderr; a failed build does too.
-	out, err := cmd.CombinedOutput()
-	if err != nil {
-		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, out)
-	}
 	base := dir
 	if base == "" {
 		base = "."
@@ -56,7 +64,128 @@ func LoadEscapeFacts(dir string, patterns ...string) (*EscapeFacts, error) {
 	if err != nil {
 		return nil, err
 	}
+	cacheDir, key := escapeCachePath(abs, patterns)
+	if cacheDir != "" {
+		if b, err := os.ReadFile(filepath.Join(cacheDir, key)); err == nil {
+			facts := ParseEscapeFacts(string(b), abs)
+			facts.Cached = true
+			return facts, nil
+		}
+	}
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// All -m diagnostics arrive on stderr; a failed build does too.
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m: %v\n%s", err, out)
+	}
+	if cacheDir != "" {
+		//esselint:allow errdrop best-effort cache write; a failed save only costs one recompile next run
+		_ = saveEscapeCache(cacheDir, key, out)
+	}
 	return ParseEscapeFacts(string(out), abs), nil
+}
+
+// hotPackageDirs mirrors the hotPackages analyzer scope (hotalloc.go):
+// the escape-fact cache key hashes exactly the sources whose findings
+// the cross-check can touch. Edits elsewhere keep the cache warm; an
+// inlining change that leaks across this boundary is caught by the
+// toolchain-version component of the key on upgrades, and by CI's
+// periodic cold starts otherwise.
+var hotPackageDirs = []string{
+	"internal/linalg", "internal/ocean", "internal/covstore", "internal/acoustics", "internal/telemetry",
+}
+
+// escapeCachePath decides where the escape-fact cache lives and the
+// content-keyed file name for this tree state. It returns ("", "")
+// when caching is off (ESSELINT_CACHE_DIR=off) or the key cannot be
+// computed (no go.mod at root — outside a module, the hot-dir layout
+// is unknown, so silently recompiling is the safe default).
+func escapeCachePath(root string, patterns []string) (cacheDir, key string) {
+	loc := os.Getenv("ESSELINT_CACHE_DIR")
+	if loc == "off" {
+		return "", ""
+	}
+	if loc == "" {
+		loc = filepath.Join(root, ".esselint-cache")
+	}
+	h := sha256.New()
+	if _, err := fmt.Fprintf(h, "go=%s patterns=%s\n", runtime.Version(), strings.Join(patterns, " ")); err != nil {
+		return "", ""
+	}
+	hashed := 0
+	for _, name := range []string{"go.mod", "go.sum"} {
+		if hashFileInto(h, filepath.Join(root, name), name) {
+			hashed++
+		}
+	}
+	if hashed == 0 {
+		return "", ""
+	}
+	for _, rel := range hotPackageDirs {
+		entries, err := os.ReadDir(filepath.Join(root, rel))
+		if err != nil {
+			continue
+		}
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			hashFileInto(h, filepath.Join(root, rel, name), rel+"/"+name)
+		}
+	}
+	return loc, "escapefacts-" + hex.EncodeToString(h.Sum(nil)[:16]) + ".txt"
+}
+
+// hashFileInto mixes label plus the file's content into h; a missing
+// or unreadable file contributes only its label, so the key still
+// changes when a file appears or disappears.
+func hashFileInto(h io.Writer, path, label string) bool {
+	if _, err := fmt.Fprintf(h, "file=%s\n", label); err != nil {
+		return false
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	if _, err := h.Write(b); err != nil {
+		return false
+	}
+	return true
+}
+
+// saveEscapeCache atomically writes the diagnostics under key and
+// prunes entries for superseded tree states, keeping the directory at
+// one file. Callers treat failure as a cache miss.
+func saveEscapeCache(dir, key string, out []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, key)); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "escapefacts-") && name != key {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // ParseEscapeFacts extracts escape verdicts from -m compiler output.

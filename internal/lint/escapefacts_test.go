@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/token"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -107,5 +108,94 @@ func TestLoadEscapeFacts(t *testing.T) {
 		if !filepath.IsAbs(strings.SplitN(key, ".go:", 2)[0] + ".go") {
 			t.Fatalf("non-absolute fact key %q", key)
 		}
+	}
+}
+
+// TestEscapeCacheKey exercises the content-keyed cache machinery on a
+// synthetic module root: the key is stable for an unchanged tree,
+// changes when a hot-package source changes, and saving a new entry
+// prunes the superseded one.
+func TestEscapeCacheKey(t *testing.T) {
+	root := t.TempDir()
+	cache := t.TempDir()
+	t.Setenv("ESSELINT_CACHE_DIR", cache)
+	write := func(rel, content string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module demo\n")
+	write("go.sum", "")
+	write("internal/linalg/a.go", "package linalg\n")
+
+	dir1, key1 := escapeCachePath(root, []string{"./..."})
+	if dir1 != cache || key1 == "" {
+		t.Fatalf("cache not enabled: dir=%q key=%q", dir1, key1)
+	}
+	if _, again := escapeCachePath(root, []string{"./..."}); again != key1 {
+		t.Fatalf("key not stable: %q vs %q", key1, again)
+	}
+	if _, other := escapeCachePath(root, []string{"./cmd"}); other == key1 {
+		t.Fatal("key ignores the build patterns")
+	}
+	write("internal/linalg/a.go", "package linalg // changed\n")
+	_, key2 := escapeCachePath(root, []string{"./..."})
+	if key2 == key1 {
+		t.Fatal("key ignores hot-package source changes")
+	}
+
+	if err := saveEscapeCache(cache, key1, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveEscapeCache(cache, key2, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(cache, key1)); !os.IsNotExist(err) {
+		t.Errorf("superseded entry %s not pruned: %v", key1, err)
+	}
+	b, err := os.ReadFile(filepath.Join(cache, key2))
+	if err != nil || string(b) != "new" {
+		t.Fatalf("current entry unreadable: %q %v", b, err)
+	}
+
+	// Outside a module (no go.mod) caching must stay off.
+	if dir, key := escapeCachePath(t.TempDir(), nil); dir != "" || key != "" {
+		t.Fatalf("caching enabled outside a module: %q %q", dir, key)
+	}
+	t.Setenv("ESSELINT_CACHE_DIR", "off")
+	if dir, key := escapeCachePath(root, nil); dir != "" || key != "" {
+		t.Fatalf("ESSELINT_CACHE_DIR=off not honored: %q %q", dir, key)
+	}
+}
+
+// TestLoadEscapeFactsCacheHit runs the real -escapes pipeline twice
+// from the module root: the first call compiles and populates the
+// cache, the second replays it and must report identical fact tables.
+func TestLoadEscapeFactsCacheHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the package; skipped in -short")
+	}
+	t.Setenv("ESSELINT_CACHE_DIR", t.TempDir())
+	cold, err := LoadEscapeFacts("../..", "./internal/lint")
+	if err != nil {
+		t.Fatalf("cold load: %v", err)
+	}
+	if cold.Cached {
+		t.Fatal("first load claims a cache hit into an empty cache")
+	}
+	warm, err := LoadEscapeFacts("../..", "./internal/lint")
+	if err != nil {
+		t.Fatalf("warm load: %v", err)
+	}
+	if !warm.Cached {
+		t.Fatal("second load missed the cache")
+	}
+	if warm.HeapCount() != cold.HeapCount() || warm.StackCount() != cold.StackCount() {
+		t.Fatalf("replayed facts differ: heap %d vs %d, stack %d vs %d",
+			warm.HeapCount(), cold.HeapCount(), warm.StackCount(), cold.StackCount())
 	}
 }

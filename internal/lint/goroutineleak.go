@@ -319,11 +319,11 @@ type leakFlow struct {
 	wgs  map[*types.Var]bool
 }
 
-func (a *leakFlow) Boundary() Fact             { return false }
-func (a *leakFlow) Top() Fact                  { return false }
+func (a *leakFlow) Boundary() Fact                  { return false }
+func (a *leakFlow) Top() Fact                       { return false }
 func (a *leakFlow) FlowEdge(e *Edge, out Fact) Fact { return out }
-func (a *leakFlow) Meet(x, y Fact) Fact        { return x.(bool) || y.(bool) }
-func (a *leakFlow) Equal(x, y Fact) bool       { return x.(bool) == y.(bool) }
+func (a *leakFlow) Meet(x, y Fact) Fact             { return x.(bool) || y.(bool) }
+func (a *leakFlow) Equal(x, y Fact) bool            { return x.(bool) == y.(bool) }
 
 func (a *leakFlow) Transfer(b *Block, in Fact) Fact {
 	fact := in.(bool)

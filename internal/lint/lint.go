@@ -115,6 +115,7 @@ func Analyzers() []*Analyzer {
 		MapOrder, LockHeld,
 		HotAlloc, Preallocate, Boxing,
 		MetricLabels,
+		SharedGuard, CtxFlow, AtomicMix,
 	}
 }
 
@@ -161,12 +162,18 @@ type RunStats struct {
 	// Funcs and SCCs size the call graph; the fact counts tally the
 	// summaries: functions with a nonzero effect mask, functions with a
 	// numeric summary, transitive lock keys, and observed lock pairs.
-	Funcs, SCCs       int
-	EffectFacts       int
-	NumericSummaries  int
-	LockSummaryKeys   int
-	LockPairs         int
-	Analyzers         []AnalyzerStats
+	Funcs, SCCs      int
+	EffectFacts      int
+	NumericSummaries int
+	LockSummaryKeys  int
+	LockPairs        int
+	// Concurrency-layer facts: functions taking a context.Context,
+	// atomically-accessed field/variable keys, and functions whose
+	// every caller holds a lock at entry.
+	CtxParams      int
+	AtomicKeys     int
+	EntryHeldFuncs int
+	Analyzers      []AnalyzerStats
 }
 
 // RunAnalyzersStats is RunAnalyzersAll plus per-analyzer wall time and
@@ -180,6 +187,9 @@ func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *R
 	stats.SCCs = len(prog.Graph.SCCs)
 	stats.LockPairs = len(prog.LockPairs)
 	stats.NumericSummaries = len(prog.Numeric)
+	stats.CtxParams = len(prog.CtxParam)
+	stats.AtomicKeys = len(prog.AtomicKeys)
+	stats.EntryHeldFuncs = len(prog.EntryHeld)
 	for _, key := range prog.Graph.Keys {
 		if prog.Effects[key] != 0 {
 			stats.EffectFacts++

@@ -61,6 +61,18 @@ func TestDivGuardSummaryFixture(t *testing.T) {
 	RunFixture(t, DivGuard, "divguardsum")
 }
 
+func TestSharedGuardFixture(t *testing.T) {
+	RunFixture(t, SharedGuard, "sharedguard")
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	RunFixture(t, CtxFlow, "ctxflow")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	RunFixture(t, AtomicMix, "atomicmix")
+}
+
 // TestLoadRealPackage exercises the go-list/export-data loader against
 // a real module package and checks scoping: rng sits under internal/,
 // so the whole suite applies and must come back clean.
@@ -110,9 +122,15 @@ func TestScopes(t *testing.T) {
 		if !MapOrder.Scope(rel) || !LockHeld.Scope(rel) {
 			t.Errorf("maporder/lockheld must cover %q", rel)
 		}
+		if !SharedGuard.Scope(rel) || !CtxFlow.Scope(rel) || !AtomicMix.Scope(rel) {
+			t.Errorf("sharedguard/ctxflow/atomicmix must cover %q", rel)
+		}
 	}
 	if MapOrder.Scope("examples/quickstart") || LockHeld.Scope("examples/quickstart") {
 		t.Error("maporder/lockheld must not cover examples/")
+	}
+	if SharedGuard.Scope("examples/quickstart") || CtxFlow.Scope("examples/quickstart") || AtomicMix.Scope("examples/quickstart") {
+		t.Error("sharedguard/ctxflow/atomicmix must not cover examples/")
 	}
 	for _, c := range cases {
 		if got := RngDeterminism.Scope(c.rel); got != c.rngdet {

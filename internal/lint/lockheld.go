@@ -131,7 +131,12 @@ func lockKeyOf(ctx *lockCtx, x ast.Expr) string {
 			if ptr, ok := t.(*types.Pointer); ok {
 				t = ptr.Elem()
 			}
-			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			// Only selector paths (s.mu) take the receiver-insensitive
+			// type-qualified form. A bare local of a named type keeps
+			// the function-qualified key below: stripping the root
+			// would collapse every atomic.Int64 local in the program
+			// into one key.
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil && path != root.Name {
 				return "(" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + ")" +
 					strings.TrimPrefix(path, root.Name)
 			}

@@ -99,11 +99,34 @@ type Program struct {
 	// LockPairs lists every observed acquisition order, sorted by
 	// position. lockheld cross-references them for inversions.
 	LockPairs []LockPair
+	// CtxParam maps a function key to the index of its first
+	// context.Context parameter; functions without one are absent.
+	// ctxflow reads it to decide whether a callee can carry a context.
+	CtxParam map[string]int
+	// AtomicKeys holds the canonical key of every word accessed through
+	// a function-style sync/atomic call anywhere in the set, with the
+	// first observed position. atomicmix's "atomic anywhere means atomic
+	// everywhere" domain; see concurrency.go.
+	AtomicKeys map[string]token.Position
+	// EntryHeld maps a function key to the locks held on every observed
+	// static path into it (empty/absent = none provable). sharedguard
+	// reads it so xxxLocked helpers inherit their callers' guards.
+	EntryHeld map[string][]string
 
 	// labelTakers caches metriclabels' label-taking function set
 	// (seed signatures plus wrapper propagation); see metriclabels.go.
 	labelTakers map[string]bool
 	labelOnce   sync.Once
+
+	// spawnReach caches the set of functions reachable from a goroutine
+	// (spawn roots plus transitive callees); see concurrency.go.
+	spawnReach map[string]bool
+	spawnOnce  sync.Once
+
+	// sgFindings caches sharedguard's program-wide findings; each pass
+	// reports the subset belonging to its package (see sharedguard.go).
+	sgFindings []sgFinding
+	sgOnce     sync.Once
 }
 
 // BuildProgram computes the call graph and all summaries for pkgs.
@@ -117,6 +140,9 @@ func BuildProgram(pkgs []*Package) *Program {
 	p.computeEffects()
 	p.computeNumeric()
 	p.LockPairs = collectLockPairs(p)
+	p.computeCtxParams()
+	p.computeAtomicKeys()
+	p.computeEntryHeld()
 	return p
 }
 

@@ -1,0 +1,60 @@
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func selectNoDone(ctx context.Context, ch chan int) {
+	select { // want "select in a context-carrying function has no ctx.Done"
+	case v := <-ch:
+		use(v)
+	}
+}
+
+func bareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want "channel send in a context-carrying function outside any select"
+}
+
+func bareRecv(ctx context.Context, ch chan int) {
+	v := <-ch // want "channel receive in a context-carrying function outside any select"
+	use(v)
+}
+
+func sleepy(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want "time.Sleep in a context-carrying function ignores cancellation"
+}
+
+func waity(ctx context.Context, wg *sync.WaitGroup) {
+	wg.Wait() // want "WaitGroup.Wait in a context-carrying function whose extent never observes"
+}
+
+func ranger(ctx context.Context, ch chan int) {
+	for v := range ch { // want "range over a channel that is never closed in this extent"
+		use(v)
+	}
+}
+
+func takesCtx(ctx context.Context) {}
+
+func dropper(ctx context.Context) {
+	takesCtx(context.Background()) // want "drops the live context by passing context.Background"
+}
+
+func leakyCancel(parent context.Context, b bool) {
+	ctx, cancel := context.WithCancel(parent) // want "cancel function from this context.With call is not called"
+	if b {
+		cancel()
+	}
+	use2(ctx)
+}
+
+func timerLoop(ch chan int) {
+	for range ch {
+		<-time.After(time.Second) // want "time.After inside a loop allocates a timer every iteration"
+	}
+}
+
+func use(int)              {}
+func use2(context.Context) {}

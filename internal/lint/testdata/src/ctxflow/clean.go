@@ -1,0 +1,85 @@
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func selectsDone(ctx context.Context, ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	case <-ctx.Done():
+	}
+}
+
+func selectDefault(ctx context.Context, ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+	}
+}
+
+func sendSelect(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// The producer's sends are drained by the range below; the range
+// unblocks because the extent closes the channel.
+func drainOwn(ctx context.Context) int {
+	results := make(chan int)
+	go func() {
+		for i := 0; i < 3; i++ {
+			results <- i
+		}
+		close(results)
+	}()
+	sum := 0
+	for v := range results {
+		sum += v
+	}
+	return sum
+}
+
+func timedWait(ctx context.Context) {
+	select {
+	case <-time.After(time.Millisecond):
+	case <-ctx.Done():
+	}
+}
+
+// The extent consults ctx.Err, so the workers it waits for are
+// cancellation-aware by convention.
+func waitsChecked(ctx context.Context, wg *sync.WaitGroup) {
+	if ctx.Err() != nil {
+		return
+	}
+	wg.Wait()
+}
+
+func deferredCancel(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	use2(ctx)
+	return nil
+}
+
+// Returning the cancel hands the obligation to the caller.
+func handsOnward(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	return ctx, cancel
+}
+
+func propagates(ctx context.Context) {
+	takesCtx(ctx)
+}
+
+func timerOnce(ch chan int) {
+	<-time.After(time.Millisecond)
+	use(<-ch)
+}

@@ -1,0 +1,61 @@
+package sharedguard
+
+import "sync"
+
+// Rule 1: mixed guard — n is written under mu in one method and read
+// with no lock in another.
+type server struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *server) incLocked() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (s *server) peek() int {
+	return s.n // want "read of .* without holding .*mu, which guards it at other access sites"
+}
+
+// Rule 2: no guards anywhere, but a goroutine writes while another
+// context reads.
+var hits int
+
+func bump() {
+	go func() {
+		hits++ // want "written here in a goroutine context and also accessed at"
+	}()
+	use(hits)
+}
+
+func use(int) {}
+
+// Rule 3: a captured local written by the goroutine and read by the
+// spawner before any join.
+func gather() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total++ // want "captured variable total is written here and accessed at .* from a different goroutine context"
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// Rule 3, looped flavor: instances of the same go literal race on the
+// shared counter.
+func fanout(n int) {
+	var wg sync.WaitGroup
+	idx := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			idx++ // want "written in a goroutine spawned in a loop with no lock held"
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package sharedguard
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	n  int
+	ro int
+}
+
+// Constructor writes happen before publication.
+func newStore() *store {
+	s := &store{}
+	s.n = 1
+	s.ro = 7
+	return s
+}
+
+// Consistently guarded accesses.
+func (s *store) get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *store) set(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+// Read-only after publication: no non-constructor writes anywhere.
+func (s *store) readonly() int { return s.ro }
+
+// A freshly allocated local is owned until it escapes.
+func ownedUse() int {
+	l := &store{}
+	l.n = 3
+	return l.n
+}
+
+// Guarded captured local plus a post-join read: the spawner owns the
+// variable again after Wait.
+func joined() int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		mu.Lock()
+		total++
+		mu.Unlock()
+		wg.Done()
+	}()
+	wg.Wait()
+	return total
+}
+
+// Locals declared inside the goroutine literal are per-instance state,
+// even when the literal is spawned in a loop.
+func perInstance(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			local := 0
+			local++
+			use(local)
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -90,11 +90,15 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) count(n int64) {
+	// The counter pointer is snapshotted under the lock (Instrument
+	// writes it under mu) and bumped outside it: the nil counter is a
+	// no-op, and Add is atomic.
 	s.mu.Lock()
 	s.requests++
 	s.bytes += n
+	cBytes := s.cBytes
 	s.mu.Unlock()
-	s.cBytes.Add(uint64(n))
+	cBytes.Add(uint64(n))
 }
 
 func (s *Server) get(name string) (*ncdf.File, bool) {
@@ -105,13 +109,14 @@ func (s *Server) get(name string) (*ncdf.File, bool) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.cList.Inc()
 	s.mu.RLock()
+	cList := s.cList
 	names := make([]string, 0, len(s.datasets))
 	for n := range s.datasets {
 		names = append(names, n)
 	}
 	s.mu.RUnlock()
+	cList.Inc()
 	sort.Strings(names)
 	body := strings.Join(names, "\n") + "\n"
 	w.Header().Set("Content-Type", "text/plain")
@@ -120,7 +125,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDDS(w http.ResponseWriter, r *http.Request) {
-	s.cDDS.Inc()
+	s.mu.RLock()
+	cDDS := s.cDDS
+	s.mu.RUnlock()
+	cDDS.Inc()
 	name := strings.TrimPrefix(r.URL.Path, "/dds/")
 	f, ok := s.get(name)
 	if !ok {
@@ -134,7 +142,10 @@ func (s *Server) handleDDS(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDODS(w http.ResponseWriter, r *http.Request) {
-	s.cDODS.Inc()
+	s.mu.RLock()
+	cDODS := s.cDODS
+	s.mu.RUnlock()
+	cDODS.Inc()
 	name := strings.TrimPrefix(r.URL.Path, "/dods/")
 	f, ok := s.get(name)
 	if !ok {

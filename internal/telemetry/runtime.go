@@ -116,7 +116,8 @@ func histTotalSeconds(h *metrics.Float64Histogram) float64 {
 }
 
 func isInfOrNaN(v float64) bool {
-	//esselint:allow floatcmp NaN self-inequality test plus infinity bound checks on runtime histogram edges
+	// NaN self-inequality plus infinity bound checks; floatcmp exempts
+	// the identical-operand idiom.
 	return v != v || v > 1e300 || v < -1e300
 }
 

@@ -14,8 +14,11 @@ cd "$(dirname "$0")/.."
 
 addr="${SMOKE_ADDR:-127.0.0.1:19309}"
 
-echo "==> mtc-sim smoke run with -telemetry-addr $addr"
-go run ./cmd/mtc-sim -jobs 50 -cores 20 -telemetry-addr "$addr" -telemetry-hold 30s &
+echo "==> mtc-sim smoke run with -telemetry-addr $addr (race detector on)"
+# -race complements the static sharedguard/ctxflow/atomicmix gate with
+# dynamic coverage of the interleavings this boot actually executes —
+# in particular the scrape path serving /metrics while the sim runs.
+go run -race ./cmd/mtc-sim -jobs 50 -cores 20 -telemetry-addr "$addr" -telemetry-hold 30s &
 sim=$!
 trap 'kill "$sim" 2>/dev/null || true; wait "$sim" 2>/dev/null || true' EXIT
 
