@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint lint-self lint-fixtures audit vet verify bench bench-update smoke
+.PHONY: build test race test-fuzz lint lint-self lint-fixtures audit vet verify bench bench-update smoke
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ test:
 # of the concurrency gate (esselint is the static half).
 race:
 	$(GO) test -race ./...
+
+# test-fuzz runs each native fuzz target briefly — a smoke pass over
+# the wire-boundary parsers, not a soak (leave FUZZTIME at the default
+# in CI; raise it locally to hunt).
+FUZZTIME ?= 10s
+test-fuzz:
+	$(GO) test -fuzz=FuzzParsePrometheus -fuzztime=$(FUZZTIME) ./internal/telemetry
 
 vet:
 	$(GO) vet ./...

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -36,6 +37,16 @@ type Metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// finite reports whether every recorded float is NaN/Inf-free.
+// strconv.ParseFloat happily parses "NaN" and "+Inf", and
+// encoding/json then fails at runtime writing the baseline — reject
+// the line as garbage input instead.
+func (m *Metrics) finite() bool {
+	return !math.IsNaN(m.NsPerOp) && !math.IsInf(m.NsPerOp, 0) &&
+		!math.IsNaN(m.BytesPerOp) && !math.IsInf(m.BytesPerOp, 0) &&
+		!math.IsNaN(m.AllocsPerOp) && !math.IsInf(m.AllocsPerOp, 0)
 }
 
 // Baseline is the committed BENCH_5.json shape.
@@ -83,7 +94,7 @@ func parseBench(r *bufio.Scanner) (map[string]Metrics, error) {
 				m.AllocsPerOp = v
 			}
 		}
-		if !seen {
+		if !seen || !m.finite() {
 			continue
 		}
 		if prev, ok := out[name]; ok && prev.AllocsPerOp > m.AllocsPerOp {
@@ -120,7 +131,7 @@ func main() {
 
 	if *update {
 		writeJSON(*baselinePath, &Baseline{
-			Note: "allocs/op baseline for scripts/bench.sh; regenerate with `make bench-update`",
+			Note:       "allocs/op baseline for scripts/bench.sh; regenerate with `make bench-update`",
 			Benchmarks: observed,
 		})
 		fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *baselinePath, len(observed))

@@ -10,8 +10,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"esse/internal/core"
@@ -47,6 +48,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel ctx: the forecast loop stops between model
+	// steps and the status/telemetry servers drain gracefully.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := realtime.DefaultConfig()
 	cfg.NX, cfg.NY, cfg.NZ = *nx, *ny, *nz
 	cfg.Cycles = *cycles
@@ -69,7 +75,7 @@ func main() {
 		sampler := telemetry.StartRuntimeSampler(tel, 0)
 		defer sampler.Stop()
 		go func() {
-			if err := http.ListenAndServe(*telAddr, tel.Handler()); err != nil {
+			if err := telemetry.Serve(ctx, *telAddr, tel.Handler()); err != nil {
 				fmt.Fprintln(os.Stderr, "esse-forecast: telemetry server:", err)
 			}
 		}()
@@ -81,7 +87,7 @@ func main() {
 		go func() {
 			// The monitor mux also carries the telemetry endpoints when
 			// telemetry is on (tel may be nil; HandlerWith tolerates that).
-			if err := http.ListenAndServe(*status, mon.HandlerWith(tel)); err != nil {
+			if err := telemetry.Serve(ctx, *status, mon.HandlerWith(tel)); err != nil {
 				fmt.Fprintln(os.Stderr, "esse-forecast: status server:", err)
 			}
 		}()
@@ -108,7 +114,7 @@ func main() {
 	fmt.Printf("%-6s %9s %9s %8s %7s %6s %5s %8s\n",
 		"cycle", "rmseF(T)", "rmseA(T)", "members", "SVDs", "rho", "conv", "elapsed")
 	for k := 0; k < cfg.Cycles; k++ {
-		r, err := sys.RunCycle(context.Background())
+		r, err := sys.RunCycle(ctx)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "esse-forecast:", err)
 			os.Exit(1)

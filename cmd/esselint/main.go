@@ -144,6 +144,7 @@ func printStats(s *lint.RunStats) {
 		s.Funcs, s.SCCs, s.EffectFacts, s.NumericSummaries, s.LockSummaryKeys, s.LockPairs, s.ProgramWall.Round(time.Microsecond))
 	fmt.Fprintf(os.Stderr, "esselint: stats: concurrency facts: %d ctx-taking funcs, %d atomic keys, %d funcs entered with locks held\n",
 		s.CtxParams, s.AtomicKeys, s.EntryHeldFuncs)
+	fmt.Fprintf(os.Stderr, "esselint: stats: wire facts: %d types reaching a json sink\n", s.WireTypes)
 	for _, a := range s.Analyzers {
 		fmt.Fprintf(os.Stderr, "esselint: stats: %-16s %10v  findings=%d suppressed=%d\n",
 			a.Name, a.Wall.Round(time.Microsecond), a.Findings, a.Suppressed)

@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"esse/internal/cluster"
@@ -33,13 +35,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel ctx so a held telemetry server drains
+	// gracefully instead of dying mid-scrape.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var tel *telemetry.Telemetry
 	if *telAddr != "" {
 		tel = telemetry.New()
 		sampler := telemetry.StartRuntimeSampler(tel, 0)
 		defer sampler.Stop()
 		go func() {
-			if err := http.ListenAndServe(*telAddr, tel.Handler()); err != nil {
+			if err := telemetry.Serve(ctx, *telAddr, tel.Handler()); err != nil {
 				fmt.Fprintln(os.Stderr, "mtc-sim: telemetry server:", err)
 			}
 		}()
@@ -95,7 +102,10 @@ func main() {
 		publishResult(tel, res)
 		if *telHold > 0 {
 			fmt.Printf("holding telemetry server for %v\n", *telHold)
-			time.Sleep(*telHold)
+			select {
+			case <-time.After(*telHold):
+			case <-ctx.Done():
+			}
 		}
 	}
 }

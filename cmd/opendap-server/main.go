@@ -9,13 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"esse/internal/grid"
 	"esse/internal/metrics"
@@ -48,6 +50,11 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancel ctx, which drains both HTTP servers
+	// gracefully instead of dropping in-flight hyperslab reads.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	g := grid.MontereyBay(*nx, *ny, *nz)
 	master := rng.New(*seed)
 	srv := opendap.NewServer()
@@ -57,7 +64,7 @@ func main() {
 		sampler := telemetry.StartRuntimeSampler(tel, 0)
 		defer sampler.Stop()
 		go func() {
-			if err := http.ListenAndServe(*telAddr, tel.Handler()); err != nil {
+			if err := telemetry.Serve(ctx, *telAddr, tel.Handler()); err != nil {
 				log.Println("telemetry server:", err)
 			}
 		}()
@@ -78,7 +85,10 @@ func main() {
 	}
 	log.Printf("serving %d forecast datasets on %s (endpoints: /datasets /dds/{name} /dods/{name})",
 		*members, *listen)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+	if err := telemetry.Serve(ctx, *listen, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+	log.Println("shutdown complete")
 }
 
 func runClient(base, dataset, varName, slab string) {

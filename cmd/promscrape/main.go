@@ -69,28 +69,42 @@ func main() {
 }
 
 func fetch(url string, retries int, wait time.Duration) ([]byte, error) {
+	// A bounded client: a target that accepts the connection and then
+	// hangs must not wedge CI forever.
+	client := &http.Client{Timeout: 30 * time.Second}
 	var lastErr error
 	for attempt := 0; attempt < retries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(wait)
 		}
-		resp, err := http.Get(url)
+		body, err := scrapeOnce(client, url)
 		if err != nil {
 			lastErr = err
-			continue
-		}
-		body, err := io.ReadAll(resp.Body)
-		// Response body close after full read; nothing can be lost.
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			lastErr = fmt.Errorf("GET %s: %s", url, resp.Status)
 			continue
 		}
 		return body, nil
 	}
 	return nil, fmt.Errorf("after %d attempts: %w", retries, lastErr)
+}
+
+// scrapeOnce performs one GET, checking the status line before it
+// trusts the body and draining the connection on the error path so the
+// next attempt can reuse it.
+func scrapeOnce(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A non-200 body is diagnostics at best; drain a bounded amount
+		// to free the connection, never parse it.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", url, err)
+	}
+	return body, nil
 }

@@ -1,0 +1,547 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HTTPGuard (DESIGN §7 rule 18) enforces the HTTP hygiene a retrying
+// task-lease protocol lives or dies by:
+//
+//   - every *http.Response obtained in a function must have its Body
+//     closed on every path out of the function — a CFG may-analysis on
+//     the shared forward solver, defer-aware and error-branch aware
+//     (the `if err != nil` arm kills the fact: there is no body to
+//     close), with returning/storing/passing the whole response (or
+//     capturing it in a closure) counting as handing ownership onward;
+//     overwriting a still-live response variable (the retry-loop leak)
+//     is flagged at the overwrite;
+//   - the response body must not be read or decoded before the status
+//     code is checked on that path: an error page decoded as payload
+//     is the classic silent corruption of a scrape loop (Close and the
+//     status-mention itself are exempt; the check composes through the
+//     dataflow meet, so a check on one branch does not bless the
+//     other);
+//   - http.Client composite literals must set Timeout (or the
+//     enclosing function must build its requests with
+//     http.NewRequestWithContext, which carries cancellation
+//     instead); referencing http.DefaultClient is flagged outright —
+//     storing the shared zero-timeout client in a long-lived struct is
+//     exactly how one hung peer blocks a fleet — and the package-level
+//     http.Get/Post/PostForm/Head sugar (which uses it) is flagged
+//     inside loops and inside ctx-taking functions;
+//   - http.Server composite literals must set ReadHeaderTimeout (the
+//     slowloris guard), and the ListenAndServe package functions are
+//     flagged outright: they construct an unbounded Server with no
+//     Shutdown handle.
+//
+// Soundness gaps, stated plainly: responses reaching a function as
+// parameters or through struct fields are the caller's/owner's to
+// close (no interprocedural ownership transfer is tracked); a client
+// stored in a struct and used elsewhere is checked only at its
+// literal; the status-before-read check keys on syntactic mention of
+// StatusCode/Status, not on what the comparison does with it.
+var HTTPGuard = &Analyzer{
+	Name:  "httpguard",
+	Doc:   "prove http.Response bodies closed on all paths, status checked before reads, clients carry timeouts or contexts, servers bound header reads",
+	Scope: underInternalOrCmd,
+	Run:   runHTTPGuard,
+}
+
+func runHTTPGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, fn := range funcNodesWithin(fd) {
+				checkRespPaths(pass, fn)
+			}
+			checkClientServerLiterals(pass, fd)
+		}
+	}
+	return nil
+}
+
+// --- response-body dataflow ------------------------------------------------
+
+// respInfo is the fact for one live (possibly unclosed) response.
+type respInfo struct {
+	pos token.Pos // the call that produced the response
+	// errVar is the error assigned alongside the response; the
+	// `err != nil` branch kills the fact (no body exists on it).
+	errVar *types.Var
+	// statusChecked records a StatusCode/Status mention on every path
+	// into the current point (AND at meets).
+	statusChecked bool
+	// closed records a Body.Close on every path (AND at meets). The
+	// fact stays live so the status-before-read check keeps working
+	// after a `defer resp.Body.Close()`.
+	closed bool
+}
+
+// respFact maps live response variables to their facts; nil is Top.
+type respFact map[*types.Var]respInfo
+
+func (f respFact) clone() respFact {
+	m := make(respFact, len(f))
+	for k, v := range f {
+		m[k] = v
+	}
+	return m
+}
+
+type respFlow struct {
+	info *types.Info
+}
+
+func (rf *respFlow) Boundary() Fact { return respFact{} }
+func (rf *respFlow) Top() Fact      { return respFact(nil) }
+
+func (rf *respFlow) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(respFact)
+	if st == nil {
+		return respFact(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		replayResp(rf.info, n, out, nil)
+	}
+	return out
+}
+
+// FlowEdge kills a response fact along the branch that proves no body
+// exists: for the paired error variable, the arm where it is (or may
+// be) non-nil; for the response variable itself, the arm where it is
+// nil. The two are mirror images of the same nil test.
+func (rf *respFlow) FlowEdge(e *Edge, out Fact) Fact {
+	st, _ := out.(respFact)
+	if st == nil || e.Cond == nil {
+		return out
+	}
+	bin, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return out
+	}
+	var idExpr, other ast.Expr = bin.X, bin.Y
+	if isNilIdent(rf.info, idExpr) {
+		idExpr, other = other, idExpr
+	}
+	if !isNilIdent(rf.info, other) {
+		return out
+	}
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return out
+	}
+	v, ok := rf.info.Uses[id].(*types.Var)
+	if !ok {
+		return out
+	}
+	// v != nil taken, or v == nil not taken → v is non-nil on e.
+	nonNil := (bin.Op == token.NEQ && e.Branch) || (bin.Op == token.EQL && !e.Branch)
+	var filtered respFact
+	for rv, inf := range st {
+		// Error non-nil → no response; response nil → no body.
+		if (inf.errVar == v && nonNil) || (rv == v && !nonNil) {
+			if filtered == nil {
+				filtered = st.clone()
+			}
+			delete(filtered, rv)
+		}
+	}
+	if filtered == nil {
+		return out
+	}
+	return filtered
+}
+
+// Meet unions the live responses; a response live on both arms is
+// status-checked only if both arms checked it.
+func (rf *respFlow) Meet(a, b Fact) Fact {
+	sa, _ := a.(respFact)
+	sb, _ := b.(respFact)
+	if sa == nil {
+		return sb
+	}
+	if sb == nil {
+		return sa
+	}
+	m := sa.clone()
+	for k, v := range sb {
+		if prev, ok := m[k]; ok {
+			v.statusChecked = v.statusChecked && prev.statusChecked
+			v.closed = v.closed && prev.closed
+			if prev.pos < v.pos {
+				v.pos = prev.pos
+			}
+		}
+		m[k] = v
+	}
+	return m
+}
+
+func (rf *respFlow) Equal(a, b Fact) bool {
+	sa, _ := a.(respFact)
+	sb, _ := b.(respFact)
+	if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
+		return false
+	}
+	for k, v := range sa {
+		w, ok := sb[k]
+		if !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+// respReporter receives mid-replay findings during the reporting pass.
+type respReporter struct {
+	// earlyRead fires when a body is read before a status check.
+	earlyRead func(readPos token.Pos, inf respInfo)
+	// overwrite fires when a gen overwrites a still-live fact.
+	overwrite func(genPos token.Pos, prev respInfo)
+	// atReturn fires at each ReturnStmt with the then-live facts.
+	atReturn func(st respFact)
+}
+
+// isHTTPRespPtr reports whether t is *net/http.Response.
+func isHTTPRespPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Response"
+}
+
+// trackedVar resolves e to a live response variable in st, or nil.
+func trackedVar(info *types.Info, st respFact, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, live := st[v]; !live {
+		return nil
+	}
+	return v
+}
+
+// replayResp pushes one block node through the response fact map.
+// Kill rules: Body.Close (plain or deferred) closes; a bare mention of
+// the response outside a selector (return, argument, assignment,
+// composite literal) hands ownership onward; capture by a function
+// literal does the same. Reading Body any other way is not a kill —
+// and fires earlyRead if no status check dominates. Assignments whose
+// RHS call returns a *http.Response gen a fact (after reporting an
+// overwrite of any still-live one).
+func replayResp(info *types.Info, n ast.Node, st respFact, rep *respReporter) {
+	// Gen detection first, so its LHS idents are excluded from the
+	// kill walk (they are overwritten, not read).
+	var genVar *types.Var
+	var genErr *types.Var
+	var genPos token.Pos
+	genLHS := map[*ast.Ident]bool{}
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var v *types.Var
+				if d, ok := info.Defs[id].(*types.Var); ok {
+					v = d
+				} else if u, ok := info.Uses[id].(*types.Var); ok {
+					v = u
+				}
+				if v == nil {
+					continue
+				}
+				if isHTTPRespPtr(v.Type()) {
+					genVar, genPos = v, call.Pos()
+					genLHS[id] = true
+				} else if i > 0 && types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+					genErr = v
+					genLHS[id] = true
+				}
+			}
+		}
+	}
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			// Capture hands ownership onward: the literal (a deferred
+			// cleanup, a spawned reader) is now responsible.
+			ast.Inspect(v, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if uv, ok := info.Uses[id].(*types.Var); ok {
+						delete(st, uv)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			// resp.Body.Close(): mark closed but keep the fact live, so
+			// a read after `defer resp.Body.Close()` still needs the
+			// status check.
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if bodySel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && bodySel.Sel.Name == "Body" {
+					if rv := trackedVar(info, st, bodySel.X); rv != nil {
+						inf := st[rv]
+						inf.closed = true
+						st[rv] = inf
+						return false
+					}
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			rv := trackedVar(info, st, v.X)
+			if rv == nil {
+				return true // keep walking: v.X may contain a deeper mention
+			}
+			switch v.Sel.Name {
+			case "StatusCode", "Status":
+				inf := st[rv]
+				inf.statusChecked = true
+				st[rv] = inf
+			case "Body":
+				if inf := st[rv]; !inf.statusChecked && rep != nil && rep.earlyRead != nil {
+					rep.earlyRead(v.Pos(), inf)
+				}
+			}
+			return false // selector on resp is never a bare escape
+		case *ast.Ident:
+			if genLHS[v] {
+				return true
+			}
+			if uv, ok := info.Uses[v].(*types.Var); ok {
+				if _, live := st[uv]; live {
+					delete(st, uv) // escaped whole: ownership handed onward
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	if genVar != nil {
+		if prev, live := st[genVar]; live && !prev.closed && rep != nil && rep.overwrite != nil {
+			rep.overwrite(genPos, prev)
+		}
+		st[genVar] = respInfo{pos: genPos, errVar: genErr}
+	}
+	if _, ok := n.(*ast.ReturnStmt); ok && rep != nil && rep.atReturn != nil {
+		rep.atReturn(st.clone())
+	}
+}
+
+// checkRespPaths solves the response dataflow over fn and reports
+// bodies not closed on some path, reads before status checks, and
+// live-fact overwrites.
+func checkRespPaths(pass *Pass, fn ast.Node) {
+	if funcBody(fn) == nil {
+		return
+	}
+	cfg := BuildCFG(fn)
+	res := Forward(cfg, &respFlow{info: pass.Info})
+
+	flaggedLeak := map[token.Pos]bool{}
+	flagLeaks := func(st respFact) {
+		for _, inf := range st {
+			if !inf.closed && !flaggedLeak[inf.pos] {
+				flaggedLeak[inf.pos] = true
+				pass.Reportf(inf.pos, "response body from this call may not be closed on every path out of the function; "+
+					"defer resp.Body.Close() after the error check, or hand the response onward explicitly")
+			}
+		}
+	}
+	flaggedRead := map[token.Pos]bool{}
+	flaggedOver := map[token.Pos]bool{}
+	rep := &respReporter{
+		earlyRead: func(readPos token.Pos, inf respInfo) {
+			if !flaggedRead[readPos] {
+				flaggedRead[readPos] = true
+				pass.Reportf(readPos, "response body is read before the status code is checked on this path; "+
+					"an error page decoded as payload corrupts silently — check resp.StatusCode first")
+			}
+		},
+		overwrite: func(genPos token.Pos, prev respInfo) {
+			if !flaggedOver[genPos] {
+				flaggedOver[genPos] = true
+				pass.Reportf(genPos, "this assignment overwrites a response whose body may still be open (from the call at %s); "+
+					"close the previous body before retrying", pass.Fset.Position(prev.pos))
+			}
+		},
+		atReturn: flagLeaks,
+	}
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(respFact)
+		if in == nil {
+			continue
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			replayResp(pass.Info, n, st, rep)
+		}
+	}
+	// Fall-off-the-end paths, as in checkCancelPaths.
+	for _, e := range cfg.Exit.Preds {
+		b := e.From
+		if len(b.Nodes) > 0 {
+			last := b.Nodes[len(b.Nodes)-1]
+			if _, isRet := last.(*ast.ReturnStmt); isRet {
+				continue
+			}
+			if es, isExpr := last.(*ast.ExprStmt); isExpr && isTerminatingCall(es.X) {
+				continue
+			}
+		}
+		if out, _ := res.Out[b].(respFact); out != nil {
+			flagLeaks(out)
+		}
+	}
+}
+
+// --- client and server discipline ------------------------------------------
+
+// checkClientServerLiterals walks one declaration for http.Client and
+// http.Server composite literals, http.DefaultClient references, and
+// the package-level request/serve sugar.
+func checkClientServerLiterals(pass *Pass, fd *ast.FuncDecl) {
+	hasCtxReq := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if obj := StaticCallee(pass.Info, call); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "net/http" && obj.Name() == "NewRequestWithContext" {
+				hasCtxReq = true
+			}
+		}
+		return true
+	})
+	ctxTaking := hasCtxParam(pass.Info, fd.Type)
+	if !ctxTaking && pass.Prog != nil {
+		if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			_, ctxTaking = pass.Prog.CtxParam[obj.FullName()]
+		}
+	}
+
+	var loops [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, [2]token.Pos{n.Pos(), n.End()})
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, r := range loops {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CompositeLit:
+			named := litNamed(pass.Info, v)
+			if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "net/http" {
+				return true
+			}
+			switch named.Obj().Name() {
+			case "Client":
+				if !litSetsField(v, "Timeout") && !hasCtxReq {
+					pass.Reportf(v.Pos(), "http.Client literal sets no Timeout and the function builds no request with NewRequestWithContext; "+
+						"one hung peer blocks this client forever — set Timeout or carry a context")
+				}
+			case "Server":
+				if !litSetsField(v, "ReadHeaderTimeout") {
+					pass.Reportf(v.Pos(), "http.Server literal sets no ReadHeaderTimeout; "+
+						"a client trickling header bytes pins the connection forever (slowloris) — set ReadHeaderTimeout")
+				}
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pass.Info.Uses[v.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "net/http" && obj.Name() == "DefaultClient" {
+				if !hasCtxReq {
+					pass.Reportf(v.Pos(), "http.DefaultClient has no Timeout: a single hung peer blocks every caller sharing it; "+
+						"construct a client with Timeout, or build requests with NewRequestWithContext")
+				}
+			}
+		case *ast.CallExpr:
+			obj := StaticCallee(pass.Info, v)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "net/http" || recvNamed(obj) != "" {
+				return true
+			}
+			switch obj.Name() {
+			case "Get", "Post", "PostForm", "Head":
+				if (inLoop(v.Pos()) || ctxTaking) && !hasCtxReq {
+					pass.Reportf(v.Pos(), "http.%s uses http.DefaultClient, which has no Timeout; in a %s it turns one hung peer into a hang — "+
+						"use a client with Timeout or NewRequestWithContext", obj.Name(), loopOrCtx(inLoop(v.Pos())))
+				}
+			case "ListenAndServe", "ListenAndServeTLS":
+				pass.Reportf(v.Pos(), "http.%s constructs a Server with no timeouts and no Shutdown handle; "+
+					"build an http.Server with ReadHeaderTimeout and serve it with a graceful shutdown path", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+func loopOrCtx(inLoop bool) string {
+	if inLoop {
+		return "loop"
+	}
+	return "context-taking function"
+}
+
+// litNamed resolves a composite literal's type to its named type,
+// looking through one pointer (for &http.Client{...}).
+func litNamed(info *types.Info, lit *ast.CompositeLit) *types.Named {
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func litSetsField(lit *ast.CompositeLit, field string) bool {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == field {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -116,6 +116,7 @@ func Analyzers() []*Analyzer {
 		HotAlloc, Preallocate, Boxing,
 		MetricLabels,
 		SharedGuard, CtxFlow, AtomicMix,
+		JSONWire, HTTPGuard, ExhaustEnum,
 	}
 }
 
@@ -173,7 +174,10 @@ type RunStats struct {
 	CtxParams      int
 	AtomicKeys     int
 	EntryHeldFuncs int
-	Analyzers      []AnalyzerStats
+	// WireTypes is the size of the jsonwire fact table: named types
+	// reaching an encoding/json sink anywhere in the set.
+	WireTypes int
+	Analyzers []AnalyzerStats
 }
 
 // RunAnalyzersStats is RunAnalyzersAll plus per-analyzer wall time and
@@ -190,6 +194,7 @@ func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *R
 	stats.CtxParams = len(prog.CtxParam)
 	stats.AtomicKeys = len(prog.AtomicKeys)
 	stats.EntryHeldFuncs = len(prog.EntryHeld)
+	stats.WireTypes = len(prog.WireTypes)
 	for _, key := range prog.Graph.Keys {
 		if prog.Effects[key] != 0 {
 			stats.EffectFacts++

@@ -73,6 +73,18 @@ func TestAtomicMixFixture(t *testing.T) {
 	RunFixture(t, AtomicMix, "atomicmix")
 }
 
+func TestJSONWireFixture(t *testing.T) {
+	RunFixture(t, JSONWire, "jsonwire")
+}
+
+func TestHTTPGuardFixture(t *testing.T) {
+	RunFixture(t, HTTPGuard, "httpguard")
+}
+
+func TestExhaustEnumFixture(t *testing.T) {
+	RunFixture(t, ExhaustEnum, "exhaustenum")
+}
+
 // TestLoadRealPackage exercises the go-list/export-data loader against
 // a real module package and checks scoping: rng sits under internal/,
 // so the whole suite applies and must come back clean.

@@ -112,6 +112,14 @@ type Program struct {
 	// static path into it (empty/absent = none provable). sharedguard
 	// reads it so xxxLocked helpers inherit their callers' guards.
 	EntryHeld map[string][]string
+	// WireTypes maps the canonical "pkgpath.Name" key of every named
+	// type that reaches an encoding/json sink anywhere in the set —
+	// closed over the call graph and the type structure — to its sink
+	// sites. FiniteFields holds the "pkgpath.Type.Field" keys of float
+	// struct fields with a finite (IsNaN/IsInf) check somewhere in the
+	// tree. jsonwire consumes both; see wirefacts.go.
+	WireTypes    map[string]*WireFact
+	FiniteFields map[string]bool
 
 	// labelTakers caches metriclabels' label-taking function set
 	// (seed signatures plus wrapper propagation); see metriclabels.go.
@@ -143,6 +151,12 @@ func BuildProgram(pkgs []*Package) *Program {
 	p.computeCtxParams()
 	p.computeAtomicKeys()
 	p.computeEntryHeld()
+	loaded := map[string]bool{}
+	for _, pkg := range pkgs {
+		loaded[pkg.Path] = true
+	}
+	p.computeWireTypes(loaded)
+	p.computeFiniteFields(loaded)
 	return p
 }
 

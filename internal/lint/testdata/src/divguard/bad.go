@@ -42,6 +42,6 @@ func badGuardKilled(x []float64) float64 {
 	if d == 0 {
 		return 0
 	}
-	d = x[1] // reassignment kills the guard fact
+	d = x[1]     // reassignment kills the guard fact
 	return 1 / d // want "not provably nonzero"
 }

@@ -1,0 +1,37 @@
+package exhaustenum
+
+type phase int
+
+const (
+	idle phase = iota
+	running
+	done
+	failed
+)
+
+func describe(p phase) string {
+	switch p { // want "covers 3 of 4 enum members and has no default; missing: failed"
+	case idle:
+		return "idle"
+	case running:
+		return "running"
+	case done:
+		return "done"
+	}
+	return "?"
+}
+
+type state string
+
+const (
+	stOpen state = "open"
+	stShut state = "shut"
+)
+
+func flip(s state) state {
+	switch s { // want "covers 1 of 2 enum members and has no default; missing: stShut"
+	case stOpen:
+		return stShut
+	}
+	return stOpen
+}

@@ -1,0 +1,72 @@
+package exhaustenum
+
+import "time"
+
+// Full coverage, multiple members per case.
+func classify(p phase) string {
+	switch p {
+	case idle, running:
+		return "live"
+	case done, failed:
+		return "terminal"
+	}
+	return ""
+}
+
+// A default states the policy for future members.
+func brief(p phase) string {
+	switch p {
+	case idle:
+		return "i"
+	default:
+		return "other"
+	}
+}
+
+// Aliased members are one value: covering crimson covers red.
+type color int
+
+const (
+	red color = iota
+	green
+	crimson = red
+)
+
+func paint(c color) string {
+	switch c {
+	case crimson, green:
+		return "ok"
+	}
+	return ""
+}
+
+// A single-member type is not an enum.
+type lone int
+
+const only lone = 0
+
+func one(l lone) bool {
+	switch l {
+	case only:
+		return true
+	}
+	return false
+}
+
+// A non-constant case may cover anything: skipped.
+func dyn(p, q phase) bool {
+	switch p {
+	case q:
+		return true
+	}
+	return false
+}
+
+// Enums outside the module (stdlib) are not ours to close.
+func month(m time.Month) bool {
+	switch m {
+	case time.January:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package httpguard
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+)
+
+var errBad = errors.New("bad status")
+
+// The body is never closed on any path.
+func leak(c *http.Client, url string) error {
+	resp, err := c.Get(url) // want "may not be closed on every path"
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return errBad
+	}
+	_, err = io.ReadAll(resp.Body)
+	return err
+}
+
+// Closed on the happy path only: the early return leaks.
+func closeHappyOnly(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url) // want "may not be closed on every path"
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// The body is decoded before anyone looks at the status code.
+func readFirst(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body) // want "read before the status code is checked"
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, errBad
+	}
+	return b, nil
+}
+
+// The retry overwrites a response whose body may still be open.
+func retryLoop(c *http.Client, url string) {
+	var resp *http.Response
+	var err error
+	for i := 0; i < 3; i++ {
+		resp, err = c.Get(url) // want "overwrites a response whose body may still be open"
+		if err == nil && resp.StatusCode == http.StatusOK {
+			break
+		}
+	}
+	if resp != nil {
+		resp.Body.Close()
+	}
+}
+
+// A client with no Timeout and no context-carrying requests.
+func newClient() *http.Client {
+	return &http.Client{} // want "sets no Timeout"
+}
+
+// A server that lets a slow client pin the connection forever.
+func newServer(h http.Handler) *http.Server {
+	return &http.Server{Addr: ":8080", Handler: h} // want "sets no ReadHeaderTimeout"
+}
+
+// The package-level helper builds an unbounded Server with no
+// Shutdown handle.
+func serveForever(h http.Handler) error {
+	return http.ListenAndServe(":8080", h) // want "no timeouts and no Shutdown handle"
+}
+
+// The shared default client has no timeout.
+func useDefault(url string) (*http.Response, error) {
+	return http.DefaultClient.Get(url) // want "http.DefaultClient has no Timeout"
+}
+
+// DefaultClient sugar inside a loop: one hung peer stalls the sweep.
+func pollLoop(urls []string) {
+	for _, u := range urls {
+		resp, err := http.Get(u) // want "http.Get uses http.DefaultClient"
+		if err != nil {
+			continue
+		}
+		resp.Body.Close()
+	}
+}
+
+// DefaultClient sugar in a ctx-taking function: the context cannot
+// interrupt the request.
+func fetchCtx(ctx context.Context, url string) error {
+	_ = ctx
+	resp, err := http.Get(url) // want "http.Get uses http.DefaultClient"
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errBad
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package httpguard
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// The canonical shape: error branch, deferred close, status check,
+// drain on the error-status path, then the read.
+func fetchClean(c *http.Client, url string) ([]byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, errBad
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Returning the response hands ownership (and the close) to the
+// caller.
+func open(c *http.Client, url string) (*http.Response, error) {
+	resp, err := c.Get(url)
+	return resp, err
+}
+
+// Passing the whole response onward does the same.
+func fetchVia(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	return consume(resp)
+}
+
+func consume(resp *http.Response) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errBad
+	}
+	_, err := io.ReadAll(resp.Body)
+	return err
+}
+
+// A capture hands ownership to the closure.
+func fetchAsync(c *http.Client, url string, out chan<- error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		out <- err
+		return
+	}
+	go func() {
+		defer resp.Body.Close()
+		out <- nil
+	}()
+}
+
+// A Timeout bounds every request through this client.
+func newBoundedClient() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// No Timeout, but every request carries a context: cancellation is
+// the caller's, which is the documented alternative.
+func ctxFetch(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	c := &http.Client{}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return errBad
+	}
+	return nil
+}
+
+// ReadHeaderTimeout bounds the header read; the method form of
+// ListenAndServe keeps the Shutdown handle.
+func serveBounded(h http.Handler) error {
+	srv := &http.Server{Addr: ":0", Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}

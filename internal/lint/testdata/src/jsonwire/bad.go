@@ -1,0 +1,72 @@
+package jsonwire
+
+import "encoding/json"
+
+// roundTrip forwards v to both json sinks; the analyzer's wrapper
+// fixpoint makes every call site below a marshal+unmarshal site.
+func roundTrip(v any) {
+	b, _ := json.Marshal(v)
+	_ = json.Unmarshal(b, v)
+}
+
+// Dropped loses state silently: the unexported field never crosses.
+type Dropped struct {
+	ID   int    `json:"id"`
+	note string // want "unexported field note of wire type Dropped is silently dropped"
+}
+
+// Inner only reaches the wire nested inside Outer — the closure over
+// the type structure must still check it.
+type Outer struct {
+	In Inner `json:"in"`
+}
+
+type Inner struct {
+	secret int // want "unexported field secret of wire type Inner is silently dropped"
+}
+
+// Collide fights over input keys.
+type Collide struct {
+	A int `json:"v"`
+	B int `json:"v"` // want "duplicate json tag"
+	C int `json:"V"` // want "collide case-insensitively"
+}
+
+// Unserial makes json.Marshal fail at runtime.
+type Unserial struct {
+	Ch chan int   `json:"ch"` // want "contains a chan value"
+	Fn func()     `json:"fn"` // want "contains a func value"
+	Z  complex128 `json:"z"`  // want "contains a complex value"
+}
+
+// Loose has no schema.
+type Loose struct {
+	Payload any `json:"payload"` // want "bare interface"
+}
+
+// Hot carries an unguarded float: NaN/Inf kills Marshal at runtime.
+type Hot struct {
+	Rho float64 `json:"rho"` // want "not provably NaN/Inf-free"
+}
+
+// OneWayOut is marshalled below but decoded nowhere in the package.
+type OneWayOut struct { // want "marshalled .* but never unmarshalled"
+	N int `json:"n"`
+}
+
+// OneWayIn is decoded below but never produced.
+type OneWayIn struct { // want "unmarshalled .* but never marshalled"
+	N int `json:"n"`
+}
+
+func useAll() {
+	roundTrip(&Dropped{})
+	roundTrip(&Outer{})
+	roundTrip(&Collide{})
+	roundTrip(&Unserial{})
+	roundTrip(&Loose{})
+	roundTrip(&Hot{})
+	_, _ = json.Marshal(OneWayOut{})
+	var in OneWayIn
+	_ = json.Unmarshal(nil, &in)
+}

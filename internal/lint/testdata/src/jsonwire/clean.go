@@ -1,0 +1,70 @@
+package jsonwire
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+)
+
+// cleanShim is unexported: one-way codec shims for external formats
+// are exempt from the asymmetry check.
+type cleanShim struct {
+	N int `json:"n"`
+}
+
+func emitShim() ([]byte, error) { return json.Marshal(cleanShim{N: 1}) }
+
+// Guarded round-trips and finite-checks its float fields: Rho directly,
+// Scale through the finite helper (exercising the checker fixpoint).
+// The tagged-dash fields never cross the wire, so neither the
+// unexported name nor the chan type is a finding.
+type Guarded struct {
+	Rho    float64  `json:"rho"`
+	Scale  float64  `json:"scale"`
+	hidden int      `json:"-"`
+	Skip   chan int `json:"-"`
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func (g *Guarded) validate() error {
+	if math.IsNaN(g.Rho) || math.IsInf(g.Rho, 0) {
+		return errors.New("rho not finite")
+	}
+	if !finite(g.Scale) {
+		return errors.New("scale not finite")
+	}
+	return nil
+}
+
+func guardedTrip(g *Guarded) error {
+	if err := g.validate(); err != nil {
+		return err
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, g)
+}
+
+// Stamp owns its wire form: a custom codec in both used directions
+// skips the field checks, so the unexported field is fine.
+type Stamp struct {
+	unix int64
+}
+
+func (s Stamp) MarshalJSON() ([]byte, error) { return json.Marshal(s.unix) }
+
+func (s *Stamp) UnmarshalJSON(b []byte) error { return json.Unmarshal(b, &s.unix) }
+
+func stampTrip(s *Stamp) { roundTrip(s) }
+
+// Bystander never reaches a json sink: nothing here is checked.
+type Bystander struct {
+	note string
+	ch   chan int
+	rho  float64
+}
+
+func keep(b Bystander) Bystander { return b }

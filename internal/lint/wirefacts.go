@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file computes the wire-layer fact tables the v6 analyzers
+// (jsonwire, and through it the ROADMAP-1 dispatcher/worker protocol
+// review) consume:
+//
+//   - WireTypes: every named type that reaches an encoding/json
+//     marshal or unmarshal sink anywhere in the package set, with the
+//     sites, closed over the call graph (a helper that forwards its
+//     parameter into json.Marshal makes its call sites sinks too) and
+//     over the type structure (struct fields, embedding, slices, maps,
+//     pointers — everything the encoder itself would traverse);
+//   - FiniteFields: the "pkg.Type.Field" keys of float struct fields
+//     that carry a finite-value check somewhere in the tree — a direct
+//     math.IsNaN/math.IsInf on the field selector, or the field passed
+//     into a function that (transitively) applies such a check to that
+//     parameter. jsonwire treats a checked field as NaN/Inf-safe.
+//
+// Soundness gaps, stated plainly: values reaching a sink through an
+// interface variable assigned earlier are invisible (only the static
+// type at the sink call site is inspected); a finite check anywhere
+// blesses the field everywhere — the table proves "a guard exists",
+// not "every encode path runs it"; reflection-driven encoding of types
+// never named at a sink is unseen. Sign-fact numeric summaries
+// (summary.go) deliberately do not feed FiniteFields: ±Inf is
+// sign-definite, so a provably-positive value can still be +Inf — the
+// finiteness lattice is orthogonal to the sign lattice and only an
+// explicit IsNaN/IsInf (or a constant initializer) proves it.
+
+// WireFact records where one named type crosses the JSON wire.
+type WireFact struct {
+	// Marshal and Unmarshal list the sink call sites (sorted,
+	// deduplicated) through which the type reaches json.Marshal-family
+	// and json.Unmarshal-family calls respectively.
+	Marshal   []token.Position
+	Unmarshal []token.Position
+}
+
+// Direction masks for sink parameters.
+const (
+	wireMarshal uint8 = 1 << iota
+	wireUnmarshal
+)
+
+// jsonSinkParams returns the (argIndex → direction) map of an external
+// encoding/json sink call, or nil when call is not one.
+func jsonSinkParams(info *types.Info, call *ast.CallExpr) map[int]uint8 {
+	obj := StaticCallee(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/json" {
+		return nil
+	}
+	switch obj.Name() {
+	case "Marshal", "MarshalIndent":
+		return map[int]uint8{0: wireMarshal}
+	case "Unmarshal":
+		return map[int]uint8{1: wireUnmarshal}
+	case "Encode":
+		if recvNamed(obj) == "Encoder" {
+			return map[int]uint8{0: wireMarshal}
+		}
+	case "Decode":
+		if recvNamed(obj) == "Decoder" {
+			return map[int]uint8{0: wireUnmarshal}
+		}
+	}
+	return nil
+}
+
+// paramIndexOf resolves arg to a flattened parameter index of fn's
+// declaration, or -1: a bare parameter identifier, optionally behind &
+// or parentheses.
+func paramIndexOf(fn *FuncInfo, arg ast.Expr) int {
+	e := ast.Unparen(arg)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := fn.Pkg.Info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// computeWireTypes builds the WireTypes table: the wrapper fixpoint
+// first (which in-set functions forward a parameter into a json sink),
+// then a site-collection sweep resolving the static argument types.
+func (p *Program) computeWireTypes(loaded map[string]bool) {
+	p.WireTypes = map[string]*WireFact{}
+
+	// Ascending fixpoint: sinkParams[fn] = positions whose argument is
+	// forwarded (directly or through another wrapper) to a json sink.
+	sinkParams := map[string]map[int]uint8{}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range p.Graph.Keys {
+			fn := p.Graph.Funcs[key]
+			if fn.Decl.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sinks := jsonSinkParams(fn.Pkg.Info, call)
+				if sinks == nil {
+					if callee := StaticCallee(fn.Pkg.Info, call); callee != nil {
+						sinks = sinkParams[callee.FullName()]
+					}
+				}
+				for argIdx, mask := range sinks {
+					if argIdx >= len(call.Args) || call.Ellipsis.IsValid() {
+						continue
+					}
+					if pi := paramIndexOf(fn, call.Args[argIdx]); pi >= 0 {
+						m := sinkParams[key]
+						if m == nil {
+							m = map[int]uint8{}
+							sinkParams[key] = m
+						}
+						if m[pi]&mask != mask {
+							m[pi] |= mask
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Site collection: every sink argument's static type, closed over
+	// the type structure the encoder would traverse.
+	for _, key := range p.Graph.Keys {
+		fn := p.Graph.Funcs[key]
+		if fn.Decl.Body == nil {
+			continue
+		}
+		info := fn.Pkg.Info
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sinks := jsonSinkParams(info, call)
+			if sinks == nil {
+				if callee := StaticCallee(info, call); callee != nil {
+					sinks = sinkParams[callee.FullName()]
+				}
+			}
+			for argIdx, mask := range sinks {
+				if argIdx >= len(call.Args) {
+					continue
+				}
+				tv, ok := info.Types[call.Args[argIdx]]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				pos := fn.Pkg.Fset.Position(call.Args[argIdx].Pos())
+				seen := map[string]bool{}
+				collectWireNamed(tv.Type, loaded, seen, func(tkey string) {
+					f := p.WireTypes[tkey]
+					if f == nil {
+						f = &WireFact{}
+						p.WireTypes[tkey] = f
+					}
+					if mask&wireMarshal != 0 {
+						f.Marshal = append(f.Marshal, pos)
+					}
+					if mask&wireUnmarshal != 0 {
+						f.Unmarshal = append(f.Unmarshal, pos)
+					}
+				})
+			}
+			return true
+		})
+	}
+	for _, f := range p.WireTypes {
+		f.Marshal = sortDedupePositions(f.Marshal)
+		f.Unmarshal = sortDedupePositions(f.Unmarshal)
+	}
+}
+
+// collectWireNamed walks t the way encoding/json would — pointers,
+// slices, arrays, map keys/values, struct fields (exported or
+// embedded, minus `json:"-"`) — and emits the canonical key of every
+// named type defined in the loaded set it reaches.
+func collectWireNamed(t types.Type, loaded, seen map[string]bool, emit func(string)) {
+	switch v := t.(type) {
+	case *types.Pointer:
+		collectWireNamed(v.Elem(), loaded, seen, emit)
+	case *types.Slice:
+		collectWireNamed(v.Elem(), loaded, seen, emit)
+	case *types.Array:
+		collectWireNamed(v.Elem(), loaded, seen, emit)
+	case *types.Map:
+		collectWireNamed(v.Key(), loaded, seen, emit)
+		collectWireNamed(v.Elem(), loaded, seen, emit)
+	case *types.Named:
+		obj := v.Obj()
+		if obj.Pkg() == nil {
+			return
+		}
+		key := obj.Pkg().Path() + "." + obj.Name()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if loaded[obj.Pkg().Path()] {
+			emit(key)
+		}
+		collectWireNamed(v.Underlying(), loaded, seen, emit)
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			f := v.Field(i)
+			if !f.Exported() && !f.Anonymous() {
+				continue // encoding/json silently drops it
+			}
+			if jsonTagName(v.Tag(i)) == "-" {
+				continue
+			}
+			collectWireNamed(f.Type(), loaded, seen, emit)
+		}
+	}
+}
+
+func sortDedupePositions(ps []token.Position) []token.Position {
+	if len(ps) == 0 {
+		return nil
+	}
+	sort.Slice(ps, func(i, j int) bool { return lessPosition(ps[i], ps[j]) })
+	out := ps[:1]
+	for _, p := range ps[1:] {
+		last := out[len(out)-1]
+		if p != last {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func lessPosition(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// --- finite-check closure ---------------------------------------------------
+
+// isFiniteCheckCall reports whether call is math.IsNaN(x) or
+// math.IsInf(x, ...) and returns the checked expression.
+func isFiniteCheckCall(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	obj := StaticCallee(info, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "math" {
+		return nil, false
+	}
+	if (obj.Name() != "IsNaN" && obj.Name() != "IsInf") || len(call.Args) == 0 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// computeFiniteFields builds FiniteFields: first the fixpoint of
+// finite-checking functions (a float parameter fed — bare — into
+// math.IsNaN/IsInf or into another checker's checked position), then a
+// sweep recording every struct field selector passed at a checked
+// position.
+func (p *Program) computeFiniteFields(loaded map[string]bool) {
+	p.FiniteFields = map[string]bool{}
+
+	// checkers[fn] = parameter indices the function finite-checks.
+	checkers := map[string]map[int]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range p.Graph.Keys {
+			fn := p.Graph.Funcs[key]
+			if fn.Decl.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				note := func(arg ast.Expr) {
+					if pi := paramIndexOf(fn, arg); pi >= 0 {
+						m := checkers[key]
+						if m == nil {
+							m = map[int]bool{}
+							checkers[key] = m
+						}
+						if !m[pi] {
+							m[pi] = true
+							changed = true
+						}
+					}
+				}
+				if arg, ok := isFiniteCheckCall(fn.Pkg.Info, call); ok {
+					note(arg)
+					return true
+				}
+				callee := StaticCallee(fn.Pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				for pi := range checkers[callee.FullName()] {
+					if pi < len(call.Args) && !call.Ellipsis.IsValid() {
+						note(call.Args[pi])
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Sweep: a field selector at a checked position blesses the field.
+	for _, key := range p.Graph.Keys {
+		fn := p.Graph.Funcs[key]
+		if fn.Decl.Body == nil {
+			continue
+		}
+		info := fn.Pkg.Info
+		note := func(arg ast.Expr) {
+			if fkey, ok := fieldKeyOf(info, arg, loaded); ok {
+				p.FiniteFields[fkey] = true
+			}
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg, ok := isFiniteCheckCall(info, call); ok {
+				note(arg)
+				return true
+			}
+			callee := StaticCallee(info, call)
+			if callee == nil {
+				return true
+			}
+			for pi := range checkers[callee.FullName()] {
+				if pi < len(call.Args) && !call.Ellipsis.IsValid() {
+					note(call.Args[pi])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldKeyOf resolves arg to the canonical "pkg.Type.Field" key of a
+// struct field selector on a loaded named type.
+func fieldKeyOf(info *types.Info, arg ast.Expr, loaded map[string]bool) (string, bool) {
+	sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !loaded[named.Obj().Pkg().Path()] {
+		return "", false
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Sel.Name, true
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"esse/internal/telemetry"
+	"esse/internal/wire"
 	"esse/internal/workflow"
 )
 
@@ -128,8 +129,16 @@ func (m *Monitor) HandlerWith(tel *telemetry.Telemetry) http.Handler {
 	return mux
 }
 
+// finiteOr returns v, or fallback when v is NaN/±Inf.
+func finiteOr(v, fallback float64) float64 {
+	if !wire.Finite(v) {
+		return fallback
+	}
+	return v
+}
+
 func toJSON(p workflow.Progress, updates int64) statusJSON {
-	return statusJSON{
+	js := statusJSON{
 		Completed: p.Completed,
 		Failed:    p.Failed,
 		Cancelled: p.Cancelled,
@@ -140,4 +149,11 @@ func toJSON(p workflow.Progress, updates int64) statusJSON {
 		ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond),
 		Updates:   updates,
 	}
+	// encoding/json fails at runtime on non-finite floats, and rho is a
+	// ratio of singular values that legitimately goes NaN when the
+	// ensemble degenerates — degrade the payload instead of killing the
+	// status endpoint mid-run.
+	js.Rho = finiteOr(js.Rho, 0)
+	js.ElapsedMS = finiteOr(js.ElapsedMS, 0)
+	return js
 }

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"esse/internal/ncdf"
 	"esse/internal/telemetry"
@@ -223,10 +224,22 @@ type Client struct {
 	HTTP *http.Client
 }
 
-// NewClient returns a client for the given base URL.
+// NewClient returns a client for the given base URL. The client is
+// bounded: a data server that accepts the connection and then stalls
+// (a remote execution host mid-restart, say) fails the fetch after
+// clientTimeout instead of hanging the forecast pipeline. Callers
+// needing different bounds can replace HTTP.
 func NewClient(base string) *Client {
-	return &Client{Base: strings.TrimRight(base, "/"), HTTP: http.DefaultClient}
+	return &Client{
+		Base: strings.TrimRight(base, "/"),
+		HTTP: &http.Client{Timeout: clientTimeout},
+	}
 }
+
+// clientTimeout caps one whole request/response exchange, including
+// reading the body. Hyperslab payloads are tens of MB at worst, so a
+// minute is generous on any link the paper's setting cares about.
+const clientTimeout = 60 * time.Second
 
 // Datasets lists the server's dataset names.
 func (c *Client) Datasets() ([]string, error) {

@@ -409,6 +409,12 @@ func Simulate(c *cluster.Cluster, jobs int, spec JobSpec, cfg Config) *Result {
 			res.JobsCompleted++
 			finishJob(res, cs, t, &jobSecondsSum, &jobSecondsMax)
 			tryAssign(ci, t)
+		case stIdle:
+			// Idle cores advance only through tryAssign; an event landing
+			// here means the heap holds a stale entry for a core that was
+			// since parked — a simulator invariant violation, not a state
+			// to wave through silently.
+			panic(fmt.Sprintf("sched: lifecycle event for idle core %d at t=%.3f", ci, t))
 		}
 	}
 

@@ -108,19 +108,19 @@ func TestLabelValueEscaping(t *testing.T) {
 
 func TestParsePrometheusErrors(t *testing.T) {
 	bad := []string{
-		"esse_x",                      // no value
-		"esse_x notanumber",           // bad value
-		"esse_x{k=\"v\" 1",            // unterminated label set
-		"esse_x{k=\"v\\q\"} 1",        // unknown escape
-		"esse_x{k=v} 1",               // unquoted value
-		"esse_x{=\"v\"} 1",            // empty key
-		"esse_x 1 2 3",                // trailing junk
-		"9leading 1",                  // invalid name
-		"# TYPE esse_x wavelet",       // unknown type
-		"# TYPE esse_x",               // truncated TYPE
-		"# HELP  trailing",            // HELP without name
-		"esse_x{k=\"unterminated} 1",  // unterminated value
-		"esse_x{k=\"v\"} 1 notatime",  // bad timestamp
+		"esse_x",                     // no value
+		"esse_x notanumber",          // bad value
+		"esse_x{k=\"v\" 1",           // unterminated label set
+		"esse_x{k=\"v\\q\"} 1",       // unknown escape
+		"esse_x{k=v} 1",              // unquoted value
+		"esse_x{=\"v\"} 1",           // empty key
+		"esse_x 1 2 3",               // trailing junk
+		"9leading 1",                 // invalid name
+		"# TYPE esse_x wavelet",      // unknown type
+		"# TYPE esse_x",              // truncated TYPE
+		"# HELP  trailing",           // HELP without name
+		"esse_x{k=\"unterminated} 1", // unterminated value
+		"esse_x{k=\"v\"} 1 notatime", // bad timestamp
 	}
 	for _, line := range bad {
 		if _, err := ParsePrometheus(strings.NewReader(line + "\n")); err == nil {
@@ -129,11 +129,11 @@ func TestParsePrometheusErrors(t *testing.T) {
 	}
 
 	good := []string{
-		"",                             // empty body
-		"# arbitrary comment\n",        // non-header comment
-		"esse_x 1 1700000000\n",        // timestamp accepted
-		"esse_x{} 1\n",                 // empty label set
-		"esse_x{le=\"0.5\"} 1\n",       // le legal in parse direction
+		"",                       // empty body
+		"# arbitrary comment\n",  // non-header comment
+		"esse_x 1 1700000000\n",  // timestamp accepted
+		"esse_x{} 1\n",           // empty label set
+		"esse_x{le=\"0.5\"} 1\n", // le legal in parse direction
 		"# TYPE esse_x counter\nesse_x 1\n",
 	}
 	for _, text := range good {

@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -55,12 +57,22 @@ func (t *Telemetry) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = t.Registry().WritePrometheus(w)
 }
 
-// eventsReply is the /events response envelope. Oldest lets a poller
+// EventsPage is the /events response envelope. Oldest lets a poller
 // detect ring wraparound (events in [since, oldest) were lost).
-type eventsReply struct {
+type EventsPage struct {
 	Total  int64   `json:"total"`
 	Oldest int64   `json:"oldest"`
 	Events []Event `json:"events"`
+}
+
+// ParseEvents decodes one /events response body — the read side of
+// handleEvents, for pollers and tests that consume the endpoint.
+func ParseEvents(r io.Reader) (*EventsPage, error) {
+	var page EventsPage
+	if err := json.NewDecoder(r).Decode(&page); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding events page: %w", err)
+	}
+	return &page, nil
 }
 
 func (t *Telemetry) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -74,7 +86,7 @@ func (t *Telemetry) handleEvents(w http.ResponseWriter, r *http.Request) {
 		since = v
 	}
 	log := t.Events()
-	reply := eventsReply{
+	reply := EventsPage{
 		Total:  log.Total(),
 		Oldest: log.Oldest(),
 		Events: log.Snapshot(since),

@@ -108,7 +108,7 @@ func TestPprofMounted(t *testing.T) {
 
 func TestNilTelemetryHTTP(t *testing.T) {
 	var tel *Telemetry
-	tel.Mount(nil)               // must not panic
+	tel.Mount(nil)                // must not panic
 	tel.Mount(http.NewServeMux()) // no-op
 	h := tel.Handler()
 	if rec := get(t, h, "/metrics"); rec.Code != http.StatusNotFound {

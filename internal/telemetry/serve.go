@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// shutdownGrace bounds the drain when a context-driven shutdown asks
+// in-flight requests to finish.
+const shutdownGrace = 5 * time.Second
+
+// NewServer wraps h in an http.Server with the repository's standard
+// bounds: ReadHeaderTimeout keeps a client trickling header bytes from
+// pinning a connection forever. Telemetry and monitor endpoints may
+// stream large traces, so no blanket write timeout is imposed.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+}
+
+// Serve runs h on addr until the listener fails or ctx is cancelled,
+// then drains in-flight requests for up to shutdownGrace before
+// closing. A context-driven shutdown returns nil: it is the expected
+// way down, not an error.
+func Serve(ctx context.Context, addr string, h http.Handler) error {
+	srv := NewServer(addr, h)
+	errc := make(chan error, 1)
+	go func() {
+		err := srv.ListenAndServe()
+		// Buffered send with a default: if Serve already returned
+		// through ctx.Done, nobody drains errc and the goroutine must
+		// still exit.
+		select {
+		case errc <- err:
+		default:
+		}
+	}()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}

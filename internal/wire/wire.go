@@ -1,0 +1,261 @@
+// Package wire defines the blessed JSON wire types for the
+// dispatcher/worker split (ROADMAP item 1): the task a dispatcher
+// offers, the lease a worker holds while computing it, and the result
+// it reports back. Every type here round-trips through
+// Encode*/Decode*, carries only concrete exported fields, and is
+// validated on both sides of the socket — the invariants esselint's
+// jsonwire analyzer enforces tree-wide.
+//
+// NaN/Inf policy: ESSE state is NaN/Inf-prone — error variances
+// collapse, condition numbers blow up, timing ratios divide by zero —
+// and encoding/json fails AT RUNTIME on a non-finite float, turning a
+// numerical wobble into a dropped lease. Every float crossing the
+// wire must therefore be finite: Validate rejects NaN and ±Inf on
+// both the encode path (before the value is committed to the socket,
+// where the failure is attributable) and the decode path (defense in
+// depth against peers not built from this package). Use
+// Finite/CheckFinite for new fields; jsonwire treats a field routed
+// through them as provably NaN/Inf-free.
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Finite reports whether v is neither NaN nor ±Inf.
+func Finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// CheckFinite returns an error naming field when v is not finite.
+func CheckFinite(field string, v float64) error {
+	if !Finite(v) {
+		return fmt.Errorf("wire: field %s is not finite (%v)", field, v)
+	}
+	return nil
+}
+
+// TaskKind classifies the many-task work units of the ESSE pipeline.
+type TaskKind uint8
+
+const (
+	// KindPerturb generates one perturbed initial condition.
+	KindPerturb TaskKind = iota
+	// KindForecast integrates one ensemble member forward.
+	KindForecast
+	// KindTangentLinear runs one tangent-linear acoustics solve.
+	KindTangentLinear
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case KindPerturb:
+		return "perturb"
+	case KindForecast:
+		return "forecast"
+	case KindTangentLinear:
+		return "tangent-linear"
+	}
+	return fmt.Sprintf("TaskKind(%d)", uint8(k))
+}
+
+// valid reports whether k names a defined kind (the decode-side gate:
+// a peer can send any integer).
+func (k TaskKind) valid() bool {
+	return k <= KindTangentLinear
+}
+
+// LeaseState is the lifecycle of one task lease on the dispatcher.
+type LeaseState uint8
+
+const (
+	// LeasePending: offered, not yet claimed by a worker.
+	LeasePending LeaseState = iota
+	// LeaseActive: claimed; the worker must renew before the deadline.
+	LeaseActive
+	// LeaseExpired: the renewal deadline passed; the task is
+	// re-offerable.
+	LeaseExpired
+	// LeaseCompleted: a result was accepted.
+	LeaseCompleted
+	// LeaseFailed: the worker reported failure; retry policy applies.
+	LeaseFailed
+)
+
+func (s LeaseState) String() string {
+	switch s {
+	case LeasePending:
+		return "pending"
+	case LeaseActive:
+		return "active"
+	case LeaseExpired:
+		return "expired"
+	case LeaseCompleted:
+		return "completed"
+	case LeaseFailed:
+		return "failed"
+	}
+	return fmt.Sprintf("LeaseState(%d)", uint8(s))
+}
+
+func (s LeaseState) valid() bool {
+	return s <= LeaseFailed
+}
+
+// Task is one unit of many-task work as the dispatcher offers it.
+type Task struct {
+	// ID is the dispatcher-unique task identifier.
+	ID string `json:"id"`
+	// Kind selects the computation.
+	Kind TaskKind `json:"kind"`
+	// Member is the ensemble-member index the task belongs to.
+	Member int `json:"member"`
+	// Attempt counts prior offers of this task (0 = first).
+	Attempt int `json:"attempt"`
+	// Seed is the deterministic RNG stream seed for the member, so a
+	// retried task reproduces the original draw bit-for-bit.
+	Seed uint64 `json:"seed"`
+	// Dt is the model time step in seconds; Horizon the forecast
+	// length in seconds. Both must be finite and positive.
+	Dt      float64 `json:"dt"`
+	Horizon float64 `json:"horizon"`
+}
+
+// Validate enforces the wire invariants in both directions.
+func (t *Task) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("wire: task has empty id")
+	}
+	if !t.Kind.valid() {
+		return fmt.Errorf("wire: task %s has unknown kind %d", t.ID, uint8(t.Kind))
+	}
+	if t.Member < 0 {
+		return fmt.Errorf("wire: task %s has negative member %d", t.ID, t.Member)
+	}
+	if t.Attempt < 0 {
+		return fmt.Errorf("wire: task %s has negative attempt %d", t.ID, t.Attempt)
+	}
+	if err := CheckFinite("dt", t.Dt); err != nil {
+		return err
+	}
+	if err := CheckFinite("horizon", t.Horizon); err != nil {
+		return err
+	}
+	if t.Dt <= 0 || t.Horizon <= 0 {
+		return fmt.Errorf("wire: task %s has non-positive dt=%v or horizon=%v", t.ID, t.Dt, t.Horizon)
+	}
+	return nil
+}
+
+// Lease is the dispatcher's record of one offered task, as reported
+// to workers and monitors.
+type Lease struct {
+	TaskID string     `json:"task_id"`
+	Worker string     `json:"worker"`
+	State  LeaseState `json:"state"`
+	// DeadlineUnixMS is the renewal deadline, milliseconds since the
+	// Unix epoch. Integer on purpose: wall-clock times never ride the
+	// wire as floats.
+	DeadlineUnixMS int64 `json:"deadline_unix_ms"`
+}
+
+// Validate enforces the wire invariants in both directions.
+func (l *Lease) Validate() error {
+	if l.TaskID == "" {
+		return fmt.Errorf("wire: lease has empty task_id")
+	}
+	if !l.State.valid() {
+		return fmt.Errorf("wire: lease %s has unknown state %d", l.TaskID, uint8(l.State))
+	}
+	if l.State != LeasePending && l.Worker == "" {
+		return fmt.Errorf("wire: lease %s in state %s has no worker", l.TaskID, l.State)
+	}
+	return nil
+}
+
+// Result is a worker's report for one completed (or failed) task.
+type Result struct {
+	TaskID string `json:"task_id"`
+	Worker string `json:"worker"`
+	OK     bool   `json:"ok"`
+	// Error carries the failure description when OK is false.
+	Error string `json:"error,omitempty"`
+	// Rho is the ensemble convergence metric of the member; ElapsedSec
+	// the wall time spent. Both must be finite.
+	Rho        float64 `json:"rho"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+// Validate enforces the wire invariants in both directions.
+func (r *Result) Validate() error {
+	if r.TaskID == "" {
+		return fmt.Errorf("wire: result has empty task_id")
+	}
+	if r.Worker == "" {
+		return fmt.Errorf("wire: result %s has no worker", r.TaskID)
+	}
+	if !r.OK && r.Error == "" {
+		return fmt.Errorf("wire: failed result %s carries no error", r.TaskID)
+	}
+	if err := CheckFinite("rho", r.Rho); err != nil {
+		return err
+	}
+	if err := CheckFinite("elapsed_sec", r.ElapsedSec); err != nil {
+		return err
+	}
+	if r.ElapsedSec < 0 {
+		return fmt.Errorf("wire: result %s has negative elapsed_sec %v", r.TaskID, r.ElapsedSec)
+	}
+	return nil
+}
+
+// EncodeTask validates t and writes it to w as one JSON line.
+func EncodeTask(w io.Writer, t *Task) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(t)
+}
+
+// DecodeTask reads one JSON task from r and validates it.
+func DecodeTask(r io.Reader, t *Task) error {
+	if err := json.NewDecoder(r).Decode(t); err != nil {
+		return fmt.Errorf("wire: decoding task: %w", err)
+	}
+	return t.Validate()
+}
+
+// EncodeLease validates l and writes it to w as one JSON line.
+func EncodeLease(w io.Writer, l *Lease) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(l)
+}
+
+// DecodeLease reads one JSON lease from r and validates it.
+func DecodeLease(r io.Reader, l *Lease) error {
+	if err := json.NewDecoder(r).Decode(l); err != nil {
+		return fmt.Errorf("wire: decoding lease: %w", err)
+	}
+	return l.Validate()
+}
+
+// EncodeResult validates res and writes it to w as one JSON line.
+func EncodeResult(w io.Writer, res *Result) error {
+	if err := res.Validate(); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(res)
+}
+
+// DecodeResult reads one JSON result from r and validates it.
+func DecodeResult(r io.Reader, res *Result) error {
+	if err := json.NewDecoder(r).Decode(res); err != nil {
+		return fmt.Errorf("wire: decoding result: %w", err)
+	}
+	return res.Validate()
+}
