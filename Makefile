@@ -22,6 +22,8 @@ race:
 FUZZTIME ?= 10s
 test-fuzz:
 	$(GO) test -fuzz=FuzzParsePrometheus -fuzztime=$(FUZZTIME) ./internal/telemetry
+	$(GO) test -fuzz=FuzzDecodeTask -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz=FuzzDecodeResult -fuzztime=$(FUZZTIME) ./internal/wire
 
 vet:
 	$(GO) vet ./...

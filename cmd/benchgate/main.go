@@ -16,6 +16,14 @@
 // absorbs worker-goroutine count differences across machines with
 // different GOMAXPROCS, the relative bound catches real per-iteration
 // leaks on the big counts.
+//
+// -time-gate opts into gating ns/op too, with a variance-aware
+// tolerance: feed a -count>1 stream and the effective headroom is the
+// larger of -time-tolerance and -time-spread-mult times the run's own
+// relative repetition spread, so a noisy machine widens its own gate
+// instead of failing on jitter. CI keeps wall time recorded but
+// ungated; scripts/bench.sh -time-gate is the opt-in (DESIGN §7
+// documents the policy-flip path).
 package main
 
 import (
@@ -69,8 +77,12 @@ func canonicalName(field string) string {
 	return name
 }
 
-func parseBench(r *bufio.Scanner) (map[string]Metrics, error) {
+// parseBench returns the merged metrics per benchmark plus every ns/op
+// observation (one per -count repetition), which the time gate uses to
+// measure this run's own spread.
+func parseBench(r *bufio.Scanner) (map[string]Metrics, map[string][]float64, error) {
 	out := map[string]Metrics{}
+	samples := map[string][]float64{}
 	for r.Scan() {
 		fields := strings.Fields(r.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -97,6 +109,7 @@ func parseBench(r *bufio.Scanner) (map[string]Metrics, error) {
 		if !seen || !m.finite() {
 			continue
 		}
+		samples[name] = append(samples[name], m.NsPerOp)
 		if prev, ok := out[name]; ok && prev.AllocsPerOp > m.AllocsPerOp {
 			// -count>1 or duplicate names: keep the worst observation so
 			// the gate never passes on a lucky run.
@@ -104,7 +117,42 @@ func parseBench(r *bufio.Scanner) (map[string]Metrics, error) {
 		}
 		out[name] = m
 	}
-	return out, r.Err()
+	// Record the mean ns/op across repetitions, not whichever duplicate
+	// carried the worst allocs: allocation gating wants the worst case,
+	// wall-time gating the central tendency.
+	for name, ns := range samples {
+		m := out[name]
+		m.NsPerOp = mean(ns)
+		out[name] = m
+	}
+	return out, samples, r.Err()
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// relSpread is (max-min)/mean over one benchmark's repetitions — the
+// run's own noise level, which the time gate's tolerance adapts to.
+func relSpread(xs []float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	m := mean(xs)
+	if m <= 0 {
+		return 0
+	}
+	return (hi - lo) / m
 }
 
 func main() {
@@ -113,11 +161,14 @@ func main() {
 	out := flag.String("out", "", "optional path to write this run's parsed metrics (CI artifact)")
 	tolerance := flag.Float64("tolerance", 0.15, "relative allocs/op headroom before a regression fires")
 	slack := flag.Float64("slack", 4, "absolute allocs/op headroom (absorbs GOMAXPROCS-dependent worker spawns)")
+	timeGate := flag.Bool("time-gate", false, "also gate ns/op against the baseline (off by default: shared-runner wall time is noise; opt in via scripts/bench.sh -time-gate)")
+	timeTolerance := flag.Float64("time-tolerance", 0.25, "minimum relative ns/op headroom when -time-gate is on")
+	timeSpreadMult := flag.Float64("time-spread-mult", 3, "variance adaptation: effective ns/op tolerance is max(time-tolerance, mult × this run's relative repetition spread)")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	observed, err := parseBench(sc)
+	observed, samples, err := parseBench(sc)
 	if err != nil {
 		fatalf("reading benchmark stream: %v", err)
 	}
@@ -171,6 +222,19 @@ func main() {
 			fmt.Printf("benchgate: improved %-36s %.0f allocs/op (baseline %.0f; refresh with `make bench-update`)\n",
 				name, got.AllocsPerOp, want.AllocsPerOp)
 		}
+		if *timeGate && want.NsPerOp > 0 {
+			tol := *timeTolerance
+			if ns := samples[name]; len(ns) > 1 {
+				if adaptive := relSpread(ns) * *timeSpreadMult; adaptive > tol {
+					tol = adaptive
+				}
+			}
+			if limit := want.NsPerOp * (1 + tol); got.NsPerOp > limit {
+				fmt.Printf("benchgate: FAIL %-40s %.0f ns/op > limit %.0f (baseline %.0f, tolerance %.0f%%)\n",
+					name, got.NsPerOp, limit, want.NsPerOp, tol*100)
+				regressions++
+			}
+		}
 	}
 	var unbaselined []string
 	for name := range observed {
@@ -183,9 +247,13 @@ func main() {
 		fmt.Printf("benchgate: note: %s not in baseline; add it with `make bench-update`\n", name)
 	}
 	if regressions > 0 {
-		fatalf("%d allocation regression(s) against %s", regressions, *baselinePath)
+		fatalf("%d regression(s) against %s", regressions, *baselinePath)
 	}
-	fmt.Printf("benchgate: %d benchmarks within allocation budget\n", len(names))
+	budget := "allocation budget"
+	if *timeGate {
+		budget = "allocation and wall-time budgets"
+	}
+	fmt.Printf("benchgate: %d benchmarks within %s\n", len(names), budget)
 }
 
 func writeJSON(path string, b *Baseline) {

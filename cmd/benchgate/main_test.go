@@ -18,7 +18,7 @@ ok  	esse	0.5s
 `
 
 func TestParseBench(t *testing.T) {
-	got, err := parseBench(bufio.NewScanner(strings.NewReader(sampleStream)))
+	got, _, err := parseBench(bufio.NewScanner(strings.NewReader(sampleStream)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,12 +50,51 @@ BenchmarkX 	1	100 ns/op	8 B/op	3 allocs/op
 BenchmarkX 	1	100 ns/op	8 B/op	9 allocs/op
 BenchmarkX 	1	100 ns/op	8 B/op	5 allocs/op
 `
-	got, err := parseBench(bufio.NewScanner(strings.NewReader(stream)))
+	got, samples, err := parseBench(bufio.NewScanner(strings.NewReader(stream)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got["X"].AllocsPerOp != 9 {
 		t.Errorf("duplicate merge kept %v allocs/op, want the worst (9)", got["X"].AllocsPerOp)
+	}
+	if len(samples["X"]) != 3 {
+		t.Errorf("samples kept %d ns/op observations, want 3", len(samples["X"]))
+	}
+}
+
+func TestParseBenchMeanNsAcrossRepetitions(t *testing.T) {
+	// -count=3 style stream: allocs gates on the worst repetition, but
+	// ns/op must come out as the mean — the time gate compares central
+	// tendency, not whichever line carried the worst allocs.
+	stream := `
+BenchmarkY 	1	100 ns/op	8 B/op	3 allocs/op
+BenchmarkY 	1	400 ns/op	8 B/op	7 allocs/op
+BenchmarkY 	1	100 ns/op	8 B/op	3 allocs/op
+`
+	got, samples, err := parseBench(bufio.NewScanner(strings.NewReader(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["Y"].AllocsPerOp != 7 {
+		t.Errorf("allocs = %v, want worst repetition (7)", got["Y"].AllocsPerOp)
+	}
+	if got["Y"].NsPerOp != 200 {
+		t.Errorf("ns/op = %v, want mean across repetitions (200)", got["Y"].NsPerOp)
+	}
+	if spread := relSpread(samples["Y"]); spread != 1.5 {
+		t.Errorf("relSpread = %v, want (400-100)/200 = 1.5", spread)
+	}
+}
+
+func TestRelSpread(t *testing.T) {
+	if got := relSpread([]float64{100}); got != 0 {
+		t.Errorf("single observation spread = %v, want 0", got)
+	}
+	if got := relSpread([]float64{90, 100, 110}); got != 0.2 {
+		t.Errorf("spread = %v, want 0.2", got)
+	}
+	if got := relSpread([]float64{0, 0}); got != 0 {
+		t.Errorf("zero-mean spread = %v, want 0 (guarded)", got)
 	}
 }
 

@@ -32,12 +32,41 @@ type jsonDiag struct {
 	Suppressed bool   `json:"suppressed"`
 }
 
+// statsJSON is the artifact form of one run's stats (-stats-json):
+// fact-table sizes and per-analyzer wall times, written as a single
+// JSON object so CI can diff analyzer cost across runs.
+type statsJSON struct {
+	ProgramBuildNs   int64              `json:"program_build_ns"`
+	Funcs            int                `json:"funcs"`
+	SCCs             int                `json:"sccs"`
+	EffectFacts      int                `json:"effect_facts"`
+	NumericSummaries int                `json:"numeric_summaries"`
+	LockSummaryKeys  int                `json:"lock_summary_keys"`
+	LockPairs        int                `json:"lock_pairs"`
+	CtxParams        int                `json:"ctx_params"`
+	AtomicKeys       int                `json:"atomic_keys"`
+	EntryHeldFuncs   int                `json:"entry_held_funcs"`
+	WireTypes        int                `json:"wire_types"`
+	FSMTables        int                `json:"fsm_tables"`
+	FSMTransitions   int                `json:"fsm_transitions"`
+	Obligations      int                `json:"obligations"`
+	Analyzers        []analyzerStatJSON `json:"analyzers"`
+}
+
+type analyzerStatJSON struct {
+	Name       string `json:"name"`
+	WallNs     int64  `json:"wall_ns"`
+	Findings   int    `json:"findings"`
+	Suppressed int    `json:"suppressed"`
+}
+
 func main() {
 	vet := flag.Bool("vet", true, "also run the stock `go vet` passes on the same patterns")
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic (including suppressed ones) instead of text")
 	audit := flag.Bool("audit", false, "list every //esselint:allow[file] directive; exit non-zero on directives with no reason or an unknown analyzer")
 	stats := flag.Bool("stats", false, "print per-analyzer wall time and interprocedural fact counts to stderr after the run")
+	statsJSONPath := flag.String("stats-json", "", "write the fact counts and per-analyzer wall times as a JSON object to this file")
 	escapes := flag.Bool("escapes", false, "cross-check hotalloc/boxing findings against the compiler's escape analysis (go build -gcflags=-m): heap facts confirm, stack facts suppress")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: esselint [flags] [package patterns]\n\n")
@@ -94,6 +123,12 @@ func main() {
 	if *stats {
 		printStats(runStats)
 	}
+	if *statsJSONPath != "" {
+		if err := writeStatsJSON(*statsJSONPath, runStats); err != nil {
+			fmt.Fprintln(os.Stderr, "esselint:", err)
+			os.Exit(2)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		for _, d := range diags {
@@ -145,10 +180,46 @@ func printStats(s *lint.RunStats) {
 	fmt.Fprintf(os.Stderr, "esselint: stats: concurrency facts: %d ctx-taking funcs, %d atomic keys, %d funcs entered with locks held\n",
 		s.CtxParams, s.AtomicKeys, s.EntryHeldFuncs)
 	fmt.Fprintf(os.Stderr, "esselint: stats: wire facts: %d types reaching a json sink\n", s.WireTypes)
+	fmt.Fprintf(os.Stderr, "esselint: stats: lifecycle facts: %d fsm tables carrying %d transitions; %d obligations tracked\n",
+		s.FSMTables, s.FSMTransitions, s.Obligations)
 	for _, a := range s.Analyzers {
 		fmt.Fprintf(os.Stderr, "esselint: stats: %-16s %10v  findings=%d suppressed=%d\n",
 			a.Name, a.Wall.Round(time.Microsecond), a.Findings, a.Suppressed)
 	}
+}
+
+// writeStatsJSON writes the run's stats as one JSON object, the CI
+// analyzer-cost artifact.
+func writeStatsJSON(path string, s *lint.RunStats) error {
+	out := statsJSON{
+		ProgramBuildNs:   s.ProgramWall.Nanoseconds(),
+		Funcs:            s.Funcs,
+		SCCs:             s.SCCs,
+		EffectFacts:      s.EffectFacts,
+		NumericSummaries: s.NumericSummaries,
+		LockSummaryKeys:  s.LockSummaryKeys,
+		LockPairs:        s.LockPairs,
+		CtxParams:        s.CtxParams,
+		AtomicKeys:       s.AtomicKeys,
+		EntryHeldFuncs:   s.EntryHeldFuncs,
+		WireTypes:        s.WireTypes,
+		FSMTables:        s.FSMTables,
+		FSMTransitions:   s.FSMTransitions,
+		Obligations:      s.Obligations,
+	}
+	for _, a := range s.Analyzers {
+		out.Analyzers = append(out.Analyzers, analyzerStatJSON{
+			Name:       a.Name,
+			WallNs:     a.Wall.Nanoseconds(),
+			Findings:   a.Findings,
+			Suppressed: a.Suppressed,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // runAudit prints the tree's suppression directives and returns the

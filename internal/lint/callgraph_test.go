@@ -128,6 +128,32 @@ func TestEffectSummaries(t *testing.T) {
 	}
 }
 
+// TestReleaseAndNetworkEffects pins the v7 effect bits on the fixture
+// packages that exercise them: EffReleases must mark a helper that
+// closes its parameter and not one that only reads it (the transfer
+// test resleak's interprocedural discharge depends on), and EffNetwork
+// must propagate from a direct net.Dial to its in-set caller (the
+// trigger retrybudget's helper case depends on).
+func TestReleaseAndNetworkEffects(t *testing.T) {
+	res := BuildProgram([]*Package{loadFixturePkg(t, "resleak")})
+	if res.Effects["resleak.closeAll"]&EffReleases == 0 {
+		t.Errorf("closeAll (closes its *os.File parameter) lacks EffReleases: %b", res.Effects["resleak.closeAll"])
+	}
+	if res.Effects["resleak.report"]&EffReleases != 0 {
+		t.Errorf("report (only reads its parameter) must not carry EffReleases: %b", res.Effects["resleak.report"])
+	}
+
+	rb := BuildProgram([]*Package{loadFixturePkg(t, "retrybudget")})
+	for _, key := range []string{"retrybudget.dialOnce", "retrybudget.hammer"} {
+		if rb.Effects[key]&EffNetwork == 0 {
+			t.Errorf("%s (reaches net.Dial) lacks EffNetwork: %b", key, rb.Effects[key])
+		}
+	}
+	if rb.Effects["retrybudget.channelLoop"]&EffNetwork != 0 {
+		t.Errorf("channelLoop (no network I/O) must not carry EffNetwork: %b", rb.Effects["retrybudget.channelLoop"])
+	}
+}
+
 func TestNumericSummaryFixpoint(t *testing.T) {
 	p := BuildProgram([]*Package{loadFixturePkg(t, "divguardsum")})
 	base := func(key string) uint8 {

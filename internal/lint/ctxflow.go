@@ -361,187 +361,54 @@ func checkCtxCall(pass *Pass, ext *ctxExtent, call *ast.CallExpr) {
 
 // --- cancel-path analysis ---------------------------------------------------
 
-// cancelFact maps each live cancel function variable to the position of
-// the context.WithX call that produced it. Presence means "some path
-// reaches here without resolving the cancel"; the analysis is a may-
-// analysis (meet = union), so a cancel resolved on only one branch
-// stays live on the other.
-type cancelFact map[*types.Var]token.Pos
-
-func (f cancelFact) clone() cancelFact {
-	c := make(cancelFact, len(f))
-	for k, v := range f {
-		c[k] = v
-	}
-	return c
-}
-
-type cancelFlow struct {
-	info *types.Info
-}
-
-func (cf *cancelFlow) Boundary() Fact { return cancelFact{} }
-func (cf *cancelFlow) Top() Fact      { return cancelFact(nil) }
-
-func (cf *cancelFlow) Transfer(b *Block, in Fact) Fact {
-	st, _ := in.(cancelFact)
-	if st == nil {
-		return cancelFact(nil)
-	}
-	out := st.clone()
-	for _, n := range b.Nodes {
-		replayCancel(cf.info, n, out, nil)
-	}
-	return out
-}
-
-func (cf *cancelFlow) FlowEdge(e *Edge, out Fact) Fact { return out }
-
-func (cf *cancelFlow) Meet(a, b Fact) Fact {
-	sa, _ := a.(cancelFact)
-	sb, _ := b.(cancelFact)
-	if sa == nil {
-		return sb
-	}
-	if sb == nil {
-		return sa
-	}
-	m := sa.clone()
-	for k, v := range sb {
-		if _, ok := m[k]; !ok {
-			m[k] = v
-		}
-	}
-	return m
-}
-
-func (cf *cancelFlow) Equal(a, b Fact) bool {
-	sa, _ := a.(cancelFact)
-	sb, _ := b.(cancelFact)
-	if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
-		return false
-	}
-	for k := range sa {
-		if _, ok := sb[k]; !ok {
-			return false
-		}
-	}
-	return true
-}
-
 // cancelFuncNames are the context constructors returning a CancelFunc.
 var cancelFuncNames = map[string]bool{
 	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
 	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
 }
 
-// replayCancel updates the live-cancel fact through one block node:
-// a `_, cancel := context.WithX(...)` assignment gens the cancel var;
-// any other mention of the var — a call, a defer, an argument, an
-// assignment, a return — kills it (the cancel was invoked or handed to
-// someone who can). onReturn fires at each ReturnStmt after the
-// return's own mentions are applied, so `return ctx, cancel` hands the
-// cancel onward rather than leaking it.
-func replayCancel(info *types.Info, n ast.Node, st cancelFact, onReturn func(*ast.ReturnStmt, cancelFact)) {
-	var genVar *types.Var
-	var genPos token.Pos
-	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) == 2 {
-		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
-			if obj := StaticCallee(info, call); obj != nil && obj.Pkg() != nil &&
-				obj.Pkg().Path() == "context" && cancelFuncNames[obj.Name()] {
-				if id, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok {
-					if v, ok := info.Defs[id].(*types.Var); ok {
-						genVar, genPos = v, call.Pos()
-					} else if v, ok := info.Uses[id].(*types.Var); ok {
-						genVar, genPos = v, call.Pos()
-					}
-				}
+// cancelSpec adapts cancel resolution to the shared obligation solver
+// (obligation.go): a `_, cancel := context.WithX(...)` assignment gens
+// the obligation, and any other mention of the variable — a call, a
+// defer, an argument, an assignment, a return, a capture — discharges
+// it (the cancel was invoked or handed to someone who can). Defer
+// bodies are included deliberately: a deferred cancel() resolves the
+// path it executes on. There is no release shape beyond the bare
+// mention and no error pairing, so Discharge and the edge kills stay
+// off.
+func cancelSpec(info *types.Info) *ObSpec {
+	return &ObSpec{
+		Info: info,
+		Gen: func(as *ast.AssignStmt, call *ast.CallExpr) []ObGen {
+			if len(as.Lhs) != 2 {
+				return nil
 			}
-		}
-	}
-	// Kill on any mention, excluding the defining identifier itself.
-	// Defer bodies are included deliberately: a deferred cancel()
-	// resolves the path it executes on.
-	ast.Inspect(n, func(m ast.Node) bool {
-		if _, isLit := m.(*ast.FuncLit); isLit {
-			// A literal capturing cancel counts as resolution: walk it
-			// for mentions, then prune (its body is another segment for
-			// every other analysis, but capture alone hands the cancel
-			// onward).
-			ast.Inspect(m, func(inner ast.Node) bool {
-				if id, ok := inner.(*ast.Ident); ok {
-					if v, ok := info.Uses[id].(*types.Var); ok {
-						delete(st, v)
-					}
-				}
-				return true
-			})
-			return false
-		}
-		id, ok := m.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if v, ok := info.Uses[id].(*types.Var); ok {
-			delete(st, v)
-		}
-		return true
-	})
-	if genVar != nil {
-		st[genVar] = genPos
-	}
-	if ret, ok := n.(*ast.ReturnStmt); ok && onReturn != nil {
-		onReturn(ret, st.clone())
+			obj := StaticCallee(info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" || !cancelFuncNames[obj.Name()] {
+				return nil
+			}
+			id, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			v := identVar(info, id)
+			if v == nil {
+				return nil
+			}
+			return []ObGen{{Var: v, Pos: call.Pos()}}
+		},
 	}
 }
 
 // checkCancelPaths flags context.WithX calls whose cancel is not
 // resolved on every path out of fn.
 func checkCancelPaths(pass *Pass, fn ast.Node) {
-	if funcBody(fn) == nil {
-		return
-	}
-	cfg := BuildCFG(fn)
-	res := Forward(cfg, &cancelFlow{info: pass.Info})
-	flagged := map[token.Pos]bool{}
-	flag := func(st cancelFact) {
-		for _, pos := range st {
-			if !flagged[pos] {
-				flagged[pos] = true
-				pass.Reportf(pos, "cancel function from this context.With call is not called, deferred or handed onward "+
-					"on every path out of the function; the leaked path pins the child context's timer and goroutine")
-			}
-		}
-	}
-	for _, b := range cfg.Blocks {
-		in, _ := res.In[b].(cancelFact)
-		if in == nil {
-			continue
-		}
-		st := in.clone()
-		for _, n := range b.Nodes {
-			replayCancel(pass.Info, n, st, func(_ *ast.ReturnStmt, at cancelFact) {
-				flag(at)
-			})
-		}
-	}
-	// Fall-off-the-end paths: blocks feeding Exit whose last node is
-	// neither a return nor a terminating call.
-	for _, e := range cfg.Exit.Preds {
-		b := e.From
-		if len(b.Nodes) > 0 {
-			last := b.Nodes[len(b.Nodes)-1]
-			if _, isRet := last.(*ast.ReturnStmt); isRet {
-				continue
-			}
-			if es, isExpr := last.(*ast.ExprStmt); isExpr && isTerminatingCall(es.X) {
-				continue
-			}
-		}
-		if out, _ := res.Out[b].(cancelFact); out != nil {
-			flag(out)
-		}
-	}
+	CheckObligations(pass, fn, cancelSpec(pass.Info), &ObReporter{
+		Leak: func(inf ObInfo) {
+			pass.Reportf(inf.Pos, "cancel function from this context.With call is not called, deferred or handed onward "+
+				"on every path out of the function; the leaked path pins the child context's timer and goroutine")
+		},
+	})
 }
 
 // checkTimeAfterLoops flags time.After calls inside loops anywhere in

@@ -1,5 +1,7 @@
 package lint
 
+import "go/ast"
+
 // This file implements the generic forward-dataflow fixpoint solver the
 // CFG analyzers share. An analysis supplies a lattice (Top, Meet,
 // Equal), a boundary fact for function entry, a block transfer
@@ -35,6 +37,34 @@ type FlowAnalysis interface {
 // of block b, Out[b] after its transfer.
 type FlowResult struct {
 	In, Out map[*Block]Fact
+}
+
+// fallOffExitBlocks returns the blocks feeding the synthetic Exit whose
+// last node is neither a return statement nor a terminating call —
+// i.e. the fall-off-the-end paths a "discharged on every path" analysis
+// must check in addition to the explicit returns. A block appears once
+// even if several edges reach Exit from it.
+func fallOffExitBlocks(cfg *CFG) []*Block {
+	var out []*Block
+	seen := map[*Block]bool{}
+	for _, e := range cfg.Exit.Preds {
+		b := e.From
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if len(b.Nodes) > 0 {
+			last := b.Nodes[len(b.Nodes)-1]
+			if _, isRet := last.(*ast.ReturnStmt); isRet {
+				continue
+			}
+			if es, isExpr := last.(*ast.ExprStmt); isExpr && isTerminatingCall(es.X) {
+				continue
+			}
+		}
+		out = append(out, b)
+	}
+	return out
 }
 
 // Forward solves the analysis over cfg and returns the per-block facts.

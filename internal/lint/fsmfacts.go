@@ -1,0 +1,453 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file collects the lifecycle transition tables the statefsm
+// analyzer checks assignments against. A module-local enum declares its
+// legal transitions in one of two equivalent forms:
+//
+//	//esselint:fsm Pending->Active, Active->Completed
+//	type LeaseState uint8
+//
+// (one or more directive lines on the type declaration), or an
+// adjacent package-level transitions map the runtime can also consult:
+//
+//	var LeaseTransitions = map[LeaseState][]LeaseState{...}
+//
+// When both are present they must agree — the analyzer reports any
+// drift, so the statically-checked table and the runtime table cannot
+// diverge. Tables key states by constant value (like exhaustenum, so
+// aliased names collapse), and travel cross-package: the table is
+// collected from the declaring package's source, while an importing
+// package's assignments resolve the enum through export data to the
+// same "pkgpath.TypeName" key.
+//
+// Table-level diagnoses (unknown states, members missing from the
+// table, states unreachable from the initial state, directive/map
+// drift) are recorded here as Problems and reported by statefsm in the
+// declaring package's pass only, so they surface exactly once.
+
+// FSMTable is the declared transition table of one lifecycle enum.
+type FSMTable struct {
+	// Key is the canonical "pkgpath.TypeName"; PkgPath the declaring
+	// package (the one whose statefsm pass reports Problems).
+	Key      string
+	PkgPath  string
+	TypeName string
+	// Pos anchors table-level reports: the first directive comment, or
+	// the transitions map var when only the map form is present.
+	Pos token.Pos
+	// Members maps constant value (ExactString) → representative member
+	// name, from the declaring package's scope.
+	Members map[string]string
+	// Trans maps a from-state value to its declared successor values.
+	// A member value absent from Trans (or mapped to an empty set) that
+	// still appears as a successor is terminal: no write may move the
+	// enum out of it.
+	Trans map[string]map[string]bool
+	// Initial is the value checking reachability starts from: the
+	// zero-value member when the enum has one, else every state that
+	// appears only as a from-state.
+	Initial []string
+	// Problems are the table-level findings (bad directive names,
+	// unreachable or unmentioned states, directive/map drift).
+	Problems []FSMProblem
+
+	// names maps every constant name of the type (aliases included) to
+	// its value, for directive resolution.
+	names map[string]string
+}
+
+// FSMProblem is one table-level finding.
+type FSMProblem struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Terminal reports whether the state value has no declared successors.
+func (t *FSMTable) Terminal(val string) bool {
+	return len(t.Trans[val]) == 0
+}
+
+// MemberName renders a state value as its member name for diagnostics.
+func (t *FSMTable) MemberName(val string) string {
+	if n, ok := t.Members[val]; ok {
+		return n
+	}
+	return val
+}
+
+// fsmDirectives extracts the "from->to, from->to" payloads of every
+// //esselint:fsm line in the given comment groups, with the position of
+// the first one.
+func fsmDirectives(groups ...*ast.CommentGroup) ([]string, token.Pos) {
+	var payloads []string
+	var pos token.Pos
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, "//esselint:")
+			if !ok {
+				continue
+			}
+			rest, ok := strings.CutPrefix(text, "fsm")
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			if !pos.IsValid() {
+				pos = c.Pos()
+			}
+			// Allow a trailing note after the arcs: the payload ends at
+			// an embedded "//".
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			payloads = append(payloads, strings.TrimSpace(rest))
+		}
+	}
+	return payloads, pos
+}
+
+// computeFSMTables scans the loaded source packages for fsm directives
+// and transitions map vars and builds Program.FSMTables.
+func (p *Program) computeFSMTables(pkgs []*Package) {
+	p.FSMTables = map[string]*FSMTable{}
+	for _, pkg := range pkgs {
+		if pkg.Pkg == nil {
+			continue
+		}
+		// First pass: types carrying //esselint:fsm directives.
+		type declared struct {
+			named    *types.Named
+			payloads []string
+			pos      token.Pos
+		}
+		byName := map[string]*declared{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					payloads, pos := fsmDirectives(gd.Doc, ts.Doc, ts.Comment)
+					if len(payloads) == 0 {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := obj.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					d := byName[ts.Name.Name]
+					if d == nil {
+						d = &declared{named: named, pos: pos}
+						byName[ts.Name.Name] = d
+					}
+					d.payloads = append(d.payloads, payloads...)
+				}
+			}
+		}
+		// Second pass: package-level map[T][]T transition vars.
+		type mapDecl struct {
+			named *types.Named
+			trans map[string]map[string]bool
+			pos   token.Pos
+		}
+		var mapDecls []mapDecl
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+						continue
+					}
+					named := transMapElem(pkg, vs.Names[0])
+					if named == nil {
+						continue
+					}
+					lit, ok := ast.Unparen(vs.Values[0]).(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					trans := transMapLiteral(pkg.Info, lit)
+					if trans == nil {
+						continue
+					}
+					mapDecls = append(mapDecls, mapDecl{named: named, trans: trans, pos: vs.Pos()})
+				}
+			}
+		}
+
+		for _, d := range byName {
+			t := newFSMTable(pkg, d.named, d.pos)
+			for _, payload := range d.payloads {
+				t.addDirective(payload, d.pos)
+			}
+			for _, md := range mapDecls {
+				if md.named.Obj() == d.named.Obj() {
+					t.checkMapDrift(md.trans, md.pos)
+				}
+			}
+			t.finish()
+			p.FSMTables[t.Key] = t
+		}
+		// A transitions map with no directive declares the table alone.
+		for _, md := range mapDecls {
+			key := md.named.Obj().Pkg().Path() + "." + md.named.Obj().Name()
+			if _, ok := p.FSMTables[key]; ok {
+				continue
+			}
+			t := newFSMTable(pkg, md.named, md.pos)
+			t.Trans = md.trans
+			t.finish()
+			p.FSMTables[key] = t
+		}
+	}
+}
+
+func newFSMTable(pkg *Package, named *types.Named, pos token.Pos) *FSMTable {
+	obj := named.Obj()
+	t := &FSMTable{
+		Key:      obj.Pkg().Path() + "." + obj.Name(),
+		PkgPath:  obj.Pkg().Path(),
+		TypeName: obj.Name(),
+		Pos:      pos,
+		Members:  map[string]string{},
+		Trans:    map[string]map[string]bool{},
+		names:    map[string]string{},
+	}
+	for _, m := range enumMembers(pkg.Pkg, named) {
+		t.Members[m.val] = m.name
+	}
+	// Name→value over every constant of the type, so a directive may
+	// use aliased member names too.
+	scope := pkg.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			t.names[name] = c.Val().ExactString()
+		}
+	}
+	return t
+}
+
+// addDirective parses one "A->B, C->D" payload into the table,
+// recording unknown member names as problems.
+func (t *FSMTable) addDirective(payload string, pos token.Pos) {
+	for _, arc := range strings.Split(payload, ",") {
+		arc = strings.TrimSpace(arc)
+		if arc == "" {
+			continue
+		}
+		from, to, ok := strings.Cut(arc, "->")
+		if !ok {
+			t.Problems = append(t.Problems, FSMProblem{Pos: pos,
+				Msg: fmt.Sprintf("malformed arc %q in //esselint:fsm directive for %s; want From->To", arc, t.TypeName)})
+			continue
+		}
+		fromVal, okF := t.names[strings.TrimSpace(from)]
+		toVal, okT := t.names[strings.TrimSpace(to)]
+		if !okF || !okT {
+			bad := strings.TrimSpace(from)
+			if okF {
+				bad = strings.TrimSpace(to)
+			}
+			t.Problems = append(t.Problems, FSMProblem{Pos: pos,
+				Msg: fmt.Sprintf("unknown state %q in //esselint:fsm directive for %s; declared members: %s",
+					bad, t.TypeName, strings.Join(t.memberNames(), ", "))})
+			continue
+		}
+		if t.Trans[fromVal] == nil {
+			t.Trans[fromVal] = map[string]bool{}
+		}
+		t.Trans[fromVal][toVal] = true
+	}
+}
+
+// checkMapDrift compares the directive-declared table against the
+// runtime transitions map and records any disagreement.
+func (t *FSMTable) checkMapDrift(mapTrans map[string]map[string]bool, pos token.Pos) {
+	var diffs []string
+	arcs := func(trans map[string]map[string]bool) map[string]bool {
+		set := map[string]bool{}
+		for from, tos := range trans {
+			for to := range tos {
+				set[t.MemberName(from)+"->"+t.MemberName(to)] = true
+			}
+		}
+		return set
+	}
+	dir, m := arcs(t.Trans), arcs(mapTrans)
+	for a := range dir {
+		if !m[a] {
+			diffs = append(diffs, a+" (directive only)")
+		}
+	}
+	for a := range m {
+		if !dir[a] {
+			diffs = append(diffs, a+" (map only)")
+		}
+	}
+	if len(diffs) > 0 {
+		sort.Strings(diffs)
+		t.Problems = append(t.Problems, FSMProblem{Pos: pos,
+			Msg: fmt.Sprintf("transitions map for %s disagrees with its //esselint:fsm directive: %s",
+				t.TypeName, strings.Join(diffs, ", "))})
+	}
+}
+
+// finish runs the table-level checks: every member mentioned, every
+// declared state reachable from the initial state(s).
+func (t *FSMTable) finish() {
+	mentioned := map[string]bool{}
+	isTo := map[string]bool{}
+	for from, tos := range t.Trans {
+		mentioned[from] = true
+		for to := range tos {
+			mentioned[to] = true
+			isTo[to] = true
+		}
+	}
+	for _, val := range sortedFSMVals(t.Members) {
+		if !mentioned[val] {
+			t.Problems = append(t.Problems, FSMProblem{Pos: t.Pos,
+				Msg: fmt.Sprintf("fsm table for %s never mentions member %s; wire every lifecycle state into the table (or drop the state)",
+					t.TypeName, t.Members[val])})
+		}
+	}
+	// Initial: the zero-value member when present, else the pure
+	// sources (from-states that are never successors).
+	if _, ok := t.Members["0"]; ok && mentioned["0"] {
+		t.Initial = []string{"0"}
+	} else {
+		for from := range t.Trans {
+			if !isTo[from] {
+				t.Initial = append(t.Initial, from)
+			}
+		}
+		sort.Strings(t.Initial)
+	}
+	if len(t.Initial) == 0 {
+		return // a pure cycle: reachability has no anchor, skip the check
+	}
+	reach := map[string]bool{}
+	queue := append([]string(nil), t.Initial...)
+	for _, s := range queue {
+		reach[s] = true
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, to := range sortedKeys(t.Trans[s]) {
+			if !reach[to] {
+				reach[to] = true
+				queue = append(queue, to)
+			}
+		}
+	}
+	for _, val := range sortedFSMVals(t.Members) {
+		if mentioned[val] && !reach[val] {
+			t.Problems = append(t.Problems, FSMProblem{Pos: t.Pos,
+				Msg: fmt.Sprintf("state %s in the fsm table for %s is unreachable from the initial state %s",
+					t.Members[val], t.TypeName, t.MemberName(t.Initial[0]))})
+		}
+	}
+}
+
+func (t *FSMTable) memberNames() []string {
+	names := make([]string, 0, len(t.Members))
+	for _, n := range t.Members {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedFSMVals(members map[string]string) []string {
+	vals := make([]string, 0, len(members))
+	for v := range members {
+		vals = append(vals, v)
+	}
+	// Sort by member name so problem order is deterministic and reads
+	// in declaration-ish order rather than value-string order.
+	sort.Slice(vals, func(i, j int) bool { return members[vals[i]] < members[vals[j]] })
+	return vals
+}
+
+// transMapElem reports whether the declared variable is a package-level
+// map[T][]T for a local enum T, returning T.
+func transMapElem(pkg *Package, name *ast.Ident) *types.Named {
+	obj, ok := pkg.Info.Defs[name].(*types.Var)
+	if !ok || obj.Parent() != pkg.Pkg.Scope() {
+		return nil
+	}
+	m, ok := obj.Type().Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	keyNamed, ok := m.Key().(*types.Named)
+	if !ok || keyNamed.Obj().Pkg() == nil || keyNamed.Obj().Pkg().Path() != pkg.Path {
+		return nil
+	}
+	slice, ok := m.Elem().Underlying().(*types.Slice)
+	if !ok || !types.Identical(slice.Elem(), keyNamed) {
+		return nil
+	}
+	basic, ok := keyNamed.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	return keyNamed
+}
+
+// transMapLiteral reads a map[T][]T composite literal into a value-
+// keyed transition table; nil when any key or element is non-constant.
+func transMapLiteral(info *types.Info, lit *ast.CompositeLit) map[string]map[string]bool {
+	trans := map[string]map[string]bool{}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return nil
+		}
+		kt, ok := info.Types[kv.Key]
+		if !ok || kt.Value == nil {
+			return nil
+		}
+		from := kt.Value.ExactString()
+		inner, ok := ast.Unparen(kv.Value).(*ast.CompositeLit)
+		if !ok {
+			return nil
+		}
+		if trans[from] == nil {
+			trans[from] = map[string]bool{}
+		}
+		for _, e := range inner.Elts {
+			et, ok := info.Types[e]
+			if !ok || et.Value == nil {
+				return nil
+			}
+			trans[from][et.Value.ExactString()] = true
+		}
+	}
+	return trans
+}

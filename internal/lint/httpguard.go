@@ -65,156 +65,67 @@ func runHTTPGuard(pass *Pass) error {
 	return nil
 }
 
-// --- response-body dataflow ------------------------------------------------
+// --- response-body obligations ---------------------------------------------
 
-// respInfo is the fact for one live (possibly unclosed) response.
-type respInfo struct {
-	pos token.Pos // the call that produced the response
-	// errVar is the error assigned alongside the response; the
-	// `err != nil` branch kills the fact (no body exists on it).
-	errVar *types.Var
-	// statusChecked records a StatusCode/Status mention on every path
-	// into the current point (AND at meets).
-	statusChecked bool
-	// closed records a Body.Close on every path (AND at meets). The
-	// fact stays live so the status-before-read check keeps working
-	// after a `defer resp.Body.Close()`.
-	closed bool
-}
-
-// respFact maps live response variables to their facts; nil is Top.
-type respFact map[*types.Var]respInfo
-
-func (f respFact) clone() respFact {
-	m := make(respFact, len(f))
-	for k, v := range f {
-		m[k] = v
-	}
-	return m
-}
-
-type respFlow struct {
-	info *types.Info
-}
-
-func (rf *respFlow) Boundary() Fact { return respFact{} }
-func (rf *respFlow) Top() Fact      { return respFact(nil) }
-
-func (rf *respFlow) Transfer(b *Block, in Fact) Fact {
-	st, _ := in.(respFact)
-	if st == nil {
-		return respFact(nil)
-	}
-	out := st.clone()
-	for _, n := range b.Nodes {
-		replayResp(rf.info, n, out, nil)
-	}
-	return out
-}
-
-// FlowEdge kills a response fact along the branch that proves no body
-// exists: for the paired error variable, the arm where it is (or may
-// be) non-nil; for the response variable itself, the arm where it is
-// nil. The two are mirror images of the same nil test.
-func (rf *respFlow) FlowEdge(e *Edge, out Fact) Fact {
-	st, _ := out.(respFact)
-	if st == nil || e.Cond == nil {
-		return out
-	}
-	bin, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
-	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
-		return out
-	}
-	var idExpr, other ast.Expr = bin.X, bin.Y
-	if isNilIdent(rf.info, idExpr) {
-		idExpr, other = other, idExpr
-	}
-	if !isNilIdent(rf.info, other) {
-		return out
-	}
-	id, ok := ast.Unparen(idExpr).(*ast.Ident)
-	if !ok {
-		return out
-	}
-	v, ok := rf.info.Uses[id].(*types.Var)
-	if !ok {
-		return out
-	}
-	// v != nil taken, or v == nil not taken → v is non-nil on e.
-	nonNil := (bin.Op == token.NEQ && e.Branch) || (bin.Op == token.EQL && !e.Branch)
-	var filtered respFact
-	for rv, inf := range st {
-		// Error non-nil → no response; response nil → no body.
-		if (inf.errVar == v && nonNil) || (rv == v && !nonNil) {
-			if filtered == nil {
-				filtered = st.clone()
+// respSpec adapts the response-body discipline to the shared
+// obligation solver (obligation.go). Gen: an assignment whose RHS call
+// returns a *http.Response, paired with the error assigned alongside
+// it. Discharge: resp.Body.Close() — marked Done but kept live, so a
+// read after `defer resp.Body.Close()` still needs the status check.
+// Selectors on a tracked response feed the status-before-read check:
+// StatusCode/Status mentions set the Aux bit, a Body read without it
+// fires the early-read finding. Bare mentions transfer ownership, and
+// the error/nil edge kills apply.
+func respSpec(info *types.Info) *ObSpec {
+	return &ObSpec{
+		Info: info,
+		Gen: func(as *ast.AssignStmt, call *ast.CallExpr) []ObGen {
+			g := ObGen{Pos: call.Pos()}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v := identVar(info, id)
+				if v == nil {
+					continue
+				}
+				if isHTTPRespPtr(v.Type()) {
+					g.Var = v
+				} else if i > 0 && types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+					g.ErrVar = v
+				}
 			}
-			delete(filtered, rv)
-		}
-	}
-	if filtered == nil {
-		return out
-	}
-	return filtered
-}
-
-// Meet unions the live responses; a response live on both arms is
-// status-checked only if both arms checked it.
-func (rf *respFlow) Meet(a, b Fact) Fact {
-	sa, _ := a.(respFact)
-	sb, _ := b.(respFact)
-	if sa == nil {
-		return sb
-	}
-	if sb == nil {
-		return sa
-	}
-	m := sa.clone()
-	for k, v := range sb {
-		if prev, ok := m[k]; ok {
-			v.statusChecked = v.statusChecked && prev.statusChecked
-			v.closed = v.closed && prev.closed
-			if prev.pos < v.pos {
-				v.pos = prev.pos
+			if g.Var == nil {
+				return nil
 			}
-		}
-		m[k] = v
+			return []ObGen{g}
+		},
+		Discharge: func(call *ast.CallExpr, st ObFact) (*types.Var, bool) {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" {
+				return nil, false
+			}
+			bodySel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok || bodySel.Sel.Name != "Body" {
+				return nil, false
+			}
+			return obTrackedVar(info, st, bodySel.X), true
+		},
+		OnSelector: func(sel *ast.SelectorExpr, v *types.Var, st ObFact, rep *ObReporter) {
+			switch sel.Sel.Name {
+			case "StatusCode", "Status":
+				inf := st[v]
+				inf.Aux = true
+				st[v] = inf
+			case "Body":
+				if inf := st[v]; !inf.Aux && rep != nil && rep.Custom != nil {
+					rep.Custom(sel.Pos(), inf)
+				}
+			}
+		},
+		EdgeKills: true,
 	}
-	return m
-}
-
-func (rf *respFlow) Equal(a, b Fact) bool {
-	sa, _ := a.(respFact)
-	sb, _ := b.(respFact)
-	if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
-		return false
-	}
-	for k, v := range sa {
-		w, ok := sb[k]
-		if !ok || v != w {
-			return false
-		}
-	}
-	return true
-}
-
-func isNilIdent(info *types.Info, e ast.Expr) bool {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	_, isNil := info.Uses[id].(*types.Nil)
-	return isNil || id.Name == "nil"
-}
-
-// respReporter receives mid-replay findings during the reporting pass.
-type respReporter struct {
-	// earlyRead fires when a body is read before a status check.
-	earlyRead func(readPos token.Pos, inf respInfo)
-	// overwrite fires when a gen overwrites a still-live fact.
-	overwrite func(genPos token.Pos, prev respInfo)
-	// atReturn fires at each ReturnStmt with the then-live facts.
-	atReturn func(st respFact)
 }
 
 // isHTTPRespPtr reports whether t is *net/http.Response.
@@ -231,199 +142,24 @@ func isHTTPRespPtr(t types.Type) bool {
 	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Response"
 }
 
-// trackedVar resolves e to a live response variable in st, or nil.
-func trackedVar(info *types.Info, st respFact, e ast.Expr) *types.Var {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	v, ok := info.Uses[id].(*types.Var)
-	if !ok {
-		return nil
-	}
-	if _, live := st[v]; !live {
-		return nil
-	}
-	return v
-}
-
-// replayResp pushes one block node through the response fact map.
-// Kill rules: Body.Close (plain or deferred) closes; a bare mention of
-// the response outside a selector (return, argument, assignment,
-// composite literal) hands ownership onward; capture by a function
-// literal does the same. Reading Body any other way is not a kill —
-// and fires earlyRead if no status check dominates. Assignments whose
-// RHS call returns a *http.Response gen a fact (after reporting an
-// overwrite of any still-live one).
-func replayResp(info *types.Info, n ast.Node, st respFact, rep *respReporter) {
-	// Gen detection first, so its LHS idents are excluded from the
-	// kill walk (they are overwritten, not read).
-	var genVar *types.Var
-	var genErr *types.Var
-	var genPos token.Pos
-	genLHS := map[*ast.Ident]bool{}
-	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
-		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
-			for i, lhs := range as.Lhs {
-				id, ok := ast.Unparen(lhs).(*ast.Ident)
-				if !ok {
-					continue
-				}
-				var v *types.Var
-				if d, ok := info.Defs[id].(*types.Var); ok {
-					v = d
-				} else if u, ok := info.Uses[id].(*types.Var); ok {
-					v = u
-				}
-				if v == nil {
-					continue
-				}
-				if isHTTPRespPtr(v.Type()) {
-					genVar, genPos = v, call.Pos()
-					genLHS[id] = true
-				} else if i > 0 && types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
-					genErr = v
-					genLHS[id] = true
-				}
-			}
-		}
-	}
-
-	ast.Inspect(n, func(m ast.Node) bool {
-		switch v := m.(type) {
-		case *ast.FuncLit:
-			// Capture hands ownership onward: the literal (a deferred
-			// cleanup, a spawned reader) is now responsible.
-			ast.Inspect(v, func(inner ast.Node) bool {
-				if id, ok := inner.(*ast.Ident); ok {
-					if uv, ok := info.Uses[id].(*types.Var); ok {
-						delete(st, uv)
-					}
-				}
-				return true
-			})
-			return false
-		case *ast.CallExpr:
-			// resp.Body.Close(): mark closed but keep the fact live, so
-			// a read after `defer resp.Body.Close()` still needs the
-			// status check.
-			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
-				if bodySel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && bodySel.Sel.Name == "Body" {
-					if rv := trackedVar(info, st, bodySel.X); rv != nil {
-						inf := st[rv]
-						inf.closed = true
-						st[rv] = inf
-						return false
-					}
-				}
-			}
-			return true
-		case *ast.SelectorExpr:
-			rv := trackedVar(info, st, v.X)
-			if rv == nil {
-				return true // keep walking: v.X may contain a deeper mention
-			}
-			switch v.Sel.Name {
-			case "StatusCode", "Status":
-				inf := st[rv]
-				inf.statusChecked = true
-				st[rv] = inf
-			case "Body":
-				if inf := st[rv]; !inf.statusChecked && rep != nil && rep.earlyRead != nil {
-					rep.earlyRead(v.Pos(), inf)
-				}
-			}
-			return false // selector on resp is never a bare escape
-		case *ast.Ident:
-			if genLHS[v] {
-				return true
-			}
-			if uv, ok := info.Uses[v].(*types.Var); ok {
-				if _, live := st[uv]; live {
-					delete(st, uv) // escaped whole: ownership handed onward
-				}
-			}
-			return true
-		}
-		return true
-	})
-
-	if genVar != nil {
-		if prev, live := st[genVar]; live && !prev.closed && rep != nil && rep.overwrite != nil {
-			rep.overwrite(genPos, prev)
-		}
-		st[genVar] = respInfo{pos: genPos, errVar: genErr}
-	}
-	if _, ok := n.(*ast.ReturnStmt); ok && rep != nil && rep.atReturn != nil {
-		rep.atReturn(st.clone())
-	}
-}
-
-// checkRespPaths solves the response dataflow over fn and reports
-// bodies not closed on some path, reads before status checks, and
-// live-fact overwrites.
+// checkRespPaths runs the obligation solver over fn and reports bodies
+// not closed on some path, reads before status checks, and live-fact
+// overwrites.
 func checkRespPaths(pass *Pass, fn ast.Node) {
-	if funcBody(fn) == nil {
-		return
-	}
-	cfg := BuildCFG(fn)
-	res := Forward(cfg, &respFlow{info: pass.Info})
-
-	flaggedLeak := map[token.Pos]bool{}
-	flagLeaks := func(st respFact) {
-		for _, inf := range st {
-			if !inf.closed && !flaggedLeak[inf.pos] {
-				flaggedLeak[inf.pos] = true
-				pass.Reportf(inf.pos, "response body from this call may not be closed on every path out of the function; "+
-					"defer resp.Body.Close() after the error check, or hand the response onward explicitly")
-			}
-		}
-	}
-	flaggedRead := map[token.Pos]bool{}
-	flaggedOver := map[token.Pos]bool{}
-	rep := &respReporter{
-		earlyRead: func(readPos token.Pos, inf respInfo) {
-			if !flaggedRead[readPos] {
-				flaggedRead[readPos] = true
-				pass.Reportf(readPos, "response body is read before the status code is checked on this path; "+
-					"an error page decoded as payload corrupts silently — check resp.StatusCode first")
-			}
+	CheckObligations(pass, fn, respSpec(pass.Info), &ObReporter{
+		Leak: func(inf ObInfo) {
+			pass.Reportf(inf.Pos, "response body from this call may not be closed on every path out of the function; "+
+				"defer resp.Body.Close() after the error check, or hand the response onward explicitly")
 		},
-		overwrite: func(genPos token.Pos, prev respInfo) {
-			if !flaggedOver[genPos] {
-				flaggedOver[genPos] = true
-				pass.Reportf(genPos, "this assignment overwrites a response whose body may still be open (from the call at %s); "+
-					"close the previous body before retrying", pass.Fset.Position(prev.pos))
-			}
+		Overwrite: func(genPos token.Pos, prev ObInfo) {
+			pass.Reportf(genPos, "this assignment overwrites a response whose body may still be open (from the call at %s); "+
+				"close the previous body before retrying", pass.Fset.Position(prev.Pos))
 		},
-		atReturn: flagLeaks,
-	}
-	for _, b := range cfg.Blocks {
-		in, _ := res.In[b].(respFact)
-		if in == nil {
-			continue
-		}
-		st := in.clone()
-		for _, n := range b.Nodes {
-			replayResp(pass.Info, n, st, rep)
-		}
-	}
-	// Fall-off-the-end paths, as in checkCancelPaths.
-	for _, e := range cfg.Exit.Preds {
-		b := e.From
-		if len(b.Nodes) > 0 {
-			last := b.Nodes[len(b.Nodes)-1]
-			if _, isRet := last.(*ast.ReturnStmt); isRet {
-				continue
-			}
-			if es, isExpr := last.(*ast.ExprStmt); isExpr && isTerminatingCall(es.X) {
-				continue
-			}
-		}
-		if out, _ := res.Out[b].(respFact); out != nil {
-			flagLeaks(out)
-		}
-	}
+		Custom: func(pos token.Pos, inf ObInfo) {
+			pass.Reportf(pos, "response body is read before the status code is checked on this path; "+
+				"an error page decoded as payload corrupts silently — check resp.StatusCode first")
+		},
+	})
 }
 
 // --- client and server discipline ------------------------------------------

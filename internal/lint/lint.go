@@ -117,6 +117,7 @@ func Analyzers() []*Analyzer {
 		MetricLabels,
 		SharedGuard, CtxFlow, AtomicMix,
 		JSONWire, HTTPGuard, ExhaustEnum,
+		StateFSM, ResLeak, RetryBudget,
 	}
 }
 
@@ -177,7 +178,13 @@ type RunStats struct {
 	// WireTypes is the size of the jsonwire fact table: named types
 	// reaching an encoding/json sink anywhere in the set.
 	WireTypes int
-	Analyzers []AnalyzerStats
+	// Lifecycle-layer facts: declared FSM tables and the arcs they
+	// carry, and the obligations the solver tracked across all
+	// obligation-discipline analyzers (httpguard, ctxflow, resleak).
+	FSMTables      int
+	FSMTransitions int
+	Obligations    int
+	Analyzers      []AnalyzerStats
 }
 
 // RunAnalyzersStats is RunAnalyzersAll plus per-analyzer wall time and
@@ -195,6 +202,12 @@ func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *R
 	stats.AtomicKeys = len(prog.AtomicKeys)
 	stats.EntryHeldFuncs = len(prog.EntryHeld)
 	stats.WireTypes = len(prog.WireTypes)
+	stats.FSMTables = len(prog.FSMTables)
+	for _, t := range prog.FSMTables {
+		for _, tos := range t.Trans {
+			stats.FSMTransitions += len(tos)
+		}
+	}
 	for _, key := range prog.Graph.Keys {
 		if prog.Effects[key] != 0 {
 			stats.EffectFacts++
@@ -243,6 +256,9 @@ func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *R
 			}
 		}
 	}
+	// The solver tallies obligations while analyzers run, so this read
+	// must come after the loop.
+	stats.Obligations = prog.Obligations
 	for _, a := range analyzers {
 		stats.Analyzers = append(stats.Analyzers, *perAnalyzer[a.Name])
 	}

@@ -85,6 +85,18 @@ func TestExhaustEnumFixture(t *testing.T) {
 	RunFixture(t, ExhaustEnum, "exhaustenum")
 }
 
+func TestStatefsmFixture(t *testing.T) {
+	RunFixture(t, StateFSM, "statefsm")
+}
+
+func TestResleakFixture(t *testing.T) {
+	RunFixture(t, ResLeak, "resleak")
+}
+
+func TestRetrybudgetFixture(t *testing.T) {
+	RunFixture(t, RetryBudget, "retrybudget")
+}
+
 // TestLoadRealPackage exercises the go-list/export-data loader against
 // a real module package and checks scoping: rng sits under internal/,
 // so the whole suite applies and must come back clean.
@@ -137,12 +149,18 @@ func TestScopes(t *testing.T) {
 		if !SharedGuard.Scope(rel) || !CtxFlow.Scope(rel) || !AtomicMix.Scope(rel) {
 			t.Errorf("sharedguard/ctxflow/atomicmix must cover %q", rel)
 		}
+		if !StateFSM.Scope(rel) || !ResLeak.Scope(rel) || !RetryBudget.Scope(rel) {
+			t.Errorf("statefsm/resleak/retrybudget must cover %q", rel)
+		}
 	}
 	if MapOrder.Scope("examples/quickstart") || LockHeld.Scope("examples/quickstart") {
 		t.Error("maporder/lockheld must not cover examples/")
 	}
 	if SharedGuard.Scope("examples/quickstart") || CtxFlow.Scope("examples/quickstart") || AtomicMix.Scope("examples/quickstart") {
 		t.Error("sharedguard/ctxflow/atomicmix must not cover examples/")
+	}
+	if StateFSM.Scope("examples/quickstart") || ResLeak.Scope("examples/quickstart") || RetryBudget.Scope("examples/quickstart") {
+		t.Error("statefsm/resleak/retrybudget must not cover examples/")
 	}
 	for _, c := range cases {
 		if got := RngDeterminism.Scope(c.rel); got != c.rngdet {

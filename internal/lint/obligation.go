@@ -1,0 +1,456 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file implements the generic obligation solver shared by the
+// "prove a duty is discharged on every CFG path" analyzers: httpguard
+// (response bodies closed), ctxflow (cancel funcs resolved) and resleak
+// (files/tickers/timers released). Each analyzer supplies an ObSpec —
+// how obligations are created, what discharges them, and when passing
+// the obligated value onward transfers ownership — and the solver runs
+// the shared forward dataflow: a may-analysis whose fact is the set of
+// live obligations, met by union so an obligation resolved on only one
+// branch stays live on the other.
+//
+// The shared semantics, extracted verbatim from the two original
+// implementations:
+//
+//   - gen: an assignment whose single RHS call matches the spec's
+//     acquisition table creates an obligation on the assigned variable,
+//     optionally paired with the error variable assigned alongside it;
+//   - discharge: the spec's release call (Body.Close, Close, Stop)
+//     settles the obligation — either killing the fact or keeping it
+//     live with Done set, so follow-on checks (httpguard's
+//     status-before-read) continue to apply after a deferred release;
+//   - ownership transfer: a bare mention of the obligated variable —
+//     return, argument, assignment, composite literal — hands the
+//     obligation onward, as does capture by a function literal; the
+//     spec can veto per-argument transfer (resleak keeps the obligation
+//     when the callee provably does not release its parameters);
+//   - error-branch kills: on the arm where the paired error is non-nil
+//     (or the value itself is nil) no resource exists, so the
+//     obligation dies along that edge;
+//   - reporting: obligations still live and undischarged at a return
+//     statement or a fall-off-the-end exit leak; overwriting a live
+//     undischarged obligation (the retry-loop leak) is reported at the
+//     overwriting call.
+//
+// Soundness gaps, stated plainly: ownership transfer is syntactic —
+// any bare mention blesses the path, so storing a handle in a struct
+// both legs of an if discharges nothing yet silences the check;
+// aliases created before the acquisition are invisible; obligations
+// escaping through interface values (io.Closer) are treated as
+// transferred at the conversion, not tracked to the eventual Close.
+
+// ObInfo is the fact for one live obligation.
+type ObInfo struct {
+	// Pos is the acquisition call that created the obligation.
+	Pos token.Pos
+	// ErrVar is the error assigned alongside the value; the
+	// `err != nil` branch kills the fact (nothing was acquired on it).
+	ErrVar *types.Var
+	// Release is the method name that discharges the obligation, for
+	// specs whose table carries per-acquisition releasers ("" when the
+	// spec hard-codes the discharge shape).
+	Release string
+	// Done records a discharge on every path into the current point
+	// (AND at meets) for specs that keep the fact live after release.
+	Done bool
+	// Aux is a spec-defined per-path flag, AND-ed at meets (httpguard's
+	// status-checked bit).
+	Aux bool
+}
+
+// ObFact maps live obligated variables to their facts; nil is Top.
+type ObFact map[*types.Var]ObInfo
+
+func (f ObFact) clone() ObFact {
+	m := make(ObFact, len(f))
+	for k, v := range f {
+		m[k] = v
+	}
+	return m
+}
+
+// ObGen is one obligation created by an acquisition site.
+type ObGen struct {
+	Var     *types.Var
+	ErrVar  *types.Var
+	Pos     token.Pos
+	Release string
+}
+
+// ObReporter receives findings during the reporting replay. The solver
+// deduplicates every hook by position, so specs report unconditionally.
+type ObReporter struct {
+	// Leak fires for each live undischarged obligation at a return or a
+	// fall-off-the-end exit.
+	Leak func(inf ObInfo)
+	// Overwrite fires when a gen overwrites a live undischarged fact.
+	Overwrite func(genPos token.Pos, prev ObInfo)
+	// Custom is the spec's own channel (httpguard's early-read), fired
+	// from OnSelector.
+	Custom func(pos token.Pos, inf ObInfo)
+}
+
+// ObSpec defines one obligation discipline over the shared solver.
+type ObSpec struct {
+	Info *types.Info
+	// Gen inspects an assignment whose single RHS is a call and returns
+	// the obligations it creates. The assigned identifiers are excluded
+	// from the transfer walk (they are overwritten, not read), and the
+	// gens are applied after it.
+	Gen func(as *ast.AssignStmt, call *ast.CallExpr) []ObGen
+	// Discharge inspects a call; when it settles an obligation on a
+	// tracked variable, return it with keepLive deciding whether the
+	// fact stays live (Done=true) or dies. Return nil to decline; the
+	// walk then descends into the call normally.
+	Discharge func(call *ast.CallExpr, st ObFact) (v *types.Var, keepLive bool)
+	// OnSelector, when non-nil, handles a selector rooted at a tracked
+	// variable (the walk does not descend further, so the root is never
+	// treated as a bare escape). When nil, the walk descends and the
+	// root identifier gets ordinary bare-mention handling.
+	OnSelector func(sel *ast.SelectorExpr, v *types.Var, st ObFact, rep *ObReporter)
+	// TransferArg, when non-nil, decides whether passing v as a bare
+	// call argument transfers the obligation to the callee. When nil,
+	// every bare mention transfers.
+	TransferArg func(call *ast.CallExpr, v *types.Var) bool
+	// EdgeKills enables the nil-test branch kills (err non-nil / value
+	// nil arms).
+	EdgeKills bool
+
+	// tracked counts the obligations genned during the reporting
+	// replay, for the -stats obligation tally.
+	tracked int
+}
+
+// obTrackedVar resolves e to a live obligated variable in st, or nil.
+func obTrackedVar(info *types.Info, st ObFact, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, live := st[v]; !live {
+		return nil
+	}
+	return v
+}
+
+// replay pushes one block node through the obligation fact map,
+// reporting through rep when non-nil (the reporting pass; the transfer
+// function replays with rep == nil).
+func (s *ObSpec) replay(n ast.Node, st ObFact, rep *ObReporter) {
+	// Gen detection first, so the assigned idents are excluded from the
+	// transfer walk.
+	var gens []ObGen
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && s.Gen != nil {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			gens = s.Gen(as, call)
+		}
+	}
+	skip := map[*ast.Ident]bool{}
+	if len(gens) > 0 {
+		as := n.(*ast.AssignStmt)
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v := identVar(s.Info, id)
+			for _, g := range gens {
+				if v != nil && (v == g.Var || v == g.ErrVar) {
+					skip[id] = true
+				}
+			}
+		}
+	}
+	// Per-argument transfer vetoes are syntactic (they depend on the
+	// callee, not the fact state), so they precompute into the same
+	// skip set: a vetoed bare-ident argument is read, not transferred.
+	if s.TransferArg != nil {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v := identVar(s.Info, id); v != nil && !s.TransferArg(call, v) {
+					skip[id] = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.FuncLit:
+			// Capture hands the obligation onward: the literal (a
+			// deferred cleanup, a spawned reader) is now responsible.
+			ast.Inspect(v, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if uv, ok := s.Info.Uses[id].(*types.Var); ok {
+						delete(st, uv)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if s.Discharge != nil {
+				if dv, keep := s.Discharge(v, st); dv != nil {
+					if keep {
+						inf := st[dv]
+						inf.Done = true
+						st[dv] = inf
+					} else {
+						delete(st, dv)
+					}
+					return false
+				}
+			}
+			return true
+		case *ast.SelectorExpr:
+			if s.OnSelector == nil {
+				return true
+			}
+			rv := obTrackedVar(s.Info, st, v.X)
+			if rv == nil {
+				return true // keep walking: v.X may contain a deeper mention
+			}
+			s.OnSelector(v, rv, st, rep)
+			return false // selector on a tracked var is never a bare escape
+		case *ast.Ident:
+			if skip[v] {
+				return true
+			}
+			if uv, ok := s.Info.Uses[v].(*types.Var); ok {
+				if _, live := st[uv]; live {
+					delete(st, uv) // escaped whole: ownership handed onward
+				}
+			}
+			return true
+		}
+		return true
+	})
+
+	for _, g := range gens {
+		if g.Var == nil {
+			continue
+		}
+		if rep != nil {
+			s.tracked++
+			if prev, live := st[g.Var]; live && !prev.Done && rep.Overwrite != nil {
+				rep.Overwrite(g.Pos, prev)
+			}
+		}
+		st[g.Var] = ObInfo{Pos: g.Pos, ErrVar: g.ErrVar, Release: g.Release}
+	}
+	if _, ok := n.(*ast.ReturnStmt); ok && rep != nil && rep.Leak != nil {
+		for _, inf := range st {
+			if !inf.Done {
+				rep.Leak(inf)
+			}
+		}
+	}
+}
+
+// identVar resolves an identifier to the variable it defines or uses.
+func identVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// obFlow adapts an ObSpec to the shared forward solver.
+type obFlow struct {
+	spec *ObSpec
+}
+
+func (of *obFlow) Boundary() Fact { return ObFact{} }
+func (of *obFlow) Top() Fact      { return ObFact(nil) }
+
+func (of *obFlow) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(ObFact)
+	if st == nil {
+		return ObFact(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		of.spec.replay(n, out, nil)
+	}
+	return out
+}
+
+// FlowEdge kills an obligation along the branch that proves nothing
+// was acquired: for the paired error variable, the arm where it is (or
+// may be) non-nil; for the obligated variable itself, the arm where it
+// is nil. The two are mirror images of the same nil test.
+func (of *obFlow) FlowEdge(e *Edge, out Fact) Fact {
+	st, _ := out.(ObFact)
+	if !of.spec.EdgeKills || st == nil || e.Cond == nil {
+		return out
+	}
+	bin, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return out
+	}
+	var idExpr, other ast.Expr = bin.X, bin.Y
+	if isNilIdent(of.spec.Info, idExpr) {
+		idExpr, other = other, idExpr
+	}
+	if !isNilIdent(of.spec.Info, other) {
+		return out
+	}
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return out
+	}
+	v, ok := of.spec.Info.Uses[id].(*types.Var)
+	if !ok {
+		return out
+	}
+	// v != nil taken, or v == nil not taken → v is non-nil on e.
+	nonNil := (bin.Op == token.NEQ && e.Branch) || (bin.Op == token.EQL && !e.Branch)
+	var filtered ObFact
+	for rv, inf := range st {
+		// Error non-nil → nothing acquired; value nil → nothing to release.
+		if (inf.ErrVar == v && nonNil) || (rv == v && !nonNil) {
+			if filtered == nil {
+				filtered = st.clone()
+			}
+			delete(filtered, rv)
+		}
+	}
+	if filtered == nil {
+		return out
+	}
+	return filtered
+}
+
+// Meet unions the live obligations; Done and Aux hold on the merged
+// fact only if both arms established them, and the earliest acquisition
+// position wins so reports are deterministic.
+func (of *obFlow) Meet(a, b Fact) Fact {
+	sa, _ := a.(ObFact)
+	sb, _ := b.(ObFact)
+	if sa == nil {
+		return sb
+	}
+	if sb == nil {
+		return sa
+	}
+	m := sa.clone()
+	for k, v := range sb {
+		if prev, ok := m[k]; ok {
+			v.Aux = v.Aux && prev.Aux
+			v.Done = v.Done && prev.Done
+			if prev.Pos < v.Pos {
+				v.Pos = prev.Pos
+			}
+		}
+		m[k] = v
+	}
+	return m
+}
+
+func (of *obFlow) Equal(a, b Fact) bool {
+	sa, _ := a.(ObFact)
+	sb, _ := b.(ObFact)
+	if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
+		return false
+	}
+	for k, v := range sa {
+		w, ok := sb[k]
+		if !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+// CheckObligations solves spec over one function node and reports
+// leaks, overwrites and spec-custom findings through rep, each
+// deduplicated by position.
+func CheckObligations(pass *Pass, fn ast.Node, spec *ObSpec, rep *ObReporter) {
+	if funcBody(fn) == nil {
+		return
+	}
+	cfg := BuildCFG(fn)
+	res := Forward(cfg, &obFlow{spec: spec})
+
+	flaggedLeak := map[token.Pos]bool{}
+	flaggedOver := map[token.Pos]bool{}
+	flaggedCustom := map[token.Pos]bool{}
+	inner := &ObReporter{
+		Leak: func(inf ObInfo) {
+			if rep.Leak != nil && !flaggedLeak[inf.Pos] {
+				flaggedLeak[inf.Pos] = true
+				rep.Leak(inf)
+			}
+		},
+		Overwrite: func(genPos token.Pos, prev ObInfo) {
+			if rep.Overwrite != nil && !flaggedOver[genPos] {
+				flaggedOver[genPos] = true
+				rep.Overwrite(genPos, prev)
+			}
+		},
+		Custom: func(pos token.Pos, inf ObInfo) {
+			if rep.Custom != nil && !flaggedCustom[pos] {
+				flaggedCustom[pos] = true
+				rep.Custom(pos, inf)
+			}
+		},
+	}
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(ObFact)
+		if in == nil {
+			continue
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			spec.replay(n, st, inner)
+		}
+	}
+	if pass.Prog != nil {
+		pass.Prog.Obligations += spec.tracked
+	}
+	// Fall-off-the-end paths: blocks feeding Exit whose last node is
+	// neither a return nor a terminating call.
+	for _, b := range fallOffExitBlocks(cfg) {
+		out, _ := res.Out[b].(ObFact)
+		if out == nil {
+			continue
+		}
+		for _, inf := range out {
+			if !inf.Done {
+				inner.Leak(inf)
+			}
+		}
+	}
+}

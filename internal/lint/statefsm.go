@@ -1,0 +1,633 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StateFSM (DESIGN §7 rule 20) checks every assignment of a lifecycle
+// enum against its declared transition table (fsmfacts.go): an enum
+// type carrying an //esselint:fsm directive (or an adjacent
+// transitions map var) promises that its value only ever moves along
+// declared arcs, and the analyzer proves each constant store keeps
+// that promise on every path the dataflow can see.
+//
+// The fact is "variable (or ident-rooted field chain) is currently one
+// of these states", a must-analysis: facts meet by state-set union but
+// key intersection, so a state is only claimed where every incoming
+// path established it. Facts come from constant stores, composite
+// literal fields, zero-value declarations, `== constant` branch edges,
+// and switch case clauses (the canonical dispatch shape: `case
+// stDispatch:` pins the tag to the clause's values, so the stage
+// advance inside it is genuinely checked). Anything that could change
+// the value behind the analyzer's back — address-taken variables,
+// closure-captured roots, field chains across dynamic calls, calls
+// mentioning the root — drops the fact instead of guessing.
+//
+// Reported here: a constant store s -> t with no declared s -> t arc
+// (self-stores s -> s are construction-idempotent and exempt), a store
+// moving the enum out of a terminal state (one with no declared
+// successors), and — in the declaring package only — the table-level
+// problems fsmfacts collected: malformed or unknown directive states,
+// members never wired into the table, states unreachable from the
+// initial state, and drift between the directive and the runtime
+// transitions map.
+//
+// Soundness gaps, stated plainly: stores through pointers, slices and
+// maps are invisible (only ident-rooted chains carry facts); a store
+// whose prior state the dataflow cannot prove is not checked at all;
+// switches containing fallthrough forfeit clause refinement; and the
+// analysis is per-function — a lifecycle threaded through calls is
+// checked only around each call, not across it.
+var StateFSM = &Analyzer{
+	Name:  "statefsm",
+	Doc:   "check lifecycle enum assignments against their declared //esselint:fsm transition tables",
+	Scope: underInternalOrCmd,
+	Run:   runStateFSM,
+}
+
+func runStateFSM(pass *Pass) error {
+	if pass.Prog == nil || len(pass.Prog.FSMTables) == 0 {
+		return nil
+	}
+	// Table-level problems surface once, in the declaring package.
+	keys := make([]string, 0, len(pass.Prog.FSMTables))
+	for k := range pass.Prog.FSMTables {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := pass.Prog.FSMTables[k]
+		if t.PkgPath != pass.Path {
+			continue
+		}
+		for _, pr := range t.Problems {
+			pass.Reportf(pr.Pos, "%s", pr.Msg)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, fn := range funcNodesWithin(fd) {
+				checkFSMPaths(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// fsmKey identifies one tracked value: a variable, or a field chain
+// rooted at one (`cs.stage` → root cs, path ".stage").
+type fsmKey struct {
+	root *types.Var
+	path string
+}
+
+// fsmVal is the fact: the value is provably one of states.
+type fsmVal struct {
+	table  *FSMTable
+	states map[string]bool
+}
+
+// fsmFact maps tracked keys to their facts; nil is Top. State sets are
+// treated as immutable — refinement builds new sets.
+type fsmFact map[fsmKey]fsmVal
+
+func (f fsmFact) clone() fsmFact {
+	m := make(fsmFact, len(f))
+	for k, v := range f {
+		m[k] = v
+	}
+	return m
+}
+
+// killSubtree removes key and every field chain under it.
+func (f fsmFact) killSubtree(key fsmKey) {
+	for k := range f {
+		if k.root == key.root && (k.path == key.path || strings.HasPrefix(k.path, key.path+".")) {
+			delete(f, k)
+		}
+	}
+}
+
+// caseRefine pins a switch tag to a clause's constant values; replay
+// applies it at the clause's leading case-expression nodes.
+type caseRefine struct {
+	tag    ast.Expr
+	values map[string]bool
+}
+
+type fsmFlow struct {
+	pass    *Pass
+	tainted map[*types.Var]bool
+	caseOf  map[ast.Node]caseRefine
+}
+
+func newFSMFlow(pass *Pass, fn ast.Node) *fsmFlow {
+	ff := &fsmFlow{pass: pass, tainted: map[*types.Var]bool{}, caseOf: map[ast.Node]caseRefine{}}
+	body := funcBody(fn)
+	// Taint roots the analysis must not claim facts for: address-taken
+	// variables and anything a nested literal touches (the closure may
+	// mutate it at any call).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				if root := rootIdent(ast.Unparen(v.X)); root != nil {
+					if rv, ok := pass.Info.Uses[root].(*types.Var); ok {
+						ff.tainted[rv] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if v == fn {
+				return true
+			}
+			ast.Inspect(v.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if rv, ok := pass.Info.Uses[id].(*types.Var); ok {
+						ff.tainted[rv] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	// Clause refinement: for each fallthrough-free switch over a
+	// resolvable tag, pin the tag to the clause's constant values at
+	// the case-expression nodes (which lead the clause's block).
+	ast.Inspect(body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		if key, table := ff.resolveKey(sw.Tag); key.root == nil || table == nil {
+			return true
+		}
+		hasFallthrough := false
+		ast.Inspect(sw.Body, func(m ast.Node) bool {
+			if br, ok := m.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				hasFallthrough = true
+			}
+			return true
+		})
+		if hasFallthrough {
+			return true
+		}
+		for _, c := range sw.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok || len(cc.List) == 0 {
+				continue
+			}
+			values := map[string]bool{}
+			for _, e := range cc.List {
+				tv, ok := ff.pass.Info.Types[e]
+				if !ok || tv.Value == nil {
+					values = nil
+					break
+				}
+				values[tv.Value.ExactString()] = true
+			}
+			if values == nil {
+				continue
+			}
+			for _, e := range cc.List {
+				ff.caseOf[e] = caseRefine{tag: sw.Tag, values: values}
+			}
+		}
+		return true
+	})
+	return ff
+}
+
+// resolveKey resolves an expression to a tracked key and, when the
+// expression's static type is a table-carrying enum, its table.
+func (ff *fsmFlow) resolveKey(e ast.Expr) (fsmKey, *FSMTable) {
+	var path []string
+	cur := ast.Unparen(e)
+	for {
+		if sel, ok := cur.(*ast.SelectorExpr); ok {
+			path = append(path, sel.Sel.Name)
+			cur = ast.Unparen(sel.X)
+			continue
+		}
+		break
+	}
+	id, ok := cur.(*ast.Ident)
+	if !ok {
+		return fsmKey{}, nil
+	}
+	v := identVar(ff.pass.Info, id)
+	if v == nil || ff.tainted[v] {
+		return fsmKey{}, nil
+	}
+	// Package-level roots are shared state; any call may rewrite them.
+	if ff.pass.Pkg != nil && v.Parent() == ff.pass.Pkg.Scope() {
+		return fsmKey{}, nil
+	}
+	key := fsmKey{root: v}
+	for i := len(path) - 1; i >= 0; i-- {
+		key.path += "." + path[i]
+	}
+	return key, ff.tableFor(e)
+}
+
+// tableFor returns the FSM table of e's static type, or nil.
+func (ff *fsmFlow) tableFor(e ast.Expr) *FSMTable {
+	var t types.Type
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v := identVar(ff.pass.Info, id); v != nil {
+			t = v.Type()
+		}
+	}
+	if t == nil {
+		tv, ok := ff.pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return nil
+		}
+		t = tv.Type
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	return ff.pass.Prog.FSMTables[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+func (ff *fsmFlow) Boundary() Fact { return fsmFact{} }
+func (ff *fsmFlow) Top() Fact      { return fsmFact(nil) }
+
+func (ff *fsmFlow) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(fsmFact)
+	if st == nil {
+		return fsmFact(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		ff.replay(n, out, nil)
+	}
+	return out
+}
+
+// FlowEdge refines facts from `key == Const` / `key != Const` branch
+// conditions, the if-shaped mirror of clause refinement.
+func (ff *fsmFlow) FlowEdge(e *Edge, out Fact) Fact {
+	st, _ := out.(fsmFact)
+	if st == nil || e.Cond == nil {
+		return out
+	}
+	bin, ok := ast.Unparen(e.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return out
+	}
+	keyExpr, constExpr := bin.X, bin.Y
+	tv, ok := ff.pass.Info.Types[constExpr]
+	if !ok || tv.Value == nil {
+		keyExpr, constExpr = constExpr, keyExpr
+		if tv, ok = ff.pass.Info.Types[constExpr]; !ok || tv.Value == nil {
+			return out
+		}
+	}
+	key, table := ff.resolveKey(keyExpr)
+	if key.root == nil || table == nil {
+		return out
+	}
+	val := tv.Value.ExactString()
+	equalArm := (bin.Op == token.EQL && e.Branch) || (bin.Op == token.NEQ && !e.Branch)
+	next := st.clone()
+	if equalArm {
+		set := map[string]bool{val: true}
+		if prev, ok := next[key]; ok && !prev.states[val] {
+			set = map[string]bool{} // contradiction: path is infeasible
+		}
+		next[key] = fsmVal{table: table, states: set}
+		return next
+	}
+	prev, ok := next[key]
+	if !ok || !prev.states[val] {
+		return out
+	}
+	set := make(map[string]bool, len(prev.states))
+	for s := range prev.states {
+		if s != val {
+			set[s] = true
+		}
+	}
+	next[key] = fsmVal{table: table, states: set}
+	return next
+}
+
+// Meet intersects keys (must-knowledge) and unions state sets.
+func (ff *fsmFlow) Meet(a, b Fact) Fact {
+	sa, _ := a.(fsmFact)
+	sb, _ := b.(fsmFact)
+	if sa == nil {
+		return sb
+	}
+	if sb == nil {
+		return sa
+	}
+	m := fsmFact{}
+	for k, va := range sa {
+		vb, ok := sb[k]
+		if !ok {
+			continue
+		}
+		if statesEqual(va.states, vb.states) {
+			m[k] = va
+			continue
+		}
+		set := make(map[string]bool, len(va.states)+len(vb.states))
+		for s := range va.states {
+			set[s] = true
+		}
+		for s := range vb.states {
+			set[s] = true
+		}
+		m[k] = fsmVal{table: va.table, states: set}
+	}
+	return m
+}
+
+func (ff *fsmFlow) Equal(a, b Fact) bool {
+	sa, _ := a.(fsmFact)
+	sb, _ := b.(fsmFact)
+	if (sa == nil) != (sb == nil) || len(sa) != len(sb) {
+		return false
+	}
+	for k, va := range sa {
+		vb, ok := sb[k]
+		if !ok || !statesEqual(va.states, vb.states) {
+			return false
+		}
+	}
+	return true
+}
+
+func statesEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for s := range a {
+		if !b[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// replay pushes one block node through the fact map, reporting through
+// rep when non-nil.
+func (ff *fsmFlow) replay(n ast.Node, st fsmFact, rep func(pos token.Pos, format string, args ...any)) {
+	info := ff.pass.Info
+
+	// Clause refinement: the case expressions lead their clause's block.
+	if refine, ok := ff.caseOf[n]; ok {
+		if key, table := ff.resolveKey(refine.tag); key.root != nil && table != nil {
+			set := refine.values
+			if prev, live := st[key]; live {
+				inter := map[string]bool{}
+				for s := range set {
+					if prev.states[s] {
+						inter[s] = true
+					}
+				}
+				set = inter
+			}
+			st[key] = fsmVal{table: table, states: set}
+		}
+		return
+	}
+
+	// Conservative call kills first: a dynamic call (closure, function
+	// value, interface method) may mutate anything reachable through
+	// captures, so field-chain facts die; a static call kills the
+	// field chains of every root it mentions.
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := StaticCallee(info, call); callee == nil {
+			// A type conversion T(x) is not a call at all.
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				return true
+			}
+			for k := range st {
+				if k.path != "" {
+					delete(st, k)
+				}
+			}
+			return true
+		}
+		mentioned := map[*types.Var]bool{}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						mentioned[v] = true
+					}
+				}
+				return true
+			})
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if root := rootIdent(ast.Unparen(sel.X)); root != nil {
+				if v, ok := info.Uses[root].(*types.Var); ok {
+					mentioned[v] = true
+				}
+			}
+		}
+		for k := range st {
+			if k.path != "" && mentioned[k.root] {
+				delete(st, k)
+			}
+		}
+		return true
+	})
+
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		if len(v.Lhs) == len(v.Rhs) {
+			for i, lhs := range v.Lhs {
+				ff.assign(st, lhs, v.Rhs[i], rep)
+			}
+		} else {
+			for _, lhs := range v.Lhs {
+				if key, _ := ff.resolveKey(lhs); key.root != nil {
+					st.killSubtree(key)
+				} else {
+					ff.killOpaque(st, lhs)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if len(vs.Values) == len(vs.Names) && len(vs.Values) > 0 {
+				for i, name := range vs.Names {
+					ff.assign(st, name, vs.Values[i], rep)
+				}
+				continue
+			}
+			if len(vs.Values) != 0 {
+				continue
+			}
+			// `var l LeaseState`: the zero value is the initial state.
+			for _, name := range vs.Names {
+				key, table := ff.resolveKey(name)
+				if key.root == nil || table == nil {
+					continue
+				}
+				if _, ok := table.Members["0"]; ok {
+					st[key] = fsmVal{table: table, states: map[string]bool{"0": true}}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if key, _ := ff.resolveKey(v.X); key.root != nil {
+			st.killSubtree(key)
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{v.Key, v.Value} {
+			if e == nil {
+				continue
+			}
+			if key, _ := ff.resolveKey(e); key.root != nil {
+				st.killSubtree(key)
+			}
+		}
+	}
+}
+
+// killOpaque handles a store the analysis cannot name: a pointer or
+// index write may alias any tracked chain, so everything dies.
+func (ff *fsmFlow) killOpaque(st fsmFact, lhs ast.Expr) {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.StarExpr, *ast.IndexExpr:
+		for k := range st {
+			delete(st, k)
+		}
+	}
+}
+
+// assign pushes one lhs = rhs pair through the fact map, checking
+// constant enum stores against the table.
+func (ff *fsmFlow) assign(st fsmFact, lhs, rhs ast.Expr, rep func(pos token.Pos, format string, args ...any)) {
+	key, table := ff.resolveKey(lhs)
+	if key.root == nil {
+		ff.killOpaque(st, lhs)
+		return
+	}
+	prev, hadPrev := st[key]
+	st.killSubtree(key)
+
+	// Composite literal: gen facts for constant enum fields.
+	if lit, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+		ff.genLiteralFields(st, key, lit)
+		return
+	}
+
+	if table == nil {
+		return
+	}
+	tv, ok := ff.pass.Info.Types[rhs]
+	if !ok || tv.Value == nil {
+		return // unknown value: fact stays dead
+	}
+	val := tv.Value.ExactString()
+	if hadPrev && rep != nil {
+		for _, s := range sortedKeys(prev.states) {
+			if s == val || table.Trans[s][val] {
+				continue
+			}
+			if table.Terminal(s) {
+				rep(lhs.Pos(), "store moves %s out of terminal state %s (no declared successors in its //esselint:fsm table); "+
+					"a finished lifecycle must not be revived", table.TypeName, table.MemberName(s))
+			} else {
+				rep(lhs.Pos(), "undeclared lifecycle transition %s -> %s for %s; "+
+					"declare the arc in its //esselint:fsm table or fix the assignment",
+					table.MemberName(s), table.MemberName(val), table.TypeName)
+			}
+			break
+		}
+	}
+	st[key] = fsmVal{table: table, states: map[string]bool{val: true}}
+}
+
+// genLiteralFields records the constant enum fields of a struct
+// composite literal as facts under the assigned key.
+func (ff *fsmFlow) genLiteralFields(st fsmFact, base fsmKey, lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		fieldID, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		table := ff.tableFor(kv.Value)
+		if table == nil {
+			continue
+		}
+		tv, ok := ff.pass.Info.Types[kv.Value]
+		if !ok || tv.Value == nil {
+			continue
+		}
+		sub := fsmKey{root: base.root, path: base.path + "." + fieldID.Name}
+		st[sub] = fsmVal{table: table, states: map[string]bool{tv.Value.ExactString(): true}}
+	}
+}
+
+// checkFSMPaths solves the lifecycle dataflow over one function node
+// and reports undeclared transitions and terminal-state revivals.
+func checkFSMPaths(pass *Pass, fn ast.Node) {
+	if funcBody(fn) == nil {
+		return
+	}
+	ff := newFSMFlow(pass, fn)
+	cfg := BuildCFG(fn)
+	res := Forward(cfg, ff)
+
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	flagged := map[finding]bool{}
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(fsmFact)
+		if in == nil {
+			continue
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			ff.replay(n, st, func(pos token.Pos, format string, args ...any) {
+				f := finding{pos: pos, msg: format}
+				if !flagged[f] {
+					flagged[f] = true
+					pass.Reportf(pos, format, args...)
+				}
+			})
+		}
+	}
+}

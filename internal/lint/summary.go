@@ -61,6 +61,21 @@ const (
 	// bodies (a per-call spawn is EffSpawns' cost to report). hotalloc
 	// consumes this bit at loop-borne call sites.
 	EffAllocates
+	// EffReleases: may release a resource handed in by the caller — a
+	// Close or Stop call on an expression rooted at a parameter or the
+	// receiver. resleak consumes it at call sites: passing a tracked
+	// handle to an EffReleases callee transfers the release obligation,
+	// passing it to any other in-set callee does not. The bit ORs
+	// through the fixpoint like the others, which is coarse in one
+	// known way: a caller inherits it even when the releasing callee
+	// only ever receives the caller's own locals — that can only hide a
+	// leak (a missed report), never invent one.
+	EffReleases
+	// EffNetwork: may perform network I/O — a net Dial/Listen/Lookup, an
+	// http.Client/Transport request, or the package-level http sugar —
+	// directly or through any in-set callee. retrybudget keys on it: a
+	// loop around a network effect is a retry loop and owes a budget.
+	EffNetwork
 )
 
 // NumSummary is the numeric summary of one function's results.
@@ -120,6 +135,16 @@ type Program struct {
 	// tree. jsonwire consumes both; see wirefacts.go.
 	WireTypes    map[string]*WireFact
 	FiniteFields map[string]bool
+	// FSMTables maps the canonical "pkgpath.TypeName" key of every
+	// module-local lifecycle enum carrying an //esselint:fsm directive
+	// (or an adjacent transitions map var) to its declared transition
+	// table. statefsm consumes it; see fsmfacts.go.
+	FSMTables map[string]*FSMTable
+	// Obligations counts the facts the obligation solver tracked over
+	// the run (httpguard responses, ctxflow cancels, resleak handles);
+	// surfaced by -stats. The analyzer loop is sequential, so a plain
+	// int is safe.
+	Obligations int
 
 	// labelTakers caches metriclabels' label-taking function set
 	// (seed signatures plus wrapper propagation); see metriclabels.go.
@@ -157,6 +182,7 @@ func BuildProgram(pkgs []*Package) *Program {
 	}
 	p.computeWireTypes(loaded)
 	p.computeFiniteFields(loaded)
+	p.computeFSMTables(pkgs)
 	return p
 }
 
@@ -238,6 +264,7 @@ func directEffects(fn *FuncInfo) (Effects, map[string]bool) {
 	if allocatesDirectly(info, fn.Decl.Body) {
 		eff |= EffAllocates
 	}
+	owned := ownedVars(fn)
 	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.SendStmt:
@@ -266,6 +293,12 @@ func directEffects(fn *FuncInfo) (Effects, map[string]bool) {
 			if isOutputCall(info, v) {
 				eff |= EffEmitsOutput
 			}
+			if isNetworkCall(info, v) {
+				eff |= EffNetwork
+			}
+			if releasesOwned(info, v, owned) {
+				eff |= EffReleases
+			}
 			if key, kind := lockAcquire(fn, v); kind != lockNone {
 				locks[key] = true
 			}
@@ -273,6 +306,82 @@ func directEffects(fn *FuncInfo) (Effects, map[string]bool) {
 		return true
 	})
 	return eff, locks
+}
+
+// ownedVars collects the parameter and receiver variables of fn — the
+// values a caller hands it, whose release would discharge the caller's
+// obligation.
+func ownedVars(fn *FuncInfo) map[*types.Var]bool {
+	owned := map[*types.Var]bool{}
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return owned
+	}
+	if r := sig.Recv(); r != nil {
+		owned[r] = true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		owned[sig.Params().At(i)] = true
+	}
+	return owned
+}
+
+// releasesOwned reports whether call is a Close or Stop method call on
+// an expression rooted at one of fn's parameters or its receiver — the
+// direct source of the EffReleases bit.
+func releasesOwned(info *types.Info, call *ast.CallExpr, owned map[*types.Var]bool) bool {
+	if len(owned) == 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Stop") {
+		return false
+	}
+	root := rootIdent(ast.Unparen(sel.X))
+	if root == nil {
+		return false
+	}
+	v, ok := info.Uses[root].(*types.Var)
+	return ok && owned[v]
+}
+
+// networkFuncs lists the package-level standard-library functions that
+// perform network I/O; networkMethods the method names per receiver
+// type. Parsing-only neighbours (net/url, http.StatusText) stay out:
+// the bit means "talks to the wire", not "mentions HTTP".
+var networkFuncs = map[string]map[string]bool{
+	"net": {"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true,
+		"LookupHost": true, "LookupAddr": true, "LookupIP": true, "LookupCNAME": true},
+	"net/http": {"Get": true, "Post": true, "PostForm": true, "Head": true,
+		"ListenAndServe": true, "ListenAndServeTLS": true},
+}
+
+var networkMethods = map[string]map[string]bool{
+	"Client":    {"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true},
+	"Transport": {"RoundTrip": true},
+	"Server":    {"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true},
+	"Dialer":    {"Dial": true, "DialContext": true},
+	"Resolver":  {"LookupHost": true, "LookupAddr": true, "LookupIP": true},
+}
+
+// isNetworkCall reports whether the call statically resolves to a
+// standard-library network operation — the direct source of the
+// EffNetwork bit (in-set callees contribute through the fixpoint).
+func isNetworkCall(info *types.Info, call *ast.CallExpr) bool {
+	obj := StaticCallee(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	if path != "net" && path != "net/http" {
+		return false
+	}
+	if recv := recvNamed(obj); recv != "" {
+		names := networkMethods[recv]
+		return names != nil && names[obj.Name()]
+	}
+	names := networkFuncs[path]
+	return names != nil && names[obj.Name()]
 }
 
 func exprType(info *types.Info, e ast.Expr) types.Type {

@@ -1,0 +1,57 @@
+package resleak
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func leakPlain() error {
+	f, err := os.Create("out.txt") // want "may not be released on every path"
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "hi")
+	return nil
+}
+
+func leakBranch(flag bool) {
+	tk := time.NewTicker(time.Second) // want "may not be released on every path"
+	if flag {
+		tk.Stop()
+	}
+}
+
+func fallsOff(d time.Duration) {
+	tm := time.NewTimer(d) // want "may not be released on every path"
+	<-tm.C
+}
+
+func overwriteLoop() {
+	var f *os.File
+	var err error
+	for i := 0; i < 3; i++ {
+		f, err = os.Create("x") // want "overwrites a handle"
+		if err != nil {
+			continue
+		}
+	}
+	if f != nil {
+		f.Close()
+	}
+}
+
+// report only reads the handle, so passing the file to it does not
+// discharge the obligation.
+func report(f *os.File) {
+	fmt.Println(f.Name())
+}
+
+func helperNoRelease() error {
+	f, err := os.Create("tmp") // want "may not be released on every path"
+	if err != nil {
+		return err
+	}
+	report(f)
+	return nil
+}

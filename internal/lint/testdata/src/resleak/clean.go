@@ -1,0 +1,58 @@
+package resleak
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func deferred() error {
+	f, err := os.Create("out2.txt")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "data")
+	return nil
+}
+
+func stopped() {
+	tk := time.NewTicker(time.Second)
+	<-tk.C
+	tk.Stop()
+}
+
+func handedBack() (*os.File, error) {
+	return os.Open("in.txt") // never assigned: ownership is the caller's
+}
+
+func returned() (*os.File, error) {
+	f, err := os.Open("in2.txt")
+	if err != nil {
+		return nil, err
+	}
+	return f, nil // bare mention: transferred to the caller
+}
+
+// closeAll provably releases its parameter (EffReleases), so passing
+// the handle to it transfers the obligation.
+func closeAll(f *os.File) {
+	f.Close()
+}
+
+func viaHelper() error {
+	f, err := os.Create("tmp2")
+	if err != nil {
+		return err
+	}
+	closeAll(f)
+	return nil
+}
+
+func captured(d time.Duration) {
+	tk := time.NewTicker(d)
+	go func() {
+		defer tk.Stop()
+		<-tk.C
+	}()
+}

@@ -1,0 +1,48 @@
+package retrybudget
+
+import (
+	"net"
+	"time"
+)
+
+func hammer(addr string) net.Conn {
+	for { // want "retries a network operation with no attempt bound" "network loop retries without backoff"
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c
+		}
+	}
+}
+
+func busyPoll(ready func() bool) {
+	for !ready() { // want "polls with no attempt bound"
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func boundedNoBackoff(addr string) {
+	for i := 0; i < 5; i++ { // want "network loop retries without backoff"
+		if c, err := net.Dial("tcp", addr); err == nil {
+			c.Close()
+			return
+		}
+	}
+}
+
+// dialOnce carries the network effect into its callers through the
+// summary fixpoint.
+func dialOnce(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+func viaHelper(addr string) {
+	for { // want "retries a network operation with no attempt bound" "network loop retries without backoff"
+		if dialOnce(addr) == nil {
+			return
+		}
+	}
+}

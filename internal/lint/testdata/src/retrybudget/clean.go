@@ -1,0 +1,83 @@
+package retrybudget
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+func boundedBackoff(addr string) net.Conn {
+	for i := 0; i < 5; i++ {
+		if c, err := net.Dial("tcp", addr); err == nil {
+			return c
+		}
+		time.Sleep(time.Duration(i+1) * 100 * time.Millisecond)
+	}
+	return nil
+}
+
+func ctxPoll(ctx context.Context, addr string) net.Conn {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.C:
+			if c, err := net.Dial("tcp", addr); err == nil {
+				return c
+			}
+		}
+	}
+}
+
+func errExit(ctx context.Context) {
+	for ctx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func attemptCounter(addr string) {
+	attempts := 0
+	for {
+		attempts++
+		if attempts > 10 {
+			break
+		}
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Loops that only block on channels are idle, not spinning; they are
+// ctxflow's domain, not retrybudget's.
+func channelLoop(ch chan int) int {
+	total := 0
+	for {
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+// A literal defined in the loop runs on its own schedule; its network
+// call is not this loop's per-iteration work.
+func deferredWork(addr string) []func() error {
+	var fns []func() error
+	for i := 0; i < 3; i++ {
+		fns = append(fns, func() error {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				return err
+			}
+			return c.Close()
+		})
+	}
+	return fns
+}

@@ -1,0 +1,98 @@
+package statefsm
+
+// Lease lifecycle declared by directive; leaseDone has no successors,
+// so it is terminal.
+
+//esselint:fsm leasePending->leaseActive, leaseActive->leaseExpired, leaseActive->leaseDone, leaseExpired->leasePending
+type leaseState int
+
+const (
+	leasePending leaseState = iota
+	leaseActive
+	leaseExpired
+	leaseDone
+)
+
+type lease struct {
+	state leaseState
+}
+
+func regress() {
+	s := leaseActive
+	s = leasePending // want "undeclared lifecycle transition leaseActive -> leasePending"
+	_ = s
+}
+
+func revive() {
+	s := leaseDone
+	s = leasePending // want "moves leaseState out of terminal state leaseDone"
+	_ = s
+}
+
+func zeroStart() {
+	var s leaseState
+	s = leaseExpired // want "undeclared lifecycle transition leasePending -> leaseExpired"
+	_ = s
+}
+
+func caseRefined(s leaseState) leaseState {
+	switch s {
+	case leasePending:
+		s = leaseExpired // want "undeclared lifecycle transition leasePending -> leaseExpired"
+	case leaseActive:
+		s = leaseExpired // declared: fine
+	}
+	return s
+}
+
+func condRefined(s leaseState) leaseState {
+	if s == leaseExpired {
+		s = leaseDone // want "undeclared lifecycle transition leaseExpired -> leaseDone"
+	}
+	return s
+}
+
+func literalField() {
+	l := lease{state: leaseActive}
+	l.state = leasePending // want "undeclared lifecycle transition leaseActive -> leasePending"
+	_ = l
+}
+
+// Table-level problems are reported at the directive: opMissing is not
+// a member, and opStale is never wired into the table.
+
+//esselint:fsm opOpen->opClosed, opOpen->opMissing // want "unknown state .opMissing." "never mentions member opStale"
+type opState int
+
+const (
+	opOpen opState = iota
+	opClosed
+	opStale
+)
+
+// phC appears in the table but no declared arc can reach it from the
+// initial state.
+
+//esselint:fsm phA->phB, phC->phB // want "state phC in the fsm table for phase is unreachable"
+type phase int
+
+const (
+	phA phase = iota
+	phB
+	phC
+)
+
+// A runtime transitions map that drifts from the directive is flagged
+// where the map is declared.
+
+//esselint:fsm modeOff->modeOn, modeOn->modeOff
+type mode int
+
+const (
+	modeOff mode = iota
+	modeOn
+)
+
+var modeTransitions = map[mode][]mode{ // want "disagrees with its //esselint:fsm directive"
+	modeOff: {modeOn},
+}

@@ -1,0 +1,98 @@
+package statefsm
+
+// Directive-declared job lifecycle exercised only along declared arcs,
+// plus the shapes the analysis deliberately refuses to guess about.
+
+//esselint:fsm jobNew->jobRun, jobRun->jobOK, jobRun->jobBad, jobBad->jobNew
+type jobState int
+
+const (
+	jobNew jobState = iota
+	jobRun
+	jobOK
+	jobBad
+)
+
+func advance() {
+	s := jobNew
+	s = jobRun // declared
+	s = jobOK  // declared
+	_ = s
+}
+
+func retryArc(s jobState) jobState {
+	if s == jobBad {
+		s = jobNew // declared
+	}
+	return s
+}
+
+func selfStore() {
+	s := jobRun
+	s = jobRun // self-stores are construction-idempotent, exempt
+	_ = s
+}
+
+func unknownPrior(s jobState) {
+	s = jobBad // prior state unproven: not checked
+	_ = s
+}
+
+func throughPointer() {
+	s := jobOK
+	p := &s
+	*p = jobNew // s is address-taken: never tracked
+	_ = s
+	_ = p
+}
+
+func captured() {
+	s := jobNew
+	f := func() { s = jobOK }
+	f()
+	s = jobRun // s is closure-captured: never tracked
+	_ = s
+}
+
+type machine struct {
+	state jobState
+}
+
+func (m machine) poke() {}
+
+func callKills() {
+	m := machine{state: jobOK}
+	m.poke()
+	m.state = jobNew // the call may mutate m: fact dropped, not checked
+	_ = m
+}
+
+func fallThrough(s jobState) jobState {
+	switch s {
+	case jobOK:
+		fallthrough
+	case jobBad:
+		s = jobNew // fallthrough forfeits clause refinement: not checked
+	}
+	return s
+}
+
+// A transitions map alone declares the table.
+var gearTransitions = map[gear][]gear{
+	gearLow:  {gearHigh},
+	gearHigh: {gearLow},
+}
+
+type gear int
+
+const (
+	gearLow gear = iota
+	gearHigh
+)
+
+func shift() {
+	g := gearLow
+	g = gearHigh // declared by the map
+	g = gearLow  // declared by the map
+	_ = g
+}

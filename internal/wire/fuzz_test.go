@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The decode paths face the network: a peer can send anything. Corrupt,
+// truncated or non-finite-injected payloads must come back as errors,
+// never panics, and anything the decoder accepts must satisfy the same
+// contract the encoder enforces — so an accepted payload re-encodes.
+
+func FuzzDecodeTask(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeTask(&seed, validTask()); err != nil {
+		f.Fatalf("seed encode: %v", err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"id":"t","kind":1,"member":2,"seed":9,"dt":0.5,"horizon":60}`)
+	f.Add(`{"id":"t","dt":NaN}`)
+	f.Add(`{"id":"t","dt":1e999}`)
+	f.Add(`{"id":`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add("{\"id\":\"t\"}{\"id\":\"u\"}")
+	f.Fuzz(func(t *testing.T, payload string) {
+		var task Task
+		if err := DecodeTask(strings.NewReader(payload), &task); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeTask(&buf, &task); err != nil {
+			t.Fatalf("accepted task fails to re-encode: %v\npayload: %q", err, payload)
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeResult(&seed, validResult()); err != nil {
+		f.Fatalf("seed encode: %v", err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"task_id":"t","worker":"w","ok":true,"rho":0.5,"elapsed_sec":1}`)
+	f.Add(`{"task_id":"t","rho":NaN}`)
+	f.Add(`{"task_id":"t","elapsed_sec":-1e999}`)
+	f.Add(`{"task_id"`)
+	f.Add(``)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, payload string) {
+		var res Result
+		if err := DecodeResult(strings.NewReader(payload), &res); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeResult(&buf, &res); err != nil {
+			t.Fatalf("accepted result fails to re-encode: %v\npayload: %q", err, payload)
+		}
+	})
+}

@@ -69,6 +69,12 @@ func (k TaskKind) valid() bool {
 }
 
 // LeaseState is the lifecycle of one task lease on the dispatcher.
+// The legal transitions are declared once, below, for both the
+// statefsm analyzer and the runtime (LeaseTransitions); statefsm flags
+// any drift between the two. LeaseCompleted has no successors: a
+// completed lease is terminal.
+//
+//esselint:fsm LeasePending->LeaseActive, LeaseActive->LeaseActive, LeaseActive->LeaseExpired, LeaseActive->LeaseCompleted, LeaseActive->LeaseFailed, LeaseExpired->LeasePending, LeaseFailed->LeasePending
 type LeaseState uint8
 
 const (
@@ -103,6 +109,34 @@ func (s LeaseState) String() string {
 
 func (s LeaseState) valid() bool {
 	return s <= LeaseFailed
+}
+
+// LeaseTransitions is the runtime form of the lease lifecycle: every
+// legal from→to pair, mirroring the //esselint:fsm directive on
+// LeaseState. LeaseActive renews onto itself; LeaseExpired and
+// LeaseFailed re-offer the task; LeaseCompleted is absent because it
+// has no successors.
+var LeaseTransitions = map[LeaseState][]LeaseState{
+	LeasePending: {LeaseActive},
+	LeaseActive:  {LeaseActive, LeaseExpired, LeaseCompleted, LeaseFailed},
+	LeaseExpired: {LeasePending},
+	LeaseFailed:  {LeasePending},
+}
+
+// CanTransition reports whether a lease may move from from to to.
+func CanTransition(from, to LeaseState) bool {
+	for _, next := range LeaseTransitions[from] {
+		if next == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Terminal reports whether s has no legal successors: a lease in a
+// terminal state never moves again.
+func (s LeaseState) Terminal() bool {
+	return len(LeaseTransitions[s]) == 0
 }
 
 // Task is one unit of many-task work as the dispatcher offers it.

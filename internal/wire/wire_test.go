@@ -161,3 +161,53 @@ func TestEnumStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestLeaseTransitionTable asserts every (from, to) pair of the lease
+// lifecycle explicitly, so neither the runtime table nor the statefsm
+// directive can drift without this test naming the pair that moved.
+func TestLeaseTransitionTable(t *testing.T) {
+	states := []LeaseState{LeasePending, LeaseActive, LeaseExpired, LeaseCompleted, LeaseFailed}
+	legal := map[[2]LeaseState]bool{
+		{LeasePending, LeaseActive}:   true,
+		{LeaseActive, LeaseActive}:    true,
+		{LeaseActive, LeaseExpired}:   true,
+		{LeaseActive, LeaseCompleted}: true,
+		{LeaseActive, LeaseFailed}:    true,
+		{LeaseExpired, LeasePending}:  true,
+		{LeaseFailed, LeasePending}:   true,
+	}
+	for _, from := range states {
+		for _, to := range states {
+			want := legal[[2]LeaseState{from, to}]
+			if got := CanTransition(from, to); got != want {
+				t.Errorf("CanTransition(%v, %v) = %v, want %v", from, to, got, want)
+			}
+		}
+	}
+	// Terminal states produce no successors, and only LeaseCompleted is
+	// terminal.
+	for _, s := range states {
+		wantTerminal := s == LeaseCompleted
+		if got := s.Terminal(); got != wantTerminal {
+			t.Errorf("%v.Terminal() = %v, want %v", s, got, wantTerminal)
+		}
+		if wantTerminal && len(LeaseTransitions[s]) != 0 {
+			t.Errorf("terminal state %v has successors %v", s, LeaseTransitions[s])
+		}
+	}
+	// The table holds exactly the legal arcs and keys no state outside
+	// the declared enum.
+	total, keyed := 0, 0
+	for _, s := range states {
+		total += len(LeaseTransitions[s])
+		if _, ok := LeaseTransitions[s]; ok {
+			keyed++
+		}
+	}
+	if total != len(legal) {
+		t.Errorf("transition table carries %d arcs, want %d", total, len(legal))
+	}
+	if keyed != len(LeaseTransitions) {
+		t.Errorf("transition table keys a state outside the declared enum")
+	}
+}
