@@ -21,9 +21,11 @@
 // tolerance: feed a -count>1 stream and the effective headroom is the
 // larger of -time-tolerance and -time-spread-mult times the run's own
 // relative repetition spread, so a noisy machine widens its own gate
-// instead of failing on jitter. CI keeps wall time recorded but
-// ungated; scripts/bench.sh -time-gate is the opt-in (DESIGN §7
-// documents the policy-flip path).
+// instead of failing on jitter. -match restricts gating (and the
+// missing-from-run and unbaselined checks) to benchmark names matching
+// a regexp, which is how CI time-gates only the curated stable linalg
+// kernels (scripts/bench.sh -time-linalg) while the full suite stays
+// allocation-only (DESIGN §7 documents the policy).
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
 	"strconv"
@@ -164,7 +167,18 @@ func main() {
 	timeGate := flag.Bool("time-gate", false, "also gate ns/op against the baseline (off by default: shared-runner wall time is noise; opt in via scripts/bench.sh -time-gate)")
 	timeTolerance := flag.Float64("time-tolerance", 0.25, "minimum relative ns/op headroom when -time-gate is on")
 	timeSpreadMult := flag.Float64("time-spread-mult", 3, "variance adaptation: effective ns/op tolerance is max(time-tolerance, mult × this run's relative repetition spread)")
+	match := flag.String("match", "", "regexp restricting gating to matching benchmark names; non-matching baseline entries and observations are ignored (curates the -time-gate subset)")
 	flag.Parse()
+
+	var matchRe *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fatalf("bad -match regexp: %v", err)
+		}
+		matchRe = re
+	}
+	gated := func(name string) bool { return matchRe == nil || matchRe.MatchString(name) }
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -200,9 +214,14 @@ func main() {
 
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
-		names = append(names, name)
+		if gated(name) {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
+	if matchRe != nil && len(names) == 0 {
+		fatalf("-match %q selects no baselined benchmark", *match)
+	}
 
 	regressions := 0
 	for _, name := range names {
@@ -238,7 +257,7 @@ func main() {
 	}
 	var unbaselined []string
 	for name := range observed {
-		if _, ok := base.Benchmarks[name]; !ok {
+		if _, ok := base.Benchmarks[name]; !ok && gated(name) {
 			unbaselined = append(unbaselined, name)
 		}
 	}

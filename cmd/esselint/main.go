@@ -50,6 +50,9 @@ type statsJSON struct {
 	FSMTables        int                `json:"fsm_tables"`
 	FSMTransitions   int                `json:"fsm_transitions"`
 	Obligations      int                `json:"obligations"`
+	DimSummaries     int                `json:"dim_summaries"`
+	DimRequires      int                `json:"dim_requires"`
+	UnitFacts        int                `json:"unit_facts"`
 	Analyzers        []analyzerStatJSON `json:"analyzers"`
 }
 
@@ -182,6 +185,8 @@ func printStats(s *lint.RunStats) {
 	fmt.Fprintf(os.Stderr, "esselint: stats: wire facts: %d types reaching a json sink\n", s.WireTypes)
 	fmt.Fprintf(os.Stderr, "esselint: stats: lifecycle facts: %d fsm tables carrying %d transitions; %d obligations tracked\n",
 		s.FSMTables, s.FSMTransitions, s.Obligations)
+	fmt.Fprintf(os.Stderr, "esselint: stats: dimension facts: %d shape summaries carrying %d requirements; %d unit annotations\n",
+		s.DimSummaries, s.DimRequires, s.UnitFacts)
 	for _, a := range s.Analyzers {
 		fmt.Fprintf(os.Stderr, "esselint: stats: %-16s %10v  findings=%d suppressed=%d\n",
 			a.Name, a.Wall.Round(time.Microsecond), a.Findings, a.Suppressed)
@@ -206,6 +211,9 @@ func writeStatsJSON(path string, s *lint.RunStats) error {
 		FSMTables:        s.FSMTables,
 		FSMTransitions:   s.FSMTransitions,
 		Obligations:      s.Obligations,
+		DimSummaries:     s.DimSummaries,
+		DimRequires:      s.DimRequires,
+		UnitFacts:        s.UnitFacts,
 	}
 	for _, a := range s.Analyzers {
 		out.Analyzers = append(out.Analyzers, analyzerStatJSON{

@@ -68,10 +68,17 @@ func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 // Row returns a view (not a copy) of row i.
 func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
-// Col copies column j into dst (allocated if nil) and returns it.
+// Col copies column j into dst (allocated if nil) and returns it. It
+// panics if j is out of range or a non-nil dst is shorter than Rows.
 func (m *Dense) Col(dst []float64, j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("linalg: Col index %d out of range for %dx%d", j, m.Rows, m.Cols))
+	}
 	if dst == nil {
 		dst = make([]float64, m.Rows)
+	}
+	if len(dst) < m.Rows {
+		panic(fmt.Sprintf("linalg: Col destination length %d, need %d rows", len(dst), m.Rows))
 	}
 	dst = dst[:m.Rows]
 	for i := 0; i < m.Rows; i++ {
@@ -80,10 +87,14 @@ func (m *Dense) Col(dst []float64, j int) []float64 {
 	return dst
 }
 
-// SetCol writes v into column j.
+// SetCol writes v into column j. It panics if j is out of range or
+// len(v) != Rows.
 func (m *Dense) SetCol(j int, v []float64) {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("linalg: SetCol index %d out of range for %dx%d", j, m.Rows, m.Cols))
+	}
 	if len(v) != m.Rows {
-		panic("linalg: SetCol length mismatch")
+		panic(fmt.Sprintf("linalg: SetCol length %d does not match %d rows", len(v), m.Rows))
 	}
 	for i := 0; i < m.Rows; i++ {
 		m.Data[i*m.Cols+j] = v[i]
@@ -134,7 +145,8 @@ func (m *Dense) Fill(v float64) {
 // Slice returns a copy of the submatrix rows [r0,r1) x cols [c0,c1).
 func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
 	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
-		panic("linalg: Slice bounds out of range")
+		panic(fmt.Sprintf("linalg: Slice [%d:%d, %d:%d) out of range for %dx%d",
+			r0, r1, c0, c1, m.Rows, m.Cols))
 	}
 	s := NewDense(r1-r0, c1-c0)
 	for i := r0; i < r1; i++ {
@@ -146,7 +158,7 @@ func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
 // AppendCols returns [m | b] as a new matrix.
 func (m *Dense) AppendCols(b *Dense) *Dense {
 	if m.Rows != b.Rows {
-		panic("linalg: AppendCols row mismatch")
+		panic(fmt.Sprintf("linalg: AppendCols row mismatch: %d vs %d", m.Rows, b.Rows))
 	}
 	out := NewDense(m.Rows, m.Cols+b.Cols)
 	for i := 0; i < m.Rows; i++ {

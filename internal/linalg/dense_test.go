@@ -2,6 +2,7 @@ package linalg
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"esse/internal/rng"
@@ -182,4 +183,67 @@ func TestFillZero(t *testing.T) {
 			t.Fatal("Zero failed")
 		}
 	}
+}
+
+// wantPanic runs f and asserts it panics with a message containing
+// op, so every shape-validation path names the operation that failed.
+func wantPanic(t *testing.T, op string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: expected panic", op)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, op) {
+			t.Fatalf("%s: panic %v does not name the op", op, r)
+		}
+	}()
+	f()
+}
+
+func TestColRejectsBadIndex(t *testing.T) {
+	m := NewDense(3, 2)
+	wantPanic(t, "Col", func() { m.Col(nil, 2) })
+	wantPanic(t, "Col", func() { m.Col(nil, -1) })
+}
+
+func TestColRejectsShortDst(t *testing.T) {
+	m := NewDense(3, 2)
+	wantPanic(t, "Col", func() { m.Col(make([]float64, 2), 0) })
+}
+
+func TestColAcceptsLongDst(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 7)
+	m.Set(1, 1, 8)
+	got := m.Col(make([]float64, 5), 1)
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("Col with oversized dst = %v", got)
+	}
+}
+
+func TestSetColRejectsBadIndex(t *testing.T) {
+	m := NewDense(3, 2)
+	wantPanic(t, "SetCol", func() { m.SetCol(2, make([]float64, 3)) })
+	wantPanic(t, "SetCol", func() { m.SetCol(-1, make([]float64, 3)) })
+}
+
+func TestSetColRejectsBadLength(t *testing.T) {
+	m := NewDense(3, 2)
+	wantPanic(t, "SetCol", func() { m.SetCol(0, make([]float64, 2)) })
+	wantPanic(t, "SetCol", func() { m.SetCol(0, make([]float64, 4)) })
+}
+
+func TestSliceRejectsBadBounds(t *testing.T) {
+	m := NewDense(4, 3)
+	wantPanic(t, "Slice", func() { m.Slice(-1, 2, 0, 3) })
+	wantPanic(t, "Slice", func() { m.Slice(0, 5, 0, 3) })
+	wantPanic(t, "Slice", func() { m.Slice(0, 4, 0, 4) })
+	wantPanic(t, "Slice", func() { m.Slice(2, 1, 0, 3) })
+	wantPanic(t, "Slice", func() { m.Slice(0, 4, 2, 1) })
+}
+
+func TestAppendColsRejectsRowMismatch(t *testing.T) {
+	wantPanic(t, "AppendCols", func() { NewDense(3, 2).AppendCols(NewDense(4, 2)) })
 }

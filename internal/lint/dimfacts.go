@@ -1,0 +1,656 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the symbolic numeric-facts layer shared by the
+// shapecheck and unitdim analyzers (DESIGN §7 rules 23-24):
+//
+//   - a linear unit algebra over //esselint:unit directives, collected
+//     into a declaring-package fact table the same way fsmfacts.go
+//     collects lifecycle tables — malformed directives become Problems
+//     reported once, in the declaring package's pass;
+//   - the per-function symbolic shape summaries (Program.DimSummaries)
+//     shapecheck computes bottom-up over the call graph: result shapes
+//     of *linalg.Dense / []float64 functions as terms over their
+//     parameters' dimensions, plus the conformance requirements the
+//     body imposes on those parameters.
+//
+// Units store exponents doubled so half-integer powers stay integral:
+// the stochastic forcings of the ocean model live in m/s^1.5 and
+// degC/s^0.5, and math.Sqrt must halve exponents exactly or give up.
+
+// --- unit algebra ----------------------------------------------------------
+
+// Unit is a physical unit: base dimension name → exponent, stored
+// doubled (m/s is {m: 2, s: -2}; m/s^1.5 is {m: 2, s: -3}). The empty
+// (or nil) map is dimensionless.
+type Unit map[string]int
+
+// ParseUnit parses a unit expression: products and quotients of
+// dimension names with optional half-integer powers, e.g. "m", "m/s",
+// "m^2/s", "kg/m^3", "degC/s^0.5", "1/s", "1".
+func ParseUnit(s string) (Unit, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty unit expression")
+	}
+	u := Unit{}
+	for i, part := range strings.Split(s, "/") {
+		sign := 1
+		if i > 0 {
+			sign = -1
+		}
+		for _, factor := range strings.Split(part, "*") {
+			factor = strings.TrimSpace(factor)
+			if factor == "1" {
+				continue // multiplicative identity
+			}
+			name, expStr, hasExp := strings.Cut(factor, "^")
+			name = strings.TrimSpace(name)
+			if !validDimName(name) {
+				return nil, fmt.Errorf("bad dimension %q in unit %q", name, s)
+			}
+			exp2 := 2
+			if hasExp {
+				e, err := parseHalfExp(strings.TrimSpace(expStr))
+				if err != nil {
+					return nil, fmt.Errorf("bad exponent in %q: %v", factor, err)
+				}
+				exp2 = e
+			}
+			u[name] += sign * exp2
+		}
+	}
+	u.normalize()
+	return u, nil
+}
+
+// parseHalfExp parses a decimal exponent with an optional ".5" half
+// into the doubled representation: "2" → 4, "1.5" → 3, "-0.5" → -1.
+func parseHalfExp(s string) (int, error) {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	whole, frac, hasFrac := strings.Cut(s, ".")
+	half := 0
+	if hasFrac {
+		switch frac {
+		case "5":
+			half = 1
+		case "0":
+		default:
+			return 0, fmt.Errorf("only .0 and .5 fractions are representable")
+		}
+	}
+	n, err := strconv.Atoi(whole)
+	if err != nil || n < 0 || n > 1<<16 {
+		return 0, fmt.Errorf("bad integer part %q", whole)
+	}
+	v := 2*n + half
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func validDimName(s string) bool {
+	if s == "" || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		letter := c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+		if i == 0 && !letter {
+			return false
+		}
+		if !letter && !('0' <= c && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (u Unit) normalize() {
+	for d, e := range u {
+		if e == 0 {
+			delete(u, d)
+		}
+	}
+}
+
+// String renders the canonical form: dimensions sorted, positive
+// exponents joined with "*", negative ones as "/" denominators, and
+// "1" for the dimensionless unit (or a purely negative numerator).
+func (u Unit) String() string {
+	if len(u) == 0 {
+		return "1"
+	}
+	dims := make([]string, 0, len(u))
+	for d := range u {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	var num, den []string
+	for _, d := range dims {
+		switch e := u[d]; {
+		case e > 0:
+			num = append(num, dimFactor(d, e))
+		case e < 0:
+			den = append(den, dimFactor(d, -e))
+		}
+	}
+	s := "1"
+	if len(num) > 0 {
+		s = strings.Join(num, "*")
+	}
+	for _, d := range den {
+		s += "/" + d
+	}
+	return s
+}
+
+func dimFactor(d string, exp2 int) string {
+	if exp2 == 2 {
+		return d
+	}
+	s := strconv.Itoa(exp2 / 2)
+	if exp2%2 == 1 {
+		s += ".5"
+	}
+	return d + "^" + s
+}
+
+// Equal reports whether two units are the same physical dimension.
+func (u Unit) Equal(v Unit) bool {
+	if len(u) != len(v) {
+		return false
+	}
+	for d, e := range u {
+		if v[d] != e {
+			return false
+		}
+	}
+	return true
+}
+
+func (u Unit) clone() Unit {
+	c := make(Unit, len(u))
+	for d, e := range u {
+		c[d] = e
+	}
+	return c
+}
+
+// Mul returns u·v.
+func (u Unit) Mul(v Unit) Unit {
+	out := u.clone()
+	for d, e := range v {
+		out[d] += e
+	}
+	out.normalize()
+	return out
+}
+
+// Div returns u/v.
+func (u Unit) Div(v Unit) Unit {
+	out := u.clone()
+	for d, e := range v {
+		out[d] -= e
+	}
+	out.normalize()
+	return out
+}
+
+// Sqrt halves every exponent. It fails when some doubled exponent is
+// odd — a quarter-power is not representable, so callers must treat
+// the result as unknown rather than invent a dimension.
+func (u Unit) Sqrt() (Unit, bool) {
+	out := make(Unit, len(u))
+	for d, e := range u {
+		if e%2 != 0 {
+			return nil, false
+		}
+		out[d] = e / 2
+	}
+	return out, true
+}
+
+// --- the //esselint:unit fact table ----------------------------------------
+
+// UnitFuncSig holds one function's //esselint:unit annotations:
+// per-parameter units (nil entries are unannotated) and the result
+// unit, declared on the FuncDecl as "name=expr" fields:
+//
+//	//esselint:unit t=degC s=psu return=kg/m^3
+//	func Density(t, s float64) float64
+type UnitFuncSig struct {
+	Params []Unit
+	Result Unit
+	Pos    token.Pos
+}
+
+// UnitProblem is one malformed-directive finding, reported by unitdim
+// in the declaring package's pass only.
+type UnitProblem struct {
+	Pos token.Pos
+	Msg string
+}
+
+// UnitTable is the program-wide //esselint:unit fact table.
+type UnitTable struct {
+	// Fields maps "pkgpath.Type.Field" to the field's declared unit.
+	Fields map[string]Unit
+	// Objects maps "pkgpath.Name" to a package-level const or var unit.
+	Objects map[string]Unit
+	// Funcs maps types.Func.FullName() to the annotated signature.
+	Funcs map[string]*UnitFuncSig
+	// Problems keys malformed directives by declaring package path.
+	Problems map[string][]UnitProblem
+}
+
+// Facts counts the annotations the table carries (-stats).
+func (t *UnitTable) Facts() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Fields) + len(t.Objects) + len(t.Funcs)
+}
+
+// unitDirectives extracts the payloads of //esselint:unit lines from
+// the comment groups, with the position of the first one. A trailing
+// note after an embedded "//" is stripped, like fsm directives.
+func unitDirectives(groups ...*ast.CommentGroup) ([]string, token.Pos) {
+	var payloads []string
+	var pos token.Pos
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, "//esselint:")
+			if !ok {
+				continue
+			}
+			rest, ok := strings.CutPrefix(text, "unit")
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			if !pos.IsValid() {
+				pos = c.Pos()
+			}
+			if i := strings.Index(rest, "//"); i >= 0 {
+				rest = rest[:i]
+			}
+			payloads = append(payloads, strings.TrimSpace(rest))
+		}
+	}
+	return payloads, pos
+}
+
+// computeUnitTable scans the loaded source packages for unit
+// directives on struct fields, const/var specs and function
+// declarations, and builds Program.Units.
+func (p *Program) computeUnitTable(pkgs []*Package) {
+	t := &UnitTable{
+		Fields:   map[string]Unit{},
+		Objects:  map[string]Unit{},
+		Funcs:    map[string]*UnitFuncSig{},
+		Problems: map[string][]UnitProblem{},
+	}
+	p.Units = t
+	problem := func(pkg *Package, pos token.Pos, format string, args ...any) {
+		t.Problems[pkg.Path] = append(t.Problems[pkg.Path],
+			UnitProblem{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	for _, pkg := range pkgs {
+		if pkg.Pkg == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.GenDecl:
+					switch d.Tok {
+					case token.TYPE:
+						for _, spec := range d.Specs {
+							ts, ok := spec.(*ast.TypeSpec)
+							if !ok {
+								continue
+							}
+							st, ok := ts.Type.(*ast.StructType)
+							if !ok {
+								continue
+							}
+							collectFieldUnits(pkg, t, ts.Name.Name, st, problem)
+						}
+					case token.CONST, token.VAR:
+						for _, spec := range d.Specs {
+							vs, ok := spec.(*ast.ValueSpec)
+							if !ok {
+								continue
+							}
+							groups := []*ast.CommentGroup{vs.Doc, vs.Comment}
+							if len(d.Specs) == 1 {
+								groups = append(groups, d.Doc)
+							}
+							payloads, pos := unitDirectives(groups...)
+							if len(payloads) == 0 {
+								continue
+							}
+							u, ok := parseSingleUnit(pkg, payloads, pos, problem)
+							if !ok {
+								continue
+							}
+							for _, name := range vs.Names {
+								if name.Name == "_" {
+									continue
+								}
+								t.Objects[pkg.Path+"."+name.Name] = u
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					payloads, pos := unitDirectives(d.Doc)
+					if len(payloads) == 0 {
+						continue
+					}
+					collectFuncUnits(pkg, t, d, payloads, pos, problem)
+				}
+			}
+		}
+	}
+}
+
+func collectFieldUnits(pkg *Package, t *UnitTable, typeName string, st *ast.StructType,
+	problem func(*Package, token.Pos, string, ...any)) {
+	for _, field := range st.Fields.List {
+		payloads, pos := unitDirectives(field.Doc, field.Comment)
+		if len(payloads) == 0 {
+			continue
+		}
+		u, ok := parseSingleUnit(pkg, payloads, pos, problem)
+		if !ok {
+			continue
+		}
+		for _, name := range field.Names {
+			t.Fields[pkg.Path+"."+typeName+"."+name.Name] = u
+		}
+	}
+}
+
+// parseSingleUnit parses the one-expression form of a unit directive
+// (fields, consts, vars); multiple directive lines on one declaration
+// are a mistake worth naming.
+func parseSingleUnit(pkg *Package, payloads []string, pos token.Pos,
+	problem func(*Package, token.Pos, string, ...any)) (Unit, bool) {
+	if len(payloads) > 1 {
+		problem(pkg, pos, "multiple //esselint:unit directives on one declaration")
+		return nil, false
+	}
+	if strings.ContainsAny(payloads[0], "= \t") {
+		problem(pkg, pos, "//esselint:unit on a field or value takes a single unit expression, got %q", payloads[0])
+		return nil, false
+	}
+	u, err := ParseUnit(payloads[0])
+	if err != nil {
+		problem(pkg, pos, "//esselint:unit: %v", err)
+		return nil, false
+	}
+	return u, true
+}
+
+// collectFuncUnits parses "name=expr" fields of a function-level unit
+// directive against the declaration's flattened parameter list.
+func collectFuncUnits(pkg *Package, t *UnitTable, d *ast.FuncDecl, payloads []string, pos token.Pos,
+	problem func(*Package, token.Pos, string, ...any)) {
+	obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	paramIdx := map[string]int{}
+	n := 0
+	if d.Type.Params != nil {
+		for _, field := range d.Type.Params.List {
+			for _, name := range field.Names {
+				paramIdx[name.Name] = n
+				n++
+			}
+			if len(field.Names) == 0 {
+				n++
+			}
+		}
+	}
+	sig := &UnitFuncSig{Params: make([]Unit, n), Pos: pos}
+	bad := false
+	for _, payload := range payloads {
+		for _, fieldSpec := range strings.Fields(payload) {
+			name, expr, found := strings.Cut(fieldSpec, "=")
+			if !found {
+				problem(pkg, pos, "//esselint:unit on func %s: %q is not name=unit", d.Name.Name, fieldSpec)
+				bad = true
+				continue
+			}
+			u, err := ParseUnit(expr)
+			if err != nil {
+				problem(pkg, pos, "//esselint:unit on func %s: %v", d.Name.Name, err)
+				bad = true
+				continue
+			}
+			if name == "return" {
+				sig.Result = u
+				continue
+			}
+			i, ok := paramIdx[name]
+			if !ok {
+				problem(pkg, pos, "//esselint:unit on func %s names unknown parameter %q", d.Name.Name, name)
+				bad = true
+				continue
+			}
+			sig.Params[i] = u
+		}
+	}
+	if bad {
+		return
+	}
+	t.Funcs[obj.FullName()] = sig
+}
+
+// --- symbolic shape summaries ----------------------------------------------
+
+// Summary dimension terms are strings over a closed vocabulary:
+//
+//	"12"   an integer constant
+//	"$r3"  rows of parameter 3 (a *linalg.Dense)
+//	"$c3"  cols of parameter 3
+//	"$l3"  length of parameter 3 (a []float64)
+//	"?"    unknown
+//
+// Compound shapes (sums, data-dependent slices) deliberately degrade
+// to "?" at the summary boundary: the summaries exist to check and
+// report, so losing a term can only hide a finding, never invent one.
+const (
+	dimUnknown = "?"
+	// dimTop is the optimistic SCC seed: the identity of the summary
+	// meet, eliminated by the fixpoint (any survivor finalizes to "?").
+	dimTop = "$T"
+)
+
+// DimShape is one result's symbolic shape. A Vec shape is a []float64
+// whose length is R (C is unused).
+type DimShape struct {
+	R, C string
+	Vec  bool
+}
+
+// DimSummary is the interprocedural shape summary of one function.
+type DimSummary struct {
+	NumParams int
+	// Results holds one entry per result; nil entries are results that
+	// are neither *linalg.Dense nor []float64, or proved nothing.
+	Results []*DimShape
+	// Requires lists the conformance requirements the body imposes on
+	// its parameters: each term pair must be equal for every caller.
+	// Sorted, deduplicated, each pair ordered.
+	Requires [][2]string
+
+	// optimistic marks the SCC fixpoint seed; callShape maps it to
+	// dimTop shapes so unreached recursive returns contribute top.
+	optimistic bool
+}
+
+func (s *DimSummary) empty() bool {
+	if len(s.Requires) > 0 {
+		return false
+	}
+	for _, r := range s.Results {
+		if r != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func dimSummariesEqual(a, b *DimSummary) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.NumParams != b.NumParams || a.optimistic != b.optimistic ||
+		len(a.Results) != len(b.Results) || len(a.Requires) != len(b.Requires) {
+		return false
+	}
+	for i, ra := range a.Results {
+		rb := b.Results[i]
+		if (ra == nil) != (rb == nil) {
+			return false
+		}
+		if ra != nil && *ra != *rb {
+			return false
+		}
+	}
+	for i, p := range a.Requires {
+		if b.Requires[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// dimSummaryIterCap, when non-negative, overrides the computed SCC
+// iteration cap — a test hook that forces the non-convergence path so
+// sound deletion stays exercised (a monotone descent converges on its
+// own, so the path is otherwise unreachable).
+var dimSummaryIterCap = -1
+
+// computeDimSummaries builds Program.DimSummaries bottom-up over the
+// call graph: per SCC, members are seeded with the optimistic top
+// summary and iterated to a fixpoint (result terms descend
+// specific→unknown, requirement sets ascend over a finite vocabulary,
+// so the combined system stabilizes). A component that fails to
+// converge within the cap has its summaries deleted — an optimistic
+// leftover would be an unsound claim.
+func (p *Program) computeDimSummaries() {
+	p.DimSummaries = map[string]*DimSummary{}
+	for _, scc := range p.Graph.SCCs {
+		var members []*FuncInfo
+		for _, key := range scc {
+			fn := p.Graph.Funcs[key]
+			if fn.Decl.Body == nil || !dimSummarizable(fn) {
+				continue
+			}
+			members = append(members, fn)
+			p.DimSummaries[key] = &DimSummary{optimistic: true}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		cap := len(members)*16 + 16
+		if dimSummaryIterCap >= 0 {
+			cap = dimSummaryIterCap
+		}
+		converged := false
+		for iter := 0; iter <= cap; iter++ {
+			changed := false
+			for _, fn := range members {
+				sum := dimSummaryForFunc(p, fn)
+				if !dimSummariesEqual(sum, p.DimSummaries[fn.Key]) {
+					changed = true
+				}
+				p.DimSummaries[fn.Key] = sum
+			}
+			if !changed {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			for _, fn := range members {
+				delete(p.DimSummaries, fn.Key)
+			}
+			continue
+		}
+		for _, fn := range members {
+			if p.DimSummaries[fn.Key].empty() {
+				delete(p.DimSummaries, fn.Key)
+			}
+		}
+	}
+}
+
+// dimSummarizable reports whether fn's signature mentions a shape-
+// carrying type (*linalg.Dense or []float64) among its parameters or
+// results — the only functions whose summaries could say anything.
+func dimSummarizable(fn *FuncInfo) bool {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if t := sig.Params().At(i).Type(); isDenseType(t) || isFloatSliceType(t) {
+			return true
+		}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if t := sig.Results().At(i).Type(); isDenseType(t) || isFloatSliceType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// linalgPkgPath is the import path of the dense linear-algebra package
+// whose operations shapecheck's transfer vocabulary hard-codes.
+const linalgPkgPath = "esse/internal/linalg"
+
+// isDenseType reports whether t is *linalg.Dense.
+func isDenseType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Dense" && obj.Pkg() != nil && obj.Pkg().Path() == linalgPkgPath
+}
+
+// isFloatSliceType reports whether t is []float64 (the package's
+// vector representation).
+func isFloatSliceType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}

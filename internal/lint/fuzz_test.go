@@ -1,0 +1,56 @@
+package lint
+
+import "testing"
+
+// FuzzParseDirective fuzzes the shared //esselint: directive grammar —
+// allow, allowfile, fsm, and unit (both the single-expression and the
+// name=unit function forms). The invariant is canonical-form
+// idempotence: any accepted directive must re-render and re-parse to
+// exactly the same canonical string, so the audit tooling can rewrite
+// directives without changing their meaning.
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"//esselint:allow maporder iteration order is sorted below",
+		"//esselint:allow all generated file",
+		"//esselint:allowfile rngdet fixture exercises raw rand",
+		"//esselint:allow  divguard   extra   spacing",
+		"//esselint:allow",
+		"//esselint:fsm Pending->Active, Active->Completed",
+		"//esselint:fsm A->B",
+		"//esselint:fsm A->B, B->A // with a trailing note",
+		"//esselint:fsm ->B",
+		"//esselint:fsm A-B",
+		"//esselint:unit m/s",
+		"//esselint:unit kg/m^3",
+		"//esselint:unit degC/s^0.5",
+		"//esselint:unit 1/s",
+		"//esselint:unit m^-1",
+		"//esselint:unit t=degC s=psu return=kg/m^3",
+		"//esselint:unit h=m return=m/s // wave speed",
+		"//esselint:unit m^x",
+		"//esselint:unit",
+		"//esselint:nonsense payload",
+		"// not a directive",
+		"//esselint:unitless trap",
+		"//esselint:fsmish trap",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		canon, ok := ParseDirective(text)
+		if !ok {
+			if canon != "" {
+				t.Fatalf("rejected input %q returned non-empty canonical form %q", text, canon)
+			}
+			return
+		}
+		again, ok2 := ParseDirective(canon)
+		if !ok2 {
+			t.Fatalf("canonical form %q of %q does not re-parse", canon, text)
+		}
+		if again != canon {
+			t.Fatalf("canonicalization is not a fixpoint: %q -> %q -> %q", text, canon, again)
+		}
+	})
+}

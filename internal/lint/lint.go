@@ -118,6 +118,7 @@ func Analyzers() []*Analyzer {
 		SharedGuard, CtxFlow, AtomicMix,
 		JSONWire, HTTPGuard, ExhaustEnum,
 		StateFSM, ResLeak, RetryBudget,
+		ShapeCheck, UnitDim,
 	}
 }
 
@@ -184,7 +185,13 @@ type RunStats struct {
 	FSMTables      int
 	FSMTransitions int
 	Obligations    int
-	Analyzers      []AnalyzerStats
+	// Symbolic-dimension facts: functions with a shape summary, the
+	// conformance requirements those summaries carry, and the number of
+	// //esselint:unit annotations in the unit table.
+	DimSummaries int
+	DimRequires  int
+	UnitFacts    int
+	Analyzers    []AnalyzerStats
 }
 
 // RunAnalyzersStats is RunAnalyzersAll plus per-analyzer wall time and
@@ -203,6 +210,9 @@ func RunAnalyzersStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *R
 	stats.EntryHeldFuncs = len(prog.EntryHeld)
 	stats.WireTypes = len(prog.WireTypes)
 	stats.FSMTables = len(prog.FSMTables)
+	stats.DimSummaries = len(prog.DimSummaries)
+	stats.DimRequires = dimRequireCount(prog.DimSummaries)
+	stats.UnitFacts = prog.Units.Facts()
 	for _, t := range prog.FSMTables {
 		for _, tos := range t.Trans {
 			stats.FSMTransitions += len(tos)

@@ -97,6 +97,14 @@ func TestRetrybudgetFixture(t *testing.T) {
 	RunFixture(t, RetryBudget, "retrybudget")
 }
 
+func TestShapecheckFixture(t *testing.T) {
+	RunFixture(t, ShapeCheck, "shapecheck")
+}
+
+func TestUnitdimFixture(t *testing.T) {
+	RunFixture(t, UnitDim, "unitdim")
+}
+
 // TestLoadRealPackage exercises the go-list/export-data loader against
 // a real module package and checks scoping: rng sits under internal/,
 // so the whole suite applies and must come back clean.
@@ -152,6 +160,9 @@ func TestScopes(t *testing.T) {
 		if !StateFSM.Scope(rel) || !ResLeak.Scope(rel) || !RetryBudget.Scope(rel) {
 			t.Errorf("statefsm/resleak/retrybudget must cover %q", rel)
 		}
+		if !ShapeCheck.Scope(rel) || !UnitDim.Scope(rel) {
+			t.Errorf("shapecheck/unitdim must cover %q", rel)
+		}
 	}
 	if MapOrder.Scope("examples/quickstart") || LockHeld.Scope("examples/quickstart") {
 		t.Error("maporder/lockheld must not cover examples/")
@@ -161,6 +172,9 @@ func TestScopes(t *testing.T) {
 	}
 	if StateFSM.Scope("examples/quickstart") || ResLeak.Scope("examples/quickstart") || RetryBudget.Scope("examples/quickstart") {
 		t.Error("statefsm/resleak/retrybudget must not cover examples/")
+	}
+	if ShapeCheck.Scope("examples/quickstart") || UnitDim.Scope("examples/quickstart") {
+		t.Error("shapecheck/unitdim must not cover examples/")
 	}
 	for _, c := range cases {
 		if got := RngDeterminism.Scope(c.rel); got != c.rngdet {

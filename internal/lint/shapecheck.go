@@ -1,0 +1,1185 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// ShapeCheck proves matrix-conformance violations before they panic at
+// runtime. The ESSE cycle is wall-to-wall linear algebra over
+// *linalg.Dense, where every Mul/MulTA/MatVec carries a Rows/Cols
+// contract enforced only by a panic in the middle of an ensemble run;
+// a transposed operand or a swapped dimension pair costs a whole
+// forecast cycle before it surfaces.
+//
+// The analyzer runs a forward dataflow over each function tracking the
+// symbolic shape of every Dense and []float64 value as a pair of terms
+// over the ints in scope: NewDense(n, p) is n×p, T() swaps, Mul(a, b)
+// requires cols(a) ≡ rows(b) and yields rows(a)×cols(b), with transfer
+// rules for the whole linalg vocabulary (MulTA, MulBT, MatVec, MatTVec,
+// Slice, AppendCols, Diag, Identity, the *Into destinations, ...).
+// Integer equalities learned from ==/!= guards (the checkSameShape
+// idiom) refine the terms. Calls into the rest of the module consult
+// Program.DimSummaries — per-function result shapes and conformance
+// requirements as functions of the parameters, computed bottom-up over
+// the call graph (dimfacts.go) — so a mismatch two calls deep is still
+// a finding at the call site that commits it.
+//
+// Only *provable* violations are reported: both sides of a conformance
+// requirement must resolve to distinct integer constants on some
+// reachable path. Everything symbolic or unknown stays silent — the
+// analyzer exists to catch the transposed-operand class of bug, not to
+// demand annotations.
+var ShapeCheck = &Analyzer{
+	Name: "shapecheck",
+	Doc: "prove linalg shape-conformance violations (Mul/MulTA/MatVec/... operand dimensions, " +
+		"*Into destination shapes) by symbolic forward dataflow with interprocedural shape summaries",
+	Scope: underInternalOrCmd,
+	Run:   runShapeCheck,
+}
+
+// shapeFact is the dataflow state: shapes maps the canonical key of a
+// Dense or []float64 expression to its symbolic shape, eq maps an
+// integer expression's key to a term it provably equals. A nil pointer
+// is the solver's Top (unreached).
+type shapeFact struct {
+	shapes map[string]DimShape
+	eq     map[string]string
+}
+
+func (st *shapeFact) clone() *shapeFact {
+	c := &shapeFact{
+		shapes: make(map[string]DimShape, len(st.shapes)),
+		eq:     make(map[string]string, len(st.eq)),
+	}
+	for k, v := range st.shapes {
+		c.shapes[k] = v
+	}
+	for k, v := range st.eq {
+		c.eq[k] = v
+	}
+	return c
+}
+
+func runShapeCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range FuncNodes(f) {
+			a := &shapeFunc{pass: pass, fn: fn, reported: map[string]bool{}}
+			cfg := BuildCFG(fn)
+			res := Forward(cfg, a)
+			for _, b := range cfg.Blocks {
+				in, _ := res.In[b].(*shapeFact)
+				if in == nil {
+					continue // unreachable: don't report from dead code
+				}
+				st := in.clone()
+				for _, n := range b.Nodes {
+					a.step(st, n, true)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// shapeFunc is the per-function analysis: FlowAnalysis plus the shape
+// transfer vocabulary. dimfacts.go re-runs it in summary mode (summary
+// set, paramSeed filled with $-terms) to compute DimSummaries.
+type shapeFunc struct {
+	pass     *Pass
+	fn       ast.Node
+	reported map[string]bool
+	// summary mode: conformance sites record caller-expressible
+	// requirements instead of reporting.
+	summary   bool
+	paramSeed *shapeFact
+	requires  map[[2]string]bool
+}
+
+// --- FlowAnalysis ----------------------------------------------------------
+
+func (a *shapeFunc) Boundary() Fact {
+	if a.paramSeed != nil {
+		return a.paramSeed.clone()
+	}
+	return &shapeFact{shapes: map[string]DimShape{}, eq: map[string]string{}}
+}
+
+func (a *shapeFunc) Top() Fact { return (*shapeFact)(nil) }
+
+func (a *shapeFunc) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(*shapeFact)
+	if st == nil {
+		return (*shapeFact)(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		a.step(out, n, false)
+	}
+	return out
+}
+
+func (a *shapeFunc) FlowEdge(e *Edge, out Fact) Fact {
+	st, _ := out.(*shapeFact)
+	if st == nil || e.Cond == nil {
+		return out
+	}
+	refined := st.clone()
+	a.refine(refined, e.Cond, e.Branch)
+	return refined
+}
+
+// meetDim joins two dimension terms: equal terms survive, the
+// optimistic top is the identity, anything else degrades to unknown.
+func meetDim(x, y string) string {
+	switch {
+	case x == y:
+		return x
+	case x == dimTop:
+		return y
+	case y == dimTop:
+		return x
+	}
+	return dimUnknown
+}
+
+func (a *shapeFunc) Meet(x, y Fact) Fact {
+	sx, _ := x.(*shapeFact)
+	sy, _ := y.(*shapeFact)
+	if sx == nil {
+		return sy
+	}
+	if sy == nil {
+		return sx
+	}
+	m := &shapeFact{shapes: map[string]DimShape{}, eq: map[string]string{}}
+	for k, vx := range sx.shapes {
+		vy, ok := sy.shapes[k]
+		if !ok || vx.Vec != vy.Vec {
+			continue
+		}
+		s := DimShape{R: meetDim(vx.R, vy.R), C: meetDim(vx.C, vy.C), Vec: vx.Vec}
+		if s.R != dimUnknown || s.C != dimUnknown {
+			m.shapes[k] = s
+		}
+	}
+	for k, vx := range sx.eq {
+		if sy.eq[k] == vx {
+			m.eq[k] = vx
+		}
+	}
+	return m
+}
+
+func (a *shapeFunc) Equal(x, y Fact) bool {
+	sx, _ := x.(*shapeFact)
+	sy, _ := y.(*shapeFact)
+	if (sx == nil) != (sy == nil) {
+		return false
+	}
+	if sx == nil {
+		return true
+	}
+	if len(sx.shapes) != len(sy.shapes) || len(sx.eq) != len(sy.eq) {
+		return false
+	}
+	for k, v := range sx.shapes {
+		if sy.shapes[k] != v {
+			return false
+		}
+	}
+	for k, v := range sx.eq {
+		if sy.eq[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// --- per-node transfer -----------------------------------------------------
+
+// step checks (when report is set) the conformance sites inside n under
+// the pre-state, then applies n's effects to st in place.
+func (a *shapeFunc) step(st *shapeFact, n ast.Node, report bool) {
+	if report {
+		a.checkNode(st, n)
+	}
+	WalkBlockNode(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.AssignStmt:
+			a.applyAssign(st, v)
+			return false
+		case *ast.DeclStmt:
+			if gd, ok := v.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						a.applyValueSpec(st, vs)
+					}
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			a.killExpr(st, v.X)
+			return false
+		case *ast.RangeStmt:
+			if v.Key != nil {
+				a.killExpr(st, v.Key)
+			}
+			if v.Value != nil {
+				a.killExpr(st, v.Value)
+			}
+			return true
+		case *ast.CallExpr:
+			a.applyCallKills(st, v)
+			return true
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				a.killExpr(st, v.X)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (a *shapeFunc) applyAssign(st *shapeFact, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				a.applyCallKills(st, call)
+			}
+			return true
+		})
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		// Compound assignment: the target's old value is gone.
+		for _, lhs := range as.Lhs {
+			a.killExpr(st, lhs)
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		type newFact struct {
+			shape   DimShape
+			isShape bool
+			term    string
+		}
+		facts := make([]newFact, len(as.Rhs))
+		for i, rhs := range as.Rhs {
+			if a.isShapeTyped(rhs) {
+				facts[i] = newFact{shape: a.shapeOf(st, rhs), isShape: true}
+			} else if a.isIntExpr(rhs) {
+				facts[i] = newFact{term: a.dimTerm(st, rhs)}
+			}
+		}
+		for _, lhs := range as.Lhs {
+			a.killExpr(st, lhs)
+		}
+		for i, lhs := range as.Lhs {
+			if facts[i].isShape {
+				a.genShape(st, lhs, facts[i].shape)
+			} else if facts[i].term != "" {
+				a.genEq(st, lhs, facts[i].term)
+			}
+		}
+		return
+	}
+	// Multi-value assignment from one call: consult the callee's shape
+	// summary per result (under the pre-kill state).
+	var shapes []*DimShape
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if res, handled := a.callResultShapes(st, call, false); handled {
+				shapes = res
+			}
+		}
+	}
+	for _, lhs := range as.Lhs {
+		a.killExpr(st, lhs)
+	}
+	for i, lhs := range as.Lhs {
+		if i < len(shapes) && shapes[i] != nil {
+			a.genShape(st, lhs, *shapes[i])
+		}
+	}
+}
+
+func (a *shapeFunc) applyValueSpec(st *shapeFact, vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		a.killExpr(st, name)
+		if i >= len(vs.Values) {
+			continue
+		}
+		rhs := vs.Values[i]
+		if a.isShapeTyped(rhs) {
+			a.genShape(st, name, a.shapeOf(st, rhs))
+		} else if a.isIntExpr(rhs) {
+			if t := a.dimTerm(st, rhs); t != "" {
+				a.genEq(st, name, t)
+			}
+		}
+	}
+}
+
+// applyCallKills invalidates shape facts a call may have clobbered.
+// The entire linalg package is shape-preserving by construction (no
+// operation resizes an existing matrix), so its calls kill nothing;
+// any other call kills mutable-reference arguments and receivers, like
+// divguard — an unknown callee might append, reslice or rebuild.
+func (a *shapeFunc) applyCallKills(st *shapeFact, call *ast.CallExpr) {
+	if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion: no effects
+	}
+	if callee := StaticCallee(a.pass.Info, call); callee != nil &&
+		callee.Pkg() != nil && callee.Pkg().Path() == linalgPkgPath {
+		return
+	}
+	// Builtins never reshape their arguments: len/cap read, copy moves
+	// contents within existing lengths, append leaves the argument's
+	// own length alone.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := a.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	kill := func(e ast.Expr) {
+		if root := rootIdent(e); root != nil {
+			if obj, ok := a.pass.Info.Uses[root]; ok && isMutableRef(obj.Type()) {
+				a.killName(st, root.Name)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			a.killExpr(st, u.X)
+			continue
+		}
+		kill(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := a.pass.Info.Selections[sel]; isMethod {
+			kill(sel.X)
+		}
+	}
+}
+
+func (a *shapeFunc) genShape(st *shapeFact, lhs ast.Expr, s DimShape) {
+	key, ok := exprKeyOf(lhs)
+	if !ok {
+		return
+	}
+	// A dim term mentioning the target itself would be self-referential
+	// after the assignment (m = m.T() stores the *old* m.Cols).
+	if root := rootIdent(lhs); root != nil {
+		if keyMentions(s.R, root.Name) {
+			s.R = dimUnknown
+		}
+		if keyMentions(s.C, root.Name) {
+			s.C = dimUnknown
+		}
+	}
+	if s.R == dimUnknown && s.C == dimUnknown {
+		return // the implicit shape says as much
+	}
+	st.shapes[key] = s
+}
+
+func (a *shapeFunc) genEq(st *shapeFact, lhs ast.Expr, term string) {
+	key, ok := exprKeyOf(lhs)
+	if !ok || term == dimUnknown || term == dimTop || term == key {
+		return
+	}
+	if root := rootIdent(lhs); root != nil && keyMentions(term, root.Name) {
+		return
+	}
+	st.eq[key] = term
+}
+
+// killExpr drops every fact depending on the root identifier of e.
+func (a *shapeFunc) killExpr(st *shapeFact, e ast.Expr) {
+	if root := rootIdent(e); root != nil {
+		a.killName(st, root.Name)
+	}
+}
+
+// killName scrubs name from the state: shapes keyed through it die,
+// dimension terms mentioning it degrade to unknown, equalities
+// mentioning it on either side die.
+func (a *shapeFunc) killName(st *shapeFact, name string) {
+	for k, s := range st.shapes {
+		if keyMentions(k, name) {
+			delete(st.shapes, k)
+			continue
+		}
+		changed := false
+		if keyMentions(s.R, name) {
+			s.R = dimUnknown
+			changed = true
+		}
+		if keyMentions(s.C, name) {
+			s.C = dimUnknown
+			changed = true
+		}
+		if changed {
+			if s.R == dimUnknown && s.C == dimUnknown {
+				delete(st.shapes, k)
+			} else {
+				st.shapes[k] = s
+			}
+		}
+	}
+	for k, v := range st.eq {
+		if keyMentions(k, name) || keyMentions(v, name) {
+			delete(st.eq, k)
+		}
+	}
+}
+
+// exprKeyOf returns the canonical fact key for e if e is keyable (same
+// grammar as divguard's keys: identifiers, selector chains, indexed
+// expressions with identifier or literal indices).
+func exprKeyOf(e ast.Expr) (string, bool) {
+	if !keyableExpr(e) {
+		return "", false
+	}
+	return types.ExprString(ast.Unparen(e)), true
+}
+
+func keyableExpr(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name != "_"
+	case *ast.SelectorExpr:
+		return keyableExpr(v.X)
+	case *ast.IndexExpr:
+		if !keyableExpr(v.X) {
+			return false
+		}
+		switch ast.Unparen(v.Index).(type) {
+		case *ast.Ident, *ast.BasicLit:
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// --- types -----------------------------------------------------------------
+
+func (a *shapeFunc) exprType(e ast.Expr) types.Type {
+	tv, ok := a.pass.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func (a *shapeFunc) isShapeTyped(e ast.Expr) bool {
+	t := a.exprType(e)
+	return t != nil && (isDenseType(t) || isFloatSliceType(t))
+}
+
+func (a *shapeFunc) isVecTyped(e ast.Expr) bool {
+	t := a.exprType(e)
+	return t != nil && isFloatSliceType(t)
+}
+
+func (a *shapeFunc) isIntExpr(e ast.Expr) bool {
+	t := a.exprType(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// --- dimension terms -------------------------------------------------------
+
+// resolveEq chases the equality map from t toward a more resolved term
+// (ideally a constant). The chase is capped: the map is acyclic by
+// construction in the common case, and eight steps of indirection is
+// past anything the fixtures or the tree produce.
+func resolveEq(st *shapeFact, t string) string {
+	for i := 0; i < 8; i++ {
+		n, ok := st.eq[t]
+		if !ok || n == t {
+			break
+		}
+		t = n
+	}
+	return t
+}
+
+// isConstTerm reports whether t is an integer-literal term — the only
+// kind a provable-violation report may rest on.
+func isConstTerm(t string) bool {
+	_, ok := constTermValue(t)
+	return ok
+}
+
+// constTermValue parses an integer-literal term without the error
+// plumbing of strconv (terms are produced by the analyzer itself, so a
+// non-digit simply means "not a constant").
+func constTermValue(t string) (int, bool) {
+	if t == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<30 {
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// dimTerm evaluates an integer expression to a symbolic dimension term
+// under st: constants fold, x.Rows/x.Cols/len(x) read tracked shapes,
+// keyable expressions resolve through learned equalities (falling back
+// to their own spelling, so two reads of the same field unify), small
+// +/- arithmetic folds constants and drops additive zeros.
+func (a *shapeFunc) dimTerm(st *shapeFact, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if tv, ok := a.pass.Info.Types[e]; ok && tv.Value != nil {
+		if s := tv.Value.String(); isConstTerm(s) {
+			return s
+		}
+		return dimUnknown
+	}
+	switch v := e.(type) {
+	case *ast.BinaryExpr:
+		x, y := a.dimTerm(st, v.X), a.dimTerm(st, v.Y)
+		switch v.Op {
+		case token.ADD:
+			return dimAdd(x, y)
+		case token.SUB:
+			return dimSub(x, y)
+		}
+		return dimUnknown
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "len" && len(v.Args) == 1 {
+			if a.isVecTyped(v.Args[0]) {
+				return a.vecLenTerm(st, v.Args[0])
+			}
+		}
+		return dimUnknown
+	case *ast.SelectorExpr:
+		if (v.Sel.Name == "Rows" || v.Sel.Name == "Cols") && keyableExpr(v.X) {
+			if t := a.exprType(v.X); t != nil && isDenseType(t) {
+				s := a.shapeOf(st, v.X)
+				d := s.R
+				if v.Sel.Name == "Cols" {
+					d = s.C
+				}
+				if d != dimUnknown {
+					return d
+				}
+			}
+		}
+		if key, ok := exprKeyOf(v); ok {
+			return resolveEq(st, key)
+		}
+	case *ast.Ident:
+		if key, ok := exprKeyOf(v); ok {
+			return resolveEq(st, key)
+		}
+	}
+	return dimUnknown
+}
+
+// vecLenTerm is dimTerm for the length of a []float64 expression.
+func (a *shapeFunc) vecLenTerm(st *shapeFact, e ast.Expr) string {
+	s := a.shapeOf(st, e)
+	return s.R
+}
+
+func dimAdd(x, y string) string {
+	if x == "0" {
+		return y
+	}
+	if y == "0" {
+		return x
+	}
+	if xi, ok := constTermValue(x); ok {
+		if yi, ok := constTermValue(y); ok {
+			return strconv.Itoa(xi + yi)
+		}
+	}
+	return dimUnknown
+}
+
+func dimSub(x, y string) string {
+	if y == "0" {
+		return x
+	}
+	if xi, ok := constTermValue(x); ok {
+		if yi, ok := constTermValue(y); ok && xi >= yi {
+			return strconv.Itoa(xi - yi)
+		}
+	}
+	return dimUnknown
+}
+
+// shapeOf computes the symbolic shape of a Dense or []float64
+// expression under st. Untracked keyable values get the implicit shape
+// spelled through their own dimensions (x.Rows × x.Cols, len(x)), so
+// conformance between two reads of the same value is still provable
+// and kills can find them by name.
+func (a *shapeFunc) shapeOf(st *shapeFact, e ast.Expr) DimShape {
+	e = ast.Unparen(e)
+	vec := a.isVecTyped(e)
+	if key, ok := exprKeyOf(e); ok {
+		if s, ok := st.shapes[key]; ok {
+			return s
+		}
+		if vec {
+			return DimShape{R: resolveEq(st, "len("+key+")"), C: dimUnknown, Vec: true}
+		}
+		return DimShape{R: resolveEq(st, key+".Rows"), C: resolveEq(st, key+".Cols")}
+	}
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok && id.Name == "make" && len(v.Args) >= 2 && vec {
+			return DimShape{R: a.dimTerm(st, v.Args[1]), C: dimUnknown, Vec: true}
+		}
+		if res, handled := a.callResultShapes(st, v, false); handled && len(res) == 1 && res[0] != nil {
+			return *res[0]
+		}
+	case *ast.CompositeLit:
+		if vec {
+			for _, el := range v.Elts {
+				if _, keyed := el.(*ast.KeyValueExpr); keyed {
+					return DimShape{R: dimUnknown, C: dimUnknown, Vec: true}
+				}
+			}
+			return DimShape{R: strconv.Itoa(len(v.Elts)), C: dimUnknown, Vec: true}
+		}
+	}
+	return DimShape{R: dimUnknown, C: dimUnknown, Vec: vec}
+}
+
+// --- the linalg transfer vocabulary ----------------------------------------
+
+// callResultShapes evaluates a call's result shapes and, when check is
+// set, verifies the conformance requirements the callee imposes. The
+// bool result reports whether the callee was recognized (linalg
+// vocabulary or a DimSummaries entry).
+func (a *shapeFunc) callResultShapes(st *shapeFact, call *ast.CallExpr, check bool) ([]*DimShape, bool) {
+	callee := StaticCallee(a.pass.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return nil, false
+	}
+	if callee.Pkg().Path() == linalgPkgPath {
+		return a.linalgCall(st, call, callee, check)
+	}
+	return a.summaryCall(st, call, callee, check)
+}
+
+// mat/vecAt fetch operand shapes lazily so transfer rules read close to
+// the ops they model; dimensions re-resolve through the current
+// equality facts so a branch guard learned after the shape was stored
+// still sharpens the check.
+func (a *shapeFunc) matAt(st *shapeFact, call *ast.CallExpr, i int) DimShape {
+	if i >= len(call.Args) {
+		return DimShape{R: dimUnknown, C: dimUnknown}
+	}
+	s := a.shapeOf(st, call.Args[i])
+	s.R = resolveEq(st, s.R)
+	s.C = resolveEq(st, s.C)
+	return s
+}
+
+func (a *shapeFunc) vecAt(st *shapeFact, call *ast.CallExpr, i int) string {
+	if i >= len(call.Args) {
+		return dimUnknown
+	}
+	return resolveEq(st, a.shapeOf(st, call.Args[i]).R)
+}
+
+func mat1(s DimShape) []*DimShape { return []*DimShape{{R: s.R, C: s.C}} }
+func vec1(length string) []*DimShape {
+	return []*DimShape{{R: length, C: dimUnknown, Vec: true}}
+}
+
+// linalgCall implements the transfer rules and conformance checks for
+// the esse/internal/linalg vocabulary.
+func (a *shapeFunc) linalgCall(st *shapeFact, call *ast.CallExpr, callee *types.Func, check bool) ([]*DimShape, bool) {
+	name := callee.Name()
+	pos := call.Pos()
+	conform := func(what, ta, tb string) {
+		if check {
+			a.checkConform(pos, "linalg."+name, what, ta, tb)
+		}
+	}
+	if recv := recvNamed(callee); recv != "" {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return nil, true // method value: shapes unknown, still no kills
+		}
+		switch recv {
+		case "Dense":
+			r := a.shapeOf(st, sel.X)
+			switch name {
+			case "T":
+				return mat1(DimShape{R: r.C, C: r.R}), true
+			case "Clone":
+				return mat1(r), true
+			case "Slice":
+				if len(call.Args) == 4 {
+					r0, r1 := a.dimTerm(st, call.Args[0]), a.dimTerm(st, call.Args[1])
+					c0, c1 := a.dimTerm(st, call.Args[2]), a.dimTerm(st, call.Args[3])
+					return mat1(DimShape{R: dimSub(r1, r0), C: dimSub(c1, c0)}), true
+				}
+			case "AppendCols":
+				b := a.matAt(st, call, 0)
+				conform("row counts", r.R, b.R)
+				return mat1(DimShape{R: r.R, C: dimAdd(r.C, b.C)}), true
+			case "Row":
+				return vec1(r.C), true
+			case "Col":
+				if len(call.Args) == 2 {
+					conform("destination length vs rows", a.vecAt(st, call, 0), r.R)
+				}
+				return vec1(r.R), true
+			case "SetCol":
+				if len(call.Args) == 2 {
+					conform("column length vs rows", a.vecAt(st, call, 1), r.R)
+				}
+			case "CopyFrom":
+				src := a.matAt(st, call, 0)
+				conform("row counts", r.R, src.R)
+				conform("column counts", r.C, src.C)
+			}
+			return nil, true
+		case "LUFactors":
+			if name == "SolveInto" && len(call.Args) == 2 {
+				conform("solution and rhs lengths", a.vecAt(st, call, 0), a.vecAt(st, call, 1))
+				return vec1(a.vecAt(st, call, 0)), true
+			}
+			return nil, true
+		}
+		return nil, true
+	}
+	switch name {
+	case "NewDense", "NewDenseFrom":
+		if len(call.Args) >= 2 {
+			return mat1(DimShape{R: a.dimTerm(st, call.Args[0]), C: a.dimTerm(st, call.Args[1])}), true
+		}
+	case "Identity":
+		n := a.dimTerm(st, call.Args[0])
+		return mat1(DimShape{R: n, C: n}), true
+	case "Diag":
+		n := a.vecAt(st, call, 0)
+		return mat1(DimShape{R: n, C: n}), true
+	case "Mul":
+		x, y := a.matAt(st, call, 0), a.matAt(st, call, 1)
+		conform("inner dimensions", x.C, y.R)
+		return mat1(DimShape{R: x.R, C: y.C}), true
+	case "MulTA":
+		x, y := a.matAt(st, call, 0), a.matAt(st, call, 1)
+		conform("row counts", x.R, y.R)
+		return mat1(DimShape{R: x.C, C: y.C}), true
+	case "MulBT":
+		x, y := a.matAt(st, call, 0), a.matAt(st, call, 1)
+		conform("column counts", x.C, y.C)
+		return mat1(DimShape{R: x.R, C: y.R}), true
+	case "mulInto":
+		if len(call.Args) == 3 {
+			out, x, y := a.matAt(st, call, 0), a.matAt(st, call, 1), a.matAt(st, call, 2)
+			conform("inner dimensions", x.C, y.R)
+			conform("destination rows", out.R, x.R)
+			conform("destination cols", out.C, y.C)
+		}
+	case "MatVec":
+		x, v := a.matAt(st, call, 0), a.vecAt(st, call, 1)
+		conform("cols vs vector length", x.C, v)
+		return vec1(x.R), true
+	case "MatTVec":
+		x, v := a.matAt(st, call, 0), a.vecAt(st, call, 1)
+		conform("rows vs vector length", x.R, v)
+		return vec1(x.C), true
+	case "Add", "Sub":
+		x, y := a.matAt(st, call, 0), a.matAt(st, call, 1)
+		conform("row counts", x.R, y.R)
+		conform("column counts", x.C, y.C)
+		return mat1(x), true
+	case "AddInPlace":
+		x, y := a.matAt(st, call, 0), a.matAt(st, call, 1)
+		conform("row counts", x.R, y.R)
+		conform("column counts", x.C, y.C)
+	case "Scale":
+		return mat1(a.matAt(st, call, 1)), true
+	case "Dot":
+		conform("vector lengths", a.vecAt(st, call, 0), a.vecAt(st, call, 1))
+	case "Axpy":
+		if len(call.Args) == 3 {
+			conform("vector lengths", a.vecAt(st, call, 1), a.vecAt(st, call, 2))
+		}
+	case "VecAdd", "VecSub":
+		x, y := a.vecAt(st, call, 0), a.vecAt(st, call, 1)
+		conform("vector lengths", x, y)
+		return vec1(x), true
+	case "VecScale":
+		return vec1(a.vecAt(st, call, 1)), true
+	case "OuterAdd":
+		if len(call.Args) == 4 {
+			m := a.matAt(st, call, 0)
+			conform("rows vs left vector length", m.R, a.vecAt(st, call, 2))
+			conform("cols vs right vector length", m.C, a.vecAt(st, call, 3))
+		}
+	}
+	return nil, true
+}
+
+// summaryCall applies an in-set callee's DimSummary: its Requires are
+// checked (or propagated, in summary mode) with the argument shapes
+// substituted for the $-terms, and its Results become the call's.
+func (a *shapeFunc) summaryCall(st *shapeFact, call *ast.CallExpr, callee *types.Func, check bool) ([]*DimShape, bool) {
+	prog := a.pass.Prog
+	if prog == nil || prog.DimSummaries == nil {
+		return nil, false
+	}
+	sum := prog.DimSummaries[callee.FullName()]
+	if sum == nil {
+		return nil, false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Variadic() || call.Ellipsis.IsValid() {
+		return nil, false
+	}
+	if sum.optimistic {
+		// Same-SCC callee mid-fixpoint: every shape-typed result is top.
+		res := make([]*DimShape, sig.Results().Len())
+		for i := range res {
+			t := sig.Results().At(i).Type()
+			if isDenseType(t) {
+				res[i] = &DimShape{R: dimTop, C: dimTop}
+			} else if isFloatSliceType(t) {
+				res[i] = &DimShape{R: dimTop, C: dimUnknown, Vec: true}
+			}
+		}
+		return res, true
+	}
+	if len(call.Args) != sum.NumParams {
+		return nil, false
+	}
+	args := make([]DimShape, len(call.Args))
+	for i, arg := range call.Args {
+		if a.isShapeTyped(arg) {
+			args[i] = a.shapeOf(st, arg)
+		} else {
+			args[i] = DimShape{R: dimUnknown, C: dimUnknown}
+		}
+	}
+	subst := func(t string) string { return substDimTerm(t, args) }
+	if check {
+		for _, req := range sum.Requires {
+			a.checkConform(call.Pos(), "call to "+callee.Name(), "required dimensions",
+				subst(req[0]), subst(req[1]))
+		}
+	}
+	res := make([]*DimShape, len(sum.Results))
+	for i, r := range sum.Results {
+		if r == nil {
+			continue
+		}
+		res[i] = &DimShape{R: subst(r.R), C: subst(r.C), Vec: r.Vec}
+	}
+	return res, true
+}
+
+// substDimTerm maps a summary term into the caller's term space given
+// the argument shapes: constants pass through, $-terms index the
+// arguments, the optimistic top survives (the caller's meet handles
+// it), anything else is unknown.
+func substDimTerm(t string, args []DimShape) string {
+	if isConstTerm(t) {
+		return t
+	}
+	if t == dimTop {
+		return dimTop
+	}
+	if len(t) >= 3 && t[0] == '$' {
+		idx, err := strconv.Atoi(t[2:])
+		if err == nil && idx >= 0 && idx < len(args) {
+			switch t[1] {
+			case 'r', 'l':
+				return args[idx].R
+			case 'c':
+				return args[idx].C
+			}
+		}
+	}
+	return dimUnknown
+}
+
+// checkConform is the single reporting (or, in summary mode,
+// requirement-recording) point for a conformance constraint ta ≡ tb.
+func (a *shapeFunc) checkConform(pos token.Pos, op, what, ta, tb string) {
+	if a.summary {
+		if exportableReq(ta) && exportableReq(tb) && ta != tb {
+			p := [2]string{ta, tb}
+			if p[0] > p[1] {
+				p[0], p[1] = p[1], p[0]
+			}
+			a.requires[p] = true
+		}
+		return
+	}
+	if !isConstTerm(ta) || !isConstTerm(tb) || ta == tb {
+		return
+	}
+	key := fmt.Sprintf("%d:%s:%s", pos, op, what)
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.pass.Reportf(pos, "%s: %s provably mismatch (%s vs %s); this call panics on every execution",
+		op, what, ta, tb)
+}
+
+// exportableReq reports whether a requirement term is meaningful to a
+// caller: an integer constant or a parameter dimension.
+func exportableReq(t string) bool {
+	return isConstTerm(t) || (len(t) >= 3 && t[0] == '$' && t != dimTop &&
+		(t[1] == 'r' || t[1] == 'c' || t[1] == 'l'))
+}
+
+// --- branch refinement -----------------------------------------------------
+
+// refine strengthens st with the integer equalities cond implies: the
+// true edge of ==, the false edge of !=, through !, && and || — the
+// checkSameShape guard idiom (`if a.Rows != b.Rows || ... { panic }`)
+// teaches the fall-through edge both equalities.
+func (a *shapeFunc) refine(st *shapeFact, cond ast.Expr, branch bool) {
+	cond = ast.Unparen(cond)
+	switch v := cond.(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.NOT {
+			a.refine(st, v.X, !branch)
+		}
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND:
+			if branch {
+				a.refine(st, v.X, true)
+				a.refine(st, v.Y, true)
+			}
+		case token.LOR:
+			if !branch {
+				a.refine(st, v.X, false)
+				a.refine(st, v.Y, false)
+			}
+		case token.EQL:
+			if branch {
+				a.applyDimEq(st, v.X, v.Y)
+			}
+		case token.NEQ:
+			if !branch {
+				a.applyDimEq(st, v.X, v.Y)
+			}
+		}
+	}
+}
+
+// applyDimEq records that two integer expressions are equal, pointing
+// the less-resolved side at the more-resolved term.
+func (a *shapeFunc) applyDimEq(st *shapeFact, x, y ast.Expr) {
+	if !a.isIntExpr(x) || !a.isIntExpr(y) {
+		return
+	}
+	tx, ty := a.dimTerm(st, x), a.dimTerm(st, y)
+	if tx == ty {
+		return
+	}
+	if isConstTerm(ty) || tx == dimUnknown {
+		a.setDimEq(st, x, ty)
+		return
+	}
+	a.setDimEq(st, y, tx)
+}
+
+// setDimEq binds the dimension key of expression e to term.
+func (a *shapeFunc) setDimEq(st *shapeFact, e ast.Expr, term string) {
+	if term == dimUnknown || term == dimTop {
+		return
+	}
+	key := a.dimKeyOf(e)
+	if key == "" || key == term {
+		return
+	}
+	st.eq[key] = term
+}
+
+// dimKeyOf returns the equality-map key of an integer expression:
+// keyable expressions key as themselves, len(x) of a keyable vector as
+// "len(x)" (matching the implicit-shape spelling).
+func (a *shapeFunc) dimKeyOf(e ast.Expr) string {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 {
+			if key, ok := exprKeyOf(call.Args[0]); ok && a.isVecTyped(call.Args[0]) {
+				return "len(" + key + ")"
+			}
+		}
+		return ""
+	}
+	if key, ok := exprKeyOf(e); ok {
+		return key
+	}
+	return ""
+}
+
+// --- site checking ---------------------------------------------------------
+
+// checkNode verifies the conformance of every recognized call inside n
+// under the pre-state st.
+func (a *shapeFunc) checkNode(st *shapeFact, n ast.Node) {
+	WalkBlockNode(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			a.callResultShapes(st, call, true)
+		}
+		return true
+	})
+}
+
+// --- summary extraction ----------------------------------------------------
+
+// dimSummaryForFunc computes fn's shape summary by re-running the
+// shapecheck dataflow in summary mode: shape-typed parameters are
+// seeded with $-terms, conformance sites record caller-expressible
+// requirements, and the result shapes are the meet over every
+// reachable return site (the optimistic top is the meet identity, so a
+// recursive callee mid-fixpoint constrains nothing). Bare returns and
+// splat returns prove nothing — named-result tracking through writes
+// is not worth the precision here.
+func dimSummaryForFunc(p *Program, fn *FuncInfo) *DimSummary {
+	sig, ok := fn.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || sig.Variadic() {
+		return &DimSummary{}
+	}
+	pass := &Pass{Fset: fn.Pkg.Fset, Path: fn.Pkg.Path, RelPath: fn.Pkg.RelPath,
+		Pkg: fn.Pkg.Pkg, Info: fn.Pkg.Info, Prog: p}
+	seed := &shapeFact{shapes: map[string]DimShape{}, eq: map[string]string{}}
+	idx := 0
+	if fn.Decl.Type.Params != nil {
+		for _, field := range fn.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && name.Name != "_" {
+					i := strconv.Itoa(idx)
+					if isDenseType(obj.Type()) {
+						seed.shapes[name.Name] = DimShape{R: "$r" + i, C: "$c" + i}
+					} else if isFloatSliceType(obj.Type()) {
+						seed.shapes[name.Name] = DimShape{R: "$l" + i, C: dimUnknown, Vec: true}
+					}
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	a := &shapeFunc{pass: pass, fn: fn.Decl, reported: map[string]bool{},
+		summary: true, paramSeed: seed, requires: map[[2]string]bool{}}
+	cfg := BuildCFG(fn.Decl)
+	res := Forward(cfg, a)
+
+	results := make([]*DimShape, sig.Results().Len())
+	shapeResult := make([]bool, len(results))
+	for i := range results {
+		t := sig.Results().At(i).Type()
+		if isDenseType(t) {
+			results[i] = &DimShape{R: dimTop, C: dimTop}
+			shapeResult[i] = true
+		} else if isFloatSliceType(t) {
+			results[i] = &DimShape{R: dimTop, C: dimUnknown, Vec: true}
+			shapeResult[i] = true
+		}
+	}
+	sawReturn := false
+	for _, b := range cfg.Blocks {
+		in, _ := res.In[b].(*shapeFact)
+		if in == nil {
+			continue // unreachable return sites constrain nothing
+		}
+		st := in.clone()
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == len(results) {
+				sawReturn = true
+				for i, e := range ret.Results {
+					if !shapeResult[i] || results[i] == nil {
+						continue
+					}
+					s := a.shapeOf(st, e)
+					results[i].R = meetDim(results[i].R, exportTerm(s.R))
+					results[i].C = meetDim(results[i].C, exportTerm(s.C))
+				}
+			} else if ok {
+				sawReturn = true
+				for i := range results {
+					if shapeResult[i] {
+						results[i] = nil
+					}
+				}
+			}
+			a.step(st, n, true)
+		}
+	}
+	for i := range results {
+		if !shapeResult[i] || results[i] == nil {
+			results[i] = nil
+			continue
+		}
+		if results[i].R == dimTop {
+			results[i].R = dimUnknown
+		}
+		if results[i].C == dimTop {
+			results[i].C = dimUnknown
+		}
+		if !sawReturn || (results[i].R == dimUnknown && results[i].C == dimUnknown) {
+			results[i] = nil
+		}
+	}
+	sum := &DimSummary{NumParams: idx, Results: results}
+	for p := range a.requires {
+		sum.Requires = append(sum.Requires, p)
+	}
+	sort.Slice(sum.Requires, func(i, j int) bool { return lessReq(sum.Requires[i], sum.Requires[j]) })
+	return sum
+}
+
+// exportTerm restricts a state term to the summary vocabulary:
+// constants, $-terms and top survive, everything local degrades.
+func exportTerm(t string) string {
+	if isConstTerm(t) || t == dimTop || exportableReq(t) {
+		return t
+	}
+	return dimUnknown
+}
+
+func lessReq(a, b [2]string) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// dimRequireCount tallies requirement pairs across all summaries
+// (-stats).
+func dimRequireCount(sums map[string]*DimSummary) int {
+	n := 0
+	for _, s := range sums {
+		n += len(s.Requires)
+	}
+	return n
+}

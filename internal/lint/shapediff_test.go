@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShapecheckDifferential injects a transposed-operand bug into a
+// frozen ESSE analysis kernel and asserts shapecheck reports the exact
+// line — and only that line — while the pristine kernel stays clean.
+func TestShapecheckDifferential(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "shapediff", "kernel.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(dir string) []Diagnostic {
+		t.Helper()
+		pkg, err := LoadDir(".", dir)
+		if err != nil {
+			t.Fatalf("loading kernel from %s: %v", dir, err)
+		}
+		an := *ShapeCheck
+		an.Scope = func(string) bool { return true }
+		diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{&an})
+		if err != nil {
+			t.Fatalf("running shapecheck: %v", err)
+		}
+		return diags
+	}
+
+	if diags := run(filepath.Join("testdata", "src", "shapediff")); len(diags) != 0 {
+		t.Fatalf("pristine kernel must lint clean, got %v", diags)
+	}
+
+	const pristine = "linalg.MulTA(basis, anom)"
+	const injected = "linalg.MulTA(basis.T(), anom)"
+	if strings.Count(string(src), pristine) != 1 {
+		t.Fatalf("kernel.go must contain exactly one %q", pristine)
+	}
+	mutated := strings.Replace(string(src), pristine, injected, 1)
+
+	// The line number of the injected bug, computed from the mutated
+	// source rather than hard-coded.
+	wantLine := 0
+	for i, line := range strings.Split(mutated, "\n") {
+		if strings.Contains(line, injected) {
+			wantLine = i + 1
+			break
+		}
+	}
+	if wantLine == 0 {
+		t.Fatal("injection failed to land")
+	}
+
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "kernel.go"), []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := run(tmp)
+	if len(diags) != 1 {
+		t.Fatalf("injected kernel: want exactly 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pos.Line != wantLine {
+		t.Errorf("diagnostic at line %d, want injected line %d (%s)", d.Pos.Line, wantLine, d)
+	}
+	if !strings.Contains(d.Message, "row counts provably mismatch (3 vs 12)") {
+		t.Errorf("diagnostic message %q does not name the transposed mismatch", d.Message)
+	}
+}

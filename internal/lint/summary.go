@@ -140,6 +140,14 @@ type Program struct {
 	// (or an adjacent transitions map var) to its declared transition
 	// table. statefsm consumes it; see fsmfacts.go.
 	FSMTables map[string]*FSMTable
+	// Units is the //esselint:unit fact table (field, object and
+	// function annotations plus malformed-directive problems); unitdim
+	// consumes it. DimSummaries maps a function key to its symbolic
+	// shape summary — result shapes and conformance requirements as
+	// terms over the parameters; shapecheck consumes it. See dimfacts.go
+	// and shapecheck.go.
+	Units        *UnitTable
+	DimSummaries map[string]*DimSummary
 	// Obligations counts the facts the obligation solver tracked over
 	// the run (httpguard responses, ctxflow cancels, resleak handles);
 	// surfaced by -stats. The analyzer loop is sequential, so a plain
@@ -183,6 +191,8 @@ func BuildProgram(pkgs []*Package) *Program {
 	p.computeWireTypes(loaded)
 	p.computeFiniteFields(loaded)
 	p.computeFSMTables(pkgs)
+	p.computeUnitTable(pkgs)
+	p.computeDimSummaries()
 	return p
 }
 

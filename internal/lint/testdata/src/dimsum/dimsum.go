@@ -1,0 +1,59 @@
+// Package dimsum exercises Program.DimSummaries: direct, transitive,
+// and mutually recursive shape summaries over the linalg vocabulary.
+package dimsum
+
+import "esse/internal/linalg"
+
+// Outer has a fully parametric summary: len(x) x len(y).
+func Outer(x, y []float64) *linalg.Dense {
+	m := linalg.NewDense(len(x), len(y))
+	linalg.OuterAdd(m, 1.0, x, y)
+	return m
+}
+
+// Chain picks up Outer's summary transitively.
+func Chain(x []float64) *linalg.Dense {
+	return Outer(x, x)
+}
+
+// Gram has a constant-free summary with no requirements: MulTA's
+// row-conformance constraint is trivially satisfied by e == e.
+func Gram(e *linalg.Dense) *linalg.Dense {
+	return linalg.MulTA(e, e)
+}
+
+// MulPair exports Mul's inner-dimension constraint as a requirement.
+func MulPair(a, b *linalg.Dense) *linalg.Dense {
+	return linalg.Mul(a, b)
+}
+
+// MulChain propagates MulPair's requirement transitively.
+func MulChain(a, b *linalg.Dense) *linalg.Dense {
+	return MulPair(a, b)
+}
+
+// Even/Odd form a mutual-recursion SCC whose fixpoint still proves the
+// exact result shapes: Even preserves its argument's shape, Odd
+// transposes it.
+func Even(m *linalg.Dense, n int) *linalg.Dense {
+	if n == 0 {
+		return m
+	}
+	return Odd(m.T(), n-1)
+}
+
+func Odd(m *linalg.Dense, n int) *linalg.Dense {
+	if n == 0 {
+		return m.T()
+	}
+	return Even(m.T(), n-1)
+}
+
+// Mixed returns a Dense on one path and loses the shape on another:
+// the meet keeps only what both paths agree on.
+func Mixed(x []float64, wide bool) *linalg.Dense {
+	if wide {
+		return linalg.NewDense(len(x), 2*len(x))
+	}
+	return linalg.NewDense(len(x), len(x))
+}

@@ -1,0 +1,92 @@
+package shapecheck
+
+import "esse/internal/linalg"
+
+func badMul() *linalg.Dense {
+	a := linalg.NewDense(3, 4)
+	b := linalg.NewDense(3, 5)
+	return linalg.Mul(a, b) // want "inner dimensions provably mismatch \\(4 vs 3\\)"
+}
+
+func badTranspose() *linalg.Dense {
+	a := linalg.NewDense(3, 4)
+	b := linalg.NewDense(3, 5)
+	// b.T() is 5x3: the transpose moves the mismatch to the inner pair.
+	return linalg.Mul(a, b.T()) // want "inner dimensions provably mismatch \\(4 vs 5\\)"
+}
+
+func badMulTA() *linalg.Dense {
+	a := linalg.NewDense(6, 2)
+	b := linalg.NewDense(7, 2)
+	return linalg.MulTA(a, b) // want "row counts provably mismatch \\(6 vs 7\\)"
+}
+
+func badMatVec() []float64 {
+	a := linalg.NewDense(3, 4)
+	x := make([]float64, 3)
+	return linalg.MatVec(a, x) // want "cols vs vector length provably mismatch \\(4 vs 3\\)"
+}
+
+func badVecAdd() []float64 {
+	x := []float64{1, 2, 3}
+	y := make([]float64, 4)
+	return linalg.VecAdd(x, y) // want "vector lengths provably mismatch \\(3 vs 4\\)"
+}
+
+func badAppendCols() *linalg.Dense {
+	a := linalg.NewDense(3, 2)
+	b := linalg.NewDense(4, 2)
+	return a.AppendCols(b) // want "row counts provably mismatch \\(3 vs 4\\)"
+}
+
+func badSolveInto(f *linalg.LUFactors) {
+	x := make([]float64, 3)
+	b := make([]float64, 4)
+	f.SolveInto(x, b) // want "solution and rhs lengths provably mismatch \\(3 vs 4\\)"
+}
+
+func badCopyFrom() {
+	dst := linalg.NewDense(3, 3)
+	src := linalg.NewDense(3, 5)
+	dst.CopyFrom(src) // want "column counts provably mismatch \\(3 vs 5\\)"
+}
+
+// badRefined only becomes provable through the == guard: the analyzer
+// learns n == 4 on the true edge and resolves the symbolic dimension.
+func badRefined(n int) *linalg.Dense {
+	a := linalg.NewDense(n, n)
+	if n == 4 {
+		b := linalg.NewDense(3, 2)
+		return linalg.Mul(a, b) // want "inner dimensions provably mismatch \\(4 vs 3\\)"
+	}
+	return a
+}
+
+// basis8 has a constant summary, so the mismatch surfaces at the
+// call site through Program.DimSummaries.
+func basis8() *linalg.Dense {
+	return linalg.NewDense(8, 5)
+}
+
+func badSummaryResult() *linalg.Dense {
+	a := basis8()
+	b := linalg.NewDense(7, 2)
+	return linalg.Mul(a, b) // want "inner dimensions provably mismatch \\(5 vs 7\\)"
+}
+
+// project propagates Mul's conformance requirement into its summary;
+// the violation is reported at the caller, not inside project.
+func project(a, b *linalg.Dense) *linalg.Dense {
+	return linalg.Mul(a, b)
+}
+
+func badSummaryRequire() *linalg.Dense {
+	return project(linalg.NewDense(3, 4), linalg.NewDense(5, 6)) // want "call to project: required dimensions provably mismatch \\(4 vs 5\\)"
+}
+
+func suppressed() *linalg.Dense {
+	a := linalg.NewDense(3, 4)
+	b := linalg.NewDense(3, 5)
+	//esselint:allow shapecheck fixture exercises suppression plumbing
+	return linalg.Mul(a, b)
+}

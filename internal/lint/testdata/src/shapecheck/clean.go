@@ -1,0 +1,76 @@
+package shapecheck
+
+import "esse/internal/linalg"
+
+// Conformant constant shapes stay silent.
+func cleanMul() *linalg.Dense {
+	a := linalg.NewDense(3, 4)
+	b := linalg.NewDense(4, 5)
+	return linalg.Mul(a, b)
+}
+
+// Symbolic shapes without a provable contradiction stay silent even
+// when they might disagree at runtime: the analyzer only reports when
+// both sides resolve to distinct integer constants.
+func cleanSymbolic(n, p int) *linalg.Dense {
+	a := linalg.NewDense(n, p)
+	b := linalg.NewDense(p, n)
+	return linalg.Mul(a, b)
+}
+
+func cleanUnknown(a, b *linalg.Dense) *linalg.Dense {
+	return linalg.Mul(a, b)
+}
+
+// A transpose that fixes conformance is recognized.
+func cleanTranspose() *linalg.Dense {
+	a := linalg.NewDense(3, 4)
+	b := linalg.NewDense(3, 5)
+	return linalg.Mul(a.T(), b) // 4x3 * 3x5
+}
+
+// Slice arithmetic: both halves of a 6x4 matrix are 3x4.
+func cleanSlice() *linalg.Dense {
+	a := linalg.NewDense(6, 4)
+	top := a.Slice(0, 3, 0, 4)
+	bot := a.Slice(3, 6, 0, 4)
+	return linalg.Add(top, bot)
+}
+
+// AppendCols widens: 3x2 ++ 3x3 = 3x5, conformant with a 5-row factor.
+func cleanAppendCols() *linalg.Dense {
+	a := linalg.NewDense(3, 2)
+	b := linalg.NewDense(3, 3)
+	wide := a.AppendCols(b)
+	return linalg.Mul(wide, linalg.NewDense(5, 2))
+}
+
+// Guard-driven equality: after the runtime check the symbolic pair is
+// known equal, matching the checkSameShape convention in linalg itself.
+func cleanGuarded(a, b *linalg.Dense) *linalg.Dense {
+	if a.Cols != b.Rows {
+		panic("shape")
+	}
+	return linalg.Mul(a, b)
+}
+
+// Reassignment kills the old shape instead of reporting stale facts.
+func cleanReassign() *linalg.Dense {
+	a := linalg.NewDense(3, 4)
+	a = linalg.NewDense(5, 2)
+	return linalg.Mul(linalg.NewDense(1, 5), a)
+}
+
+// Helper summaries propagate shapes that conform at the caller.
+func anomaly(x, y []float64) *linalg.Dense {
+	m := linalg.NewDense(len(x), len(y))
+	linalg.OuterAdd(m, 1.0, x, y)
+	return m
+}
+
+func cleanSummary() []float64 {
+	x := make([]float64, 6)
+	y := make([]float64, 2)
+	m := anomaly(x, y) // 6x2
+	return linalg.MatTVec(m, x)
+}

@@ -1,0 +1,21 @@
+// Package shapediff is a frozen, dimension-concrete ESSE analysis
+// kernel used by the shapecheck differential test: the test injects a
+// transposed operand into this source and asserts the analyzer names
+// the exact line. Keep the shapes concrete and conformant, and keep
+// every use downstream of the projection dependent only on its column
+// count so the injected bug stays a single-line finding.
+package shapediff
+
+import "esse/internal/linalg"
+
+// AnalysisStep mirrors one reduced ESSE update: project the ensemble
+// anomaly matrix onto the dominant subspace and weight the reduced
+// coefficients by the ensemble weights.
+func AnalysisStep() []float64 {
+	anom := linalg.NewDense(12, 4)     // 12 state dims x 4 ensemble members
+	basis := linalg.NewDense(12, 3)    // dominant 3-mode subspace
+	coeff := linalg.MulTA(basis, anom) // 3x4 reduced coefficients
+	scaled := linalg.Scale(0.5, coeff)
+	weights := make([]float64, 4)
+	return linalg.MatVec(scaled, weights) // length-3 reduced increment
+}

@@ -1,0 +1,79 @@
+package unitdim
+
+import "math"
+
+// Sample is one water-column sample with annotated physical units.
+type Sample struct {
+	//esselint:unit m
+	Depth float64
+	//esselint:unit s
+	Dt float64
+	//esselint:unit m/s
+	U float64
+	//esselint:unit degC
+	T float64
+	//esselint:unit psu
+	S float64
+}
+
+//esselint:unit m/s^2
+const gravityBad = 9.81
+
+//esselint:unit kg/m^3
+const rhoRef = 1000.0
+
+//esselint:unit kg/m^3/degC
+const alphaT = 0.2
+
+//esselint:unit kg/m^3/psu
+const betaS = 0.8
+
+func badAdd(s *Sample) float64 {
+	return s.Depth + s.Dt // want "operands of \\+ have different units: m vs s"
+}
+
+func badCompare(s *Sample) bool {
+	return s.U > s.T // want "compared values have different units: m/s vs degC"
+}
+
+func badAssign(s *Sample) {
+	s.T = s.U * s.Dt // want "drifts from its //esselint:unit degC directive: value has unit m"
+}
+
+func badCompound(s *Sample) {
+	s.Depth += s.Dt // want "operands of \\+= have different units: m vs s"
+}
+
+//esselint:unit t=degC s=psu return=kg/m^3
+func sigmaT(t, s float64) float64 {
+	return rhoRef - alphaT*t + betaS*s
+}
+
+func badArg(s *Sample) float64 {
+	return sigmaT(s.Depth, s.S) // want "argument 1 of sigmaT has unit m, //esselint:unit declares degC"
+}
+
+//esselint:unit dt=s return=m
+func badReturn(dt float64) float64 {
+	speed := 2.5
+	return speed * dt // want "return value of badReturn has unit s, //esselint:unit declares m"
+}
+
+func badExp(s *Sample) float64 {
+	return math.Exp(s.Depth) // want "math.Exp argument must be dimensionless, got m"
+}
+
+func badSqrtUse(s *Sample) float64 {
+	c := math.Sqrt(gravityBad * s.Depth) // m/s after the square root
+	return c - s.Dt                      // want "operands of - have different units: m/s vs s"
+}
+
+type badDirective struct {
+	//esselint:unit m^x // want "bad exponent"
+	X float64
+}
+
+func suppressedUnit(s *Sample) float64 {
+	//esselint:allow unitdim fixture exercises suppression plumbing
+	return s.Depth + s.Dt
+}

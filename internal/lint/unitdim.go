@@ -1,0 +1,660 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitDim checks physical units through the numerical core. Quantities
+// are annotated where they are declared:
+//
+//	//esselint:unit m/s
+//	U []float64
+//
+//	//esselint:unit t=degC s=psu return=kg/m^3
+//	func Density(t, s float64) float64
+//
+// and the analyzer propagates the unit algebra (dimfacts.go) through
+// the same forward dataflow shapecheck uses: multiplication and
+// division combine exponents, addition, subtraction and comparison
+// require equal units, math.Sqrt halves exponents, transcendental
+// functions demand dimensionless arguments. Literals are polymorphic —
+// `2 * dt` is still seconds, `0.5` adapts to whatever it meets — and
+// anything unknown poisons silently, so a finding always involves two
+// *declared* (or derived-from-declared) units that disagree: meters
+// added to seconds, a m/s value stored into a degC field, a psu
+// argument passed to a degC parameter.
+//
+// Malformed directives are reported once, in the package that declares
+// them (the UnitTable's Problems side, mirroring statefsm).
+var UnitDim = &Analyzer{
+	Name: "unitdim",
+	Doc: "check //esselint:unit physical-unit annotations (m, s, m/s, degC, psu, products/" +
+		"quotients/powers) by linear unit algebra over the shapecheck dataflow",
+	Scope: underInternalOrCmd,
+	Run:   runUnitDim,
+}
+
+// unitVal is one expression's unit: any marks a polymorphic literal
+// (adapts in add/compare, dimensionless in mul/div). Absence from the
+// state means unknown, which is silent.
+type unitVal struct {
+	any bool
+	u   Unit
+}
+
+func (v unitVal) eq(w unitVal) bool {
+	if v.any != w.any {
+		return false
+	}
+	return v.any || v.u.Equal(w.u)
+}
+
+// unitState maps keyable-expression keys to known units; nil is Top.
+type unitState map[string]unitVal
+
+func (s unitState) clone() unitState {
+	c := make(unitState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func runUnitDim(pass *Pass) error {
+	units := unitTableOf(pass)
+	if units == nil {
+		return nil
+	}
+	// Directive problems surface once, in the declaring package.
+	for _, pb := range units.Problems[pass.Path] {
+		pass.Reportf(pb.Pos, "%s", pb.Msg)
+	}
+	for _, f := range pass.Files {
+		for _, fn := range FuncNodes(f) {
+			a := &unitFunc{pass: pass, units: units, fn: fn, reported: map[token.Pos]bool{}}
+			cfg := BuildCFG(fn)
+			res := Forward(cfg, a)
+			for _, b := range cfg.Blocks {
+				in, _ := res.In[b].(unitState)
+				if in == nil {
+					continue
+				}
+				st := in.clone()
+				for _, n := range b.Nodes {
+					a.step(st, n, true)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func unitTableOf(pass *Pass) *UnitTable {
+	if pass.Prog == nil {
+		return nil
+	}
+	return pass.Prog.Units
+}
+
+// unitFunc is the per-function unit analysis.
+type unitFunc struct {
+	pass     *Pass
+	units    *UnitTable
+	fn       ast.Node
+	reported map[token.Pos]bool
+}
+
+// --- FlowAnalysis ----------------------------------------------------------
+
+// Boundary seeds the annotated parameters of the enclosing FuncDecl.
+func (a *unitFunc) Boundary() Fact {
+	st := unitState{}
+	decl, ok := a.fn.(*ast.FuncDecl)
+	if !ok {
+		return st
+	}
+	sig := a.funcSig(decl)
+	if sig == nil || decl.Type.Params == nil {
+		return st
+	}
+	idx := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if idx < len(sig.Params) && sig.Params[idx] != nil && name.Name != "_" {
+				st[name.Name] = unitVal{u: sig.Params[idx]}
+			}
+			idx++
+		}
+		if len(field.Names) == 0 {
+			idx++
+		}
+	}
+	return st
+}
+
+func (a *unitFunc) funcSig(decl *ast.FuncDecl) *UnitFuncSig {
+	obj, ok := a.pass.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return a.units.Funcs[obj.FullName()]
+}
+
+func (a *unitFunc) Top() Fact { return unitState(nil) }
+
+func (a *unitFunc) Transfer(b *Block, in Fact) Fact {
+	st, _ := in.(unitState)
+	if st == nil {
+		return unitState(nil)
+	}
+	out := st.clone()
+	for _, n := range b.Nodes {
+		a.step(out, n, false)
+	}
+	return out
+}
+
+func (a *unitFunc) FlowEdge(e *Edge, out Fact) Fact { return out }
+
+func (a *unitFunc) Meet(x, y Fact) Fact {
+	sx, _ := x.(unitState)
+	sy, _ := y.(unitState)
+	if sx == nil {
+		return sy
+	}
+	if sy == nil {
+		return sx
+	}
+	m := unitState{}
+	for k, vx := range sx {
+		if vy, ok := sy[k]; ok && vx.eq(vy) {
+			m[k] = vx
+		}
+	}
+	return m
+}
+
+func (a *unitFunc) Equal(x, y Fact) bool {
+	sx, _ := x.(unitState)
+	sy, _ := y.(unitState)
+	if (sx == nil) != (sy == nil) || len(sx) != len(sy) {
+		return false
+	}
+	for k, v := range sx {
+		w, ok := sy[k]
+		if !ok || !v.eq(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- per-node transfer -----------------------------------------------------
+
+func (a *unitFunc) step(st unitState, n ast.Node, report bool) {
+	if report {
+		a.checkNode(st, n)
+	}
+	WalkBlockNode(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.AssignStmt:
+			a.applyAssign(st, v)
+			return false
+		case *ast.DeclStmt:
+			if gd, ok := v.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						a.applyValueSpec(st, vs)
+					}
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			a.killExpr(st, v.X)
+			return false
+		case *ast.RangeStmt:
+			if v.Key != nil {
+				a.killExpr(st, v.Key)
+			}
+			if v.Value != nil {
+				// Ranging over an annotated []float64 field hands the
+				// element its unit.
+				a.killExpr(st, v.Value)
+				if ev, ok := a.unitOf(st, v.X); ok && !ev.any {
+					a.gen(st, v.Value, ev)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			a.applyCallKills(st, v)
+			return true
+		case *ast.UnaryExpr:
+			if v.Op == token.AND {
+				a.killExpr(st, v.X)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func (a *unitFunc) applyAssign(st unitState, as *ast.AssignStmt) {
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				a.applyCallKills(st, call)
+			}
+			return true
+		})
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		lhs := as.Lhs[0]
+		var op token.Token
+		switch as.Tok {
+		case token.ADD_ASSIGN:
+			op = token.ADD
+		case token.SUB_ASSIGN:
+			op = token.SUB
+		case token.MUL_ASSIGN:
+			op = token.MUL
+		case token.QUO_ASSIGN:
+			op = token.QUO
+		default:
+			a.killExpr(st, lhs)
+			return
+		}
+		v, ok := a.binaryUnit(st, op, lhs, as.Rhs[0])
+		a.killExpr(st, lhs)
+		if ok {
+			a.gen(st, lhs, v)
+		}
+		return
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		vals := make([]unitVal, len(as.Rhs))
+		known := make([]bool, len(as.Rhs))
+		for i, rhs := range as.Rhs {
+			vals[i], known[i] = a.unitOf(st, rhs)
+		}
+		for _, lhs := range as.Lhs {
+			a.killExpr(st, lhs)
+		}
+		for i, lhs := range as.Lhs {
+			// An annotated target keeps its declared unit in the state —
+			// the drift (if any) is reported once at the assignment, not
+			// cascaded through every later read.
+			if decl, ok := a.declaredUnit(lhs); ok {
+				a.gen(st, lhs, unitVal{u: decl})
+			} else if known[i] {
+				a.gen(st, lhs, vals[i])
+			}
+		}
+		return
+	}
+	for _, lhs := range as.Lhs {
+		a.killExpr(st, lhs)
+		if decl, ok := a.declaredUnit(lhs); ok {
+			a.gen(st, lhs, unitVal{u: decl})
+		}
+	}
+}
+
+func (a *unitFunc) applyValueSpec(st unitState, vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		a.killExpr(st, name)
+		if i < len(vs.Values) {
+			if v, ok := a.unitOf(st, vs.Values[i]); ok {
+				a.gen(st, name, v)
+			}
+		}
+	}
+}
+
+func (a *unitFunc) applyCallKills(st unitState, call *ast.CallExpr) {
+	if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	kill := func(e ast.Expr) {
+		if root := rootIdent(e); root != nil {
+			if obj, ok := a.pass.Info.Uses[root]; ok && isMutableRef(obj.Type()) {
+				a.killName(st, root.Name)
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			a.killExpr(st, u.X)
+			continue
+		}
+		kill(arg)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := a.pass.Info.Selections[sel]; isMethod {
+			kill(sel.X)
+		}
+	}
+}
+
+func (a *unitFunc) gen(st unitState, lhs ast.Expr, v unitVal) {
+	if key, ok := exprKeyOf(lhs); ok {
+		st[key] = v
+	}
+}
+
+func (a *unitFunc) killExpr(st unitState, e ast.Expr) {
+	if root := rootIdent(e); root != nil {
+		a.killName(st, root.Name)
+	}
+}
+
+func (a *unitFunc) killName(st unitState, name string) {
+	for k := range st {
+		if keyMentions(k, name) {
+			delete(st, k)
+		}
+	}
+}
+
+// --- unit evaluation -------------------------------------------------------
+
+// declaredUnit returns the //esselint:unit annotation attached to the
+// declaration e refers to: a struct field, a package-level const/var,
+// or an element of an annotated []float64 (indexing preserves the
+// element quantity's unit).
+func (a *unitFunc) declaredUnit(e ast.Expr) (Unit, bool) {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := a.pass.Info.Uses[v]; ok && obj.Pkg() != nil {
+			if u, ok := a.units.Objects[obj.Pkg().Path()+"."+obj.Name()]; ok {
+				return u, true
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := a.pass.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			for {
+				ptr, ok := t.(*types.Pointer)
+				if !ok {
+					break
+				}
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Sel.Name
+				if u, ok := a.units.Fields[key]; ok {
+					return u, true
+				}
+			}
+			return nil, false
+		}
+		// Qualified package-level object: pkg.Gravity.
+		if obj, ok := a.pass.Info.Uses[v.Sel]; ok && obj.Pkg() != nil {
+			switch obj.(type) {
+			case *types.Const, *types.Var:
+				if u, ok := a.units.Objects[obj.Pkg().Path()+"."+obj.Name()]; ok {
+					return u, true
+				}
+			}
+		}
+	case *ast.IndexExpr:
+		return a.declaredUnit(v.X)
+	}
+	return nil, false
+}
+
+// unitOf evaluates e's unit under st. The second result is false when
+// the unit is unknown (which is always silent).
+func (a *unitFunc) unitOf(st unitState, e ast.Expr) (unitVal, bool) {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.SUB || v.Op == token.ADD {
+			return a.unitOf(st, v.X)
+		}
+	case *ast.BinaryExpr:
+		return a.binaryUnit(st, v.Op, v.X, v.Y)
+	case *ast.CallExpr:
+		return a.callUnit(st, v)
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		if key, ok := exprKeyOf(e); ok {
+			if val, found := st[key]; found {
+				return val, true
+			}
+		}
+		if u, ok := a.declaredUnit(e); ok {
+			return unitVal{u: u}, true
+		}
+	}
+	// Constant-folded leaves (and operators the switch does not model)
+	// are polymorphic literals. This is the fallback, not the first
+	// check, so a constant expression built FROM annotated constants —
+	// -Gravity, 0.5*Gravity, 2*OmegaEarth — still recurses structurally
+	// above and keeps its derived unit.
+	if tv, ok := a.pass.Info.Types[e]; ok && tv.Value != nil {
+		return unitVal{any: true}, true
+	}
+	return unitVal{}, false
+}
+
+func (a *unitFunc) binaryUnit(st unitState, op token.Token, x, y ast.Expr) (unitVal, bool) {
+	vx, okx := a.unitOf(st, x)
+	vy, oky := a.unitOf(st, y)
+	switch op {
+	case token.MUL, token.QUO:
+		if !okx || !oky {
+			return unitVal{}, false
+		}
+		if vx.any && vy.any {
+			return unitVal{any: true}, true
+		}
+		// A polymorphic literal is dimensionless in a product.
+		ux, uy := vx.u, vy.u
+		if op == token.MUL {
+			return unitVal{u: ux.Mul(uy)}, true
+		}
+		return unitVal{u: ux.Div(uy)}, true
+	case token.ADD, token.SUB:
+		if !okx || !oky {
+			return unitVal{}, false
+		}
+		if vx.any {
+			return vy, true
+		}
+		if vy.any {
+			return vx, true
+		}
+		if vx.u.Equal(vy.u) {
+			return vx, true
+		}
+		return unitVal{}, false // the mismatch itself is checkNode's report
+	}
+	return unitVal{}, false
+}
+
+// mathPreserving keeps its argument's unit; mathDimensionless demands a
+// dimensionless argument and returns one. Sqrt is special-cased (halves
+// exponents), Min/Max/Hypot/Mod/Dim meet two same-unit arguments.
+var mathPreserving = map[string]bool{
+	"Abs": true, "Ceil": true, "Floor": true, "Round": true, "Trunc": true,
+	"Copysign": true,
+}
+
+var mathTwoArg = map[string]bool{
+	"Min": true, "Max": true, "Hypot": true, "Mod": true, "Dim": true,
+	"Remainder": true,
+}
+
+var mathDimensionless = map[string]bool{
+	"Exp": true, "Exp2": true, "Expm1": true,
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Sin": true, "Cos": true, "Tan": true, "Asin": true, "Acos": true,
+	"Atan": true, "Sinh": true, "Cosh": true, "Tanh": true,
+	"Erf": true, "Erfc": true,
+}
+
+func (a *unitFunc) callUnit(st unitState, call *ast.CallExpr) (unitVal, bool) {
+	if tv, ok := a.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return a.unitOf(st, call.Args[0]) // conversion preserves units
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "len" {
+		return unitVal{any: true}, true // a count adapts like a literal
+	}
+	callee := StaticCallee(a.pass.Info, call)
+	if callee == nil {
+		return unitVal{}, false
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "math" && len(call.Args) >= 1 {
+		name := callee.Name()
+		switch {
+		case name == "Sqrt":
+			v, ok := a.unitOf(st, call.Args[0])
+			if !ok {
+				return unitVal{}, false
+			}
+			if v.any {
+				return v, true
+			}
+			if u, ok := v.u.Sqrt(); ok {
+				return unitVal{u: u}, true
+			}
+			return unitVal{}, false
+		case mathPreserving[name]:
+			return a.unitOf(st, call.Args[0])
+		case mathTwoArg[name] && len(call.Args) == 2:
+			vx, okx := a.unitOf(st, call.Args[0])
+			vy, oky := a.unitOf(st, call.Args[1])
+			if okx && oky {
+				if vx.any {
+					return vy, true
+				}
+				if vy.any || vx.u.Equal(vy.u) {
+					return vx, true
+				}
+			}
+			return unitVal{}, false
+		case mathDimensionless[name]:
+			return unitVal{u: Unit{}}, true
+		}
+		return unitVal{}, false
+	}
+	if sig := a.units.Funcs[callee.FullName()]; sig != nil && sig.Result != nil {
+		return unitVal{u: sig.Result}, true
+	}
+	return unitVal{}, false
+}
+
+// --- site checking ---------------------------------------------------------
+
+func (a *unitFunc) checkNode(st unitState, n ast.Node) {
+	WalkBlockNode(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.BinaryExpr:
+			switch v.Op {
+			case token.ADD, token.SUB:
+				a.checkSameUnit(st, v.OpPos, v.X, v.Y, "operands of "+v.Op.String())
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				a.checkSameUnit(st, v.OpPos, v.X, v.Y, "compared values")
+			}
+		case *ast.AssignStmt:
+			a.checkAssign(st, v)
+		case *ast.CallExpr:
+			a.checkCall(st, v)
+		case *ast.ReturnStmt:
+			a.checkReturn(st, v)
+		}
+		return true
+	})
+}
+
+func (a *unitFunc) checkSameUnit(st unitState, pos token.Pos, x, y ast.Expr, what string) {
+	vx, okx := a.unitOf(st, x)
+	vy, oky := a.unitOf(st, y)
+	if !okx || !oky || vx.any || vy.any || vx.u.Equal(vy.u) {
+		return
+	}
+	a.reportOnce(pos, "%s have different units: %s vs %s", what, vx.u, vy.u)
+}
+
+func (a *unitFunc) checkAssign(st unitState, as *ast.AssignStmt) {
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN {
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			a.checkSameUnit(st, as.TokPos, as.Lhs[0], as.Rhs[0], "operands of "+as.Tok.String())
+		}
+		return
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		decl, ok := a.declaredUnit(lhs)
+		if !ok {
+			continue
+		}
+		v, known := a.unitOf(st, as.Rhs[i])
+		if !known || v.any || v.u.Equal(decl) {
+			continue
+		}
+		a.reportOnce(as.TokPos, "assignment to %s drifts from its //esselint:unit %s directive: value has unit %s",
+			exprSnippet(lhs), decl, v.u)
+	}
+}
+
+func (a *unitFunc) checkCall(st unitState, call *ast.CallExpr) {
+	callee := StaticCallee(a.pass.Info, call)
+	if callee == nil {
+		return
+	}
+	if callee.Pkg() != nil && callee.Pkg().Path() == "math" &&
+		mathDimensionless[callee.Name()] && len(call.Args) >= 1 {
+		if v, known := a.unitOf(st, call.Args[0]); known && !v.any && len(v.u) > 0 {
+			a.reportOnce(call.Pos(), "math.%s argument must be dimensionless, got %s",
+				callee.Name(), v.u)
+		}
+		return
+	}
+	sig := a.units.Funcs[callee.FullName()]
+	if sig == nil || call.Ellipsis.IsValid() || len(call.Args) != len(sig.Params) {
+		return
+	}
+	for i, arg := range call.Args {
+		if sig.Params[i] == nil {
+			continue
+		}
+		v, known := a.unitOf(st, arg)
+		if !known || v.any || v.u.Equal(sig.Params[i]) {
+			continue
+		}
+		a.reportOnce(arg.Pos(), "argument %d of %s has unit %s, //esselint:unit declares %s",
+			i+1, callee.Name(), v.u, sig.Params[i])
+	}
+}
+
+func (a *unitFunc) checkReturn(st unitState, ret *ast.ReturnStmt) {
+	decl, ok := a.fn.(*ast.FuncDecl)
+	if !ok || len(ret.Results) != 1 {
+		return
+	}
+	sig := a.funcSig(decl)
+	if sig == nil || sig.Result == nil {
+		return
+	}
+	v, known := a.unitOf(st, ret.Results[0])
+	if !known || v.any || v.u.Equal(sig.Result) {
+		return
+	}
+	a.reportOnce(ret.Pos(), "return value of %s has unit %s, //esselint:unit declares %s",
+		decl.Name.Name, v.u, sig.Result)
+}
+
+func (a *unitFunc) reportOnce(pos token.Pos, format string, args ...any) {
+	if a.reported[pos] {
+		return
+	}
+	a.reported[pos] = true
+	a.pass.Reportf(pos, format, args...)
+}

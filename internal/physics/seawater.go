@@ -24,17 +24,32 @@ func SoundSpeedMackenzie(t, s, d float64) float64 {
 
 // Reference state for the linearized equation of state.
 const (
-	RhoRef  = 1025.0 // kg/m³
-	TRef    = 12.0   // °C
-	SRef    = 33.5   // PSU
-	AlphaT  = 2.0e-4 // thermal expansion 1/°C
-	BetaS   = 7.6e-4 // haline contraction 1/PSU
-	Gravity = 9.81   // m/s²
+	//esselint:unit kg/m^3
+	RhoRef = 1025.0
+	//esselint:unit degC
+	TRef = 12.0
+	//esselint:unit psu
+	SRef = 33.5
+	// AlphaT is the thermal expansion coefficient.
+	//esselint:unit 1/degC
+	AlphaT = 2.0e-4
+	// BetaS is the haline contraction coefficient.
+	//esselint:unit 1/psu
+	BetaS = 7.6e-4
+	//esselint:unit m/s^2
+	Gravity = 9.81
 )
+
+// OmegaEarth is Earth's rotation rate.
+//
+//esselint:unit 1/s
+const OmegaEarth = 7.2921e-5
 
 // Density returns seawater density (kg/m³) from a linearized equation of
 // state about the California-coast reference values above. Adequate for
 // the mesoscale dynamics window the paper targets.
+//
+//esselint:unit t=degC s=psu return=kg/m^3
 func Density(t, s float64) float64 {
 	return RhoRef * (1 - AlphaT*(t-TRef) + BetaS*(s-SRef))
 }
@@ -46,9 +61,11 @@ func ThorpAttenuation(fKHz float64) float64 {
 	return 0.11*f2/(1+f2) + 44*f2/(4100+f2) + 2.75e-4*f2 + 0.003
 }
 
-// Coriolis returns the Coriolis parameter f = 2 Ω sin(lat) (1/s) for a
-// latitude in degrees.
+// Coriolis returns the Coriolis parameter f = 2 Ω sin(lat) for a
+// latitude in degrees. latDeg carries no unit directive: the degree→
+// radian conversion inside would read as a dimensioned argument to sin.
+//
+//esselint:unit return=1/s
 func Coriolis(latDeg float64) float64 {
-	const omega = 7.2921e-5
-	return 2 * omega * math.Sin(latDeg*math.Pi/180)
+	return 2 * OmegaEarth * math.Sin(latDeg*math.Pi/180)
 }

@@ -6,27 +6,44 @@
 # spawns; ns/op is recorded but never gated by default — wall time on
 # shared runners is noise, allocation counts are not).
 #
-#   scripts/bench.sh             gate allocs against BENCH_5.json
-#   scripts/bench.sh -update     rewrite BENCH_5.json from this run
-#   scripts/bench.sh -time-gate  opt-in wall-time gate: runs -count=3 so
-#                                benchgate can widen its tolerance to
-#                                this machine's own repetition spread
-#                                (CI stays record-only; see DESIGN §7)
+#   scripts/bench.sh              gate allocs against BENCH_5.json
+#   scripts/bench.sh -update      rewrite BENCH_5.json from this run
+#   scripts/bench.sh -time-gate   opt-in wall-time gate over the whole
+#                                 suite: runs -count=3 so benchgate can
+#                                 widen its tolerance to this machine's
+#                                 own repetition spread
+#   scripts/bench.sh -time-linalg wall-time gate over the curated
+#                                 stable linalg kernels only — the
+#                                 compute-bound benchmarks whose ns/op
+#                                 is reproducible enough to gate in CI
+#                                 (the full suite stays allocation-only;
+#                                 see DESIGN §7)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# The curated subset for -time-linalg: single-package, compute-bound,
+# no scheduler or I/O in the timed loop.
+linalg_stable='^(MulSmall|MulLargeParallel|LUSolve64|QR64|SVDEnsembleShape|SymEig32)$'
 
 mode="${1:-}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 count=1
-if [ "$mode" = "-time-gate" ]; then
+bench_pkgs=./...
+case "$mode" in
+-time-gate)
     count=3
-fi
+    ;;
+-time-linalg)
+    count=3
+    bench_pkgs=./internal/linalg/
+    ;;
+esac
 
-echo "==> go test -bench=. -benchtime=1x -benchmem -count=$count ./..."
-go test -run='^$' -bench=. -benchtime=1x -benchmem -count="$count" ./... | tee "$tmp"
+echo "==> go test -bench=. -benchtime=1x -benchmem -count=$count $bench_pkgs"
+go test -run='^$' -bench=. -benchtime=1x -benchmem -count="$count" "$bench_pkgs" | tee "$tmp"
 
 case "$mode" in
 -update)
@@ -34,6 +51,10 @@ case "$mode" in
     ;;
 -time-gate)
     go run ./cmd/benchgate -baseline BENCH_5.json -out bench-observed.json -time-gate <"$tmp"
+    ;;
+-time-linalg)
+    go run ./cmd/benchgate -baseline BENCH_5.json -out bench-time-linalg.json \
+        -time-gate -match "$linalg_stable" <"$tmp"
     ;;
 *)
     go run ./cmd/benchgate -baseline BENCH_5.json -out bench-observed.json <"$tmp"
