@@ -22,6 +22,7 @@ race:
 FUZZTIME ?= 10s
 test-fuzz:
 	$(GO) test -fuzz=FuzzParsePrometheus -fuzztime=$(FUZZTIME) ./internal/telemetry
+	$(GO) test -fuzz=FuzzParseTraceContext -fuzztime=$(FUZZTIME) ./internal/telemetry
 	$(GO) test -fuzz=FuzzDecodeTask -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz=FuzzDecodeResult -fuzztime=$(FUZZTIME) ./internal/wire
 	$(GO) test -fuzz=FuzzParseDirective -fuzztime=$(FUZZTIME) ./internal/lint
@@ -54,7 +55,7 @@ audit:
 	$(GO) run ./cmd/esselint -audit -vet=false ./...
 
 # bench runs every benchmark once with -benchmem and fails on any
-# allocs/op regression against the committed BENCH_5.json baseline.
+# allocs/op regression against the committed BENCH_10.json baseline.
 # bench-update rewrites the baseline after a deliberate change.
 bench:
 	./scripts/bench.sh

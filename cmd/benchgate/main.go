@@ -8,8 +8,8 @@
 //
 // Usage:
 //
-//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_5.json
-//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_5.json -update
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_10.json
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchgate -baseline BENCH_10.json -update
 //
 // A benchmark regresses when its allocs/op exceeds the baseline by more
 // than both the relative tolerance and the absolute slack — the slack
@@ -60,7 +60,7 @@ func (m *Metrics) finite() bool {
 		!math.IsNaN(m.AllocsPerOp) && !math.IsInf(m.AllocsPerOp, 0)
 }
 
-// Baseline is the committed BENCH_5.json shape.
+// Baseline is the committed BENCH_10.json shape.
 type Baseline struct {
 	Note       string             `json:"note"`
 	Benchmarks map[string]Metrics `json:"benchmarks"`
@@ -159,7 +159,7 @@ func relSpread(xs []float64) float64 {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_5.json", "committed baseline to compare against (or write with -update)")
+	baselinePath := flag.String("baseline", "BENCH_10.json", "committed baseline to compare against (or write with -update)")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
 	out := flag.String("out", "", "optional path to write this run's parsed metrics (CI artifact)")
 	tolerance := flag.Float64("tolerance", 0.15, "relative allocs/op headroom before a regression fires")

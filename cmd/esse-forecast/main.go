@@ -10,6 +10,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,8 +46,17 @@ func main() {
 		adaptive = flag.Int("adaptive", 0, "adaptively planned CTD casts per cycle")
 		smooth   = flag.Bool("smooth", false, "reanalyze each cycle's start state (ESSE smoother)")
 		det      = flag.Bool("deterministic", false, "DO-style deterministic subspace propagation instead of the ensemble")
+		verbose  = flag.Bool("v", false, "log debug-level diagnostics")
 	)
 	flag.Parse()
+
+	// Diagnostics go to stderr as structured log lines; results stay on
+	// stdout. The logger is trace-correlated once telemetry is up.
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	lg := telemetry.NewLogger(os.Stderr, level)
 
 	// SIGINT/SIGTERM cancel ctx: the forecast loop stops between model
 	// steps and the status/telemetry servers drain gracefully.
@@ -70,13 +80,18 @@ func main() {
 	if *telAddr != "" || *traceOut != "" {
 		tel = telemetry.New()
 		cfg.Telemetry = tel
+		// The run's trace identity derives from the seed: restarting
+		// with the same -seed yields the same TraceID in the exported
+		// trace, in wire payloads, and across HTTP hops.
+		tel.Tracer().SetTraceID(telemetry.DeriveTraceID(*seed))
+		lg.Info("tracing enabled", "trace_id", tel.Tracer().TraceID().String(), "seed", *seed)
 	}
 	if *telAddr != "" {
 		sampler := telemetry.StartRuntimeSampler(tel, 0)
 		defer sampler.Stop()
 		go func() {
 			if err := telemetry.Serve(ctx, *telAddr, tel.Handler()); err != nil {
-				fmt.Fprintln(os.Stderr, "esse-forecast: telemetry server:", err)
+				lg.Error("telemetry server failed", "addr", *telAddr, "err", err.Error())
 			}
 		}()
 		fmt.Printf("telemetry: %s\n", telemetry.DisplayURL(*telAddr, "/metrics"))
@@ -88,7 +103,7 @@ func main() {
 			// The monitor mux also carries the telemetry endpoints when
 			// telemetry is on (tel may be nil; HandlerWith tolerates that).
 			if err := telemetry.Serve(ctx, *status, mon.HandlerWith(tel)); err != nil {
-				fmt.Fprintln(os.Stderr, "esse-forecast: status server:", err)
+				lg.Error("status server failed", "addr", *status, "err", err.Error())
 			}
 		}()
 		fmt.Printf("live progress: %s\n", telemetry.DisplayURL(*status, "/status"))
@@ -97,16 +112,17 @@ func main() {
 		cfg.WrapRunner = func(cycle int, r workflow.MemberRunner) workflow.MemberRunner {
 			tr, err := jobdir.Open(fmt.Sprintf("%s/cycle-%d", *trackDir, cycle))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "esse-forecast:", err)
+				lg.Error("opening tracking directory failed", "dir", *trackDir, "cycle", cycle, "err", err.Error())
 				os.Exit(1)
 			}
+			tr.Instrument(tel)
 			return jobdir.ResumableRunner(tr, r)
 		}
 	}
 
 	sys, err := realtime.NewSystem(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "esse-forecast:", err)
+		lg.Error("building system failed", "err", err.Error())
 		os.Exit(1)
 	}
 	fmt.Printf("ESSE real-time forecast: %dx%dx%d grid (state dim %d), %d obs/batch\n",
@@ -116,9 +132,12 @@ func main() {
 	for k := 0; k < cfg.Cycles; k++ {
 		r, err := sys.RunCycle(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "esse-forecast:", err)
+			lg.Error("cycle failed", "cycle", k, "err", err.Error())
 			os.Exit(1)
 		}
+		lg.Debug("cycle complete", "cycle", r.Cycle, "members", r.Ensemble.MembersUsed,
+			"svd_rounds", r.Ensemble.SVDRounds, "converged", r.Ensemble.Converged,
+			"elapsed", r.Ensemble.Elapsed)
 		fmt.Printf("%-6d %9.4f %9.4f %8d %7d %6.3f %5v %8s\n",
 			r.Cycle, r.RMSEForecastT, r.RMSEAnalysisT, r.Ensemble.MembersUsed,
 			r.Ensemble.SVDRounds, r.Ensemble.Rho, r.Ensemble.Converged,
@@ -154,7 +173,7 @@ func main() {
 		events = append(events, telemetry.TimelineChromeEvents(sys.Tl, time.Second)...)
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "esse-forecast:", err)
+			lg.Error("creating trace file failed", "path", *traceOut, "err", err.Error())
 			os.Exit(1)
 		}
 		if err := telemetry.WriteChromeTrace(f, events); err == nil {
@@ -164,7 +183,7 @@ func main() {
 			f.Close()
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "esse-forecast: writing trace:", err)
+			lg.Error("writing trace failed", "path", *traceOut, "err", err.Error())
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote Chrome trace (%d events) to %s — load in chrome://tracing\n", len(events), *traceOut)

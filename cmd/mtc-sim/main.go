@@ -8,6 +8,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +36,9 @@ func main() {
 	)
 	flag.Parse()
 
+	// Diagnostics are structured stderr log lines; results stay on stdout.
+	lg := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+
 	// SIGINT/SIGTERM cancel ctx so a held telemetry server drains
 	// gracefully instead of dying mid-scrape.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -43,11 +47,14 @@ func main() {
 	var tel *telemetry.Telemetry
 	if *telAddr != "" {
 		tel = telemetry.New()
+		// Seed-stable trace identity: reruns with the same -seed produce
+		// the same TraceID on /trace, so digests are comparable.
+		tel.Tracer().SetTraceID(telemetry.DeriveTraceID(*seed))
 		sampler := telemetry.StartRuntimeSampler(tel, 0)
 		defer sampler.Stop()
 		go func() {
 			if err := telemetry.Serve(ctx, *telAddr, tel.Handler()); err != nil {
-				fmt.Fprintln(os.Stderr, "mtc-sim: telemetry server:", err)
+				lg.Error("telemetry server failed", "addr", *telAddr, "err", err.Error())
 			}
 		}()
 		fmt.Printf("telemetry: %s\n", telemetry.DisplayURL(*telAddr, "/metrics"))
@@ -74,7 +81,7 @@ func main() {
 	case "condor":
 		cfg.Policy = sched.Condor
 	default:
-		fmt.Fprintf(os.Stderr, "mtc-sim: unknown policy %q\n", *policy)
+		lg.Error("unknown policy", "policy", *policy)
 		os.Exit(2)
 	}
 	switch *iomode {
@@ -83,7 +90,7 @@ func main() {
 	case "nfs":
 		cfg.IOMode = sched.MixedNFS
 	default:
-		fmt.Fprintf(os.Stderr, "mtc-sim: unknown io mode %q\n", *iomode)
+		lg.Error("unknown io mode", "io", *iomode)
 		os.Exit(2)
 	}
 	if *workload == "acoustic" {

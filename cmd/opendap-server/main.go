@@ -12,7 +12,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -45,8 +45,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Diagnostics are structured stderr log lines (trace-correlated once
+	// telemetry is up); dataset listings and stats stay on stdout.
+	lg := telemetry.NewLogger(os.Stderr, slog.LevelInfo)
+
 	if *fetch != "" {
-		runClient(*fetch, *dataset, *varName, *slab)
+		runClient(lg, *fetch, *dataset, *varName, *slab)
 		return
 	}
 
@@ -60,15 +64,16 @@ func main() {
 	srv := opendap.NewServer()
 	if *telAddr != "" {
 		tel := telemetry.New()
+		tel.Tracer().SetTraceID(telemetry.DeriveTraceID(*seed))
 		srv.Instrument(tel)
 		sampler := telemetry.StartRuntimeSampler(tel, 0)
 		defer sampler.Stop()
 		go func() {
 			if err := telemetry.Serve(ctx, *telAddr, tel.Handler()); err != nil {
-				log.Println("telemetry server:", err)
+				lg.Error("telemetry server failed", "addr", *telAddr, "err", err.Error())
 			}
 		}()
-		log.Printf("telemetry on %s", telemetry.DisplayURL(*telAddr, "/metrics"))
+		lg.Info("telemetry serving", "url", telemetry.DisplayURL(*telAddr, "/metrics"))
 	}
 	for m := 0; m < *members; m++ {
 		st := master.Split(uint64(m))
@@ -79,28 +84,32 @@ func main() {
 		f, err := ncdf.FromState(model.Layout, model.State(nil),
 			map[string]string{"member": fmt.Sprint(m), "region": "monterey-bay"})
 		if err != nil {
-			log.Fatal(err)
+			lg.Error("building dataset failed", "member", m, "err", err.Error())
+			os.Exit(1)
 		}
 		srv.Publish(fmt.Sprintf("forecast-%03d", m), f)
 	}
-	log.Printf("serving %d forecast datasets on %s (endpoints: /datasets /dds/{name} /dods/{name})",
-		*members, *listen)
+	lg.Info("serving forecast datasets", "members", *members, "addr", *listen,
+		"endpoints", "/datasets /dds/{name} /dods/{name}")
 	if err := telemetry.Serve(ctx, *listen, srv.Handler()); err != nil {
-		log.Fatal(err)
+		lg.Error("server failed", "addr", *listen, "err", err.Error())
+		os.Exit(1)
 	}
-	log.Println("shutdown complete")
+	lg.Info("shutdown complete")
 }
 
-func runClient(base, dataset, varName, slab string) {
+func runClient(lg *telemetry.Logger, base, dataset, varName, slab string) {
 	c := opendap.NewClient(base)
 	names, err := c.Datasets()
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("listing datasets failed", "base", base, "err", err.Error())
+		os.Exit(1)
 	}
 	fmt.Printf("server offers %d datasets: %v\n", len(names), names)
 	dds, err := c.DDS(dataset)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("DDS fetch failed", "dataset", dataset, "err", err.Error())
+		os.Exit(1)
 	}
 	fmt.Print(dds)
 
@@ -108,27 +117,28 @@ func runClient(base, dataset, varName, slab string) {
 	if slab != "" {
 		parts := strings.SplitN(slab, ":", 2)
 		if len(parts) != 2 {
-			fmt.Fprintln(os.Stderr, "bad -slab; want 'i,j,k:di,dj,dk'")
+			lg.Error("bad -slab; want 'i,j,k:di,dj,dk'", "slab", slab)
 			os.Exit(2)
 		}
-		start = mustInts(parts[0])
-		count = mustInts(parts[1])
+		start = mustInts(lg, parts[0])
+		count = mustInts(lg, parts[1])
 	}
 	data, err := c.Fetch(dataset, varName, start, count)
 	if err != nil {
-		log.Fatal(err)
+		lg.Error("hyperslab fetch failed", "dataset", dataset, "var", varName, "err", err.Error())
+		os.Exit(1)
 	}
 	st := metrics.Stats(data)
 	fmt.Printf("fetched %d values of %s: min %.4g max %.4g mean %.4g\n",
 		len(data), varName, st.Min, st.Max, st.Mean)
 }
 
-func mustInts(s string) []int {
+func mustInts(lg *telemetry.Logger, s string) []int {
 	var out []int
 	for _, p := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad integer %q\n", p)
+			lg.Error("bad integer in -slab", "value", p)
 			os.Exit(2)
 		}
 		out = append(out, v)

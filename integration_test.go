@@ -6,6 +6,7 @@
 package esse_test
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"esse/internal/acoustics"
 	"esse/internal/core"
 	"esse/internal/covstore"
+	"esse/internal/forensics"
 	"esse/internal/grid"
 	"esse/internal/jobdir"
 	"esse/internal/monitor"
@@ -21,6 +23,8 @@ import (
 	"esse/internal/opendap"
 	"esse/internal/realtime"
 	"esse/internal/rng"
+	"esse/internal/telemetry"
+	"esse/internal/wire"
 	"esse/internal/workflow"
 )
 
@@ -272,5 +276,129 @@ func TestOpenDAPPrestageFlow(t *testing.T) {
 		if got[i] != state[i] {
 			t.Fatalf("prestaged state differs at %d", i)
 		}
+	}
+}
+
+// TestCausalTraceForensics closes the observability loop over a full
+// real-time run, the way cmd/esse-report does after an operational
+// cycle: the exported Chrome trace must rebuild into a span tree where
+// every member and phase span parent-chains to its cycle root under a
+// single seed-derived trace identity, that identity must survive a
+// wire round trip bit-for-bit, and the forensic digest must recover a
+// non-empty critical path for every cycle.
+func TestCausalTraceForensics(t *testing.T) {
+	const seed = 42
+	tel := telemetry.New()
+	tel.Tracer().SetTraceID(telemetry.DeriveTraceID(seed))
+
+	cfg := integrationConfig()
+	cfg.Telemetry = tel
+	sys, err := realtime.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := sys.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, tel.Tracer().ChromeEvents()); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := forensics.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("trace has %d orphan spans", len(tree.Orphans))
+	}
+	if len(tree.Roots) != cfg.Cycles {
+		t.Fatalf("got %d roots, want one per cycle (%d)", len(tree.Roots), cfg.Cycles)
+	}
+
+	wantTrace := telemetry.DeriveTraceID(seed).String()
+	members, phases := 0, 0
+	for _, sp := range tree.ByID {
+		if sp.TraceID != wantTrace {
+			t.Fatalf("span %s/%s carries trace %q, want %q", sp.Cat, sp.Name, sp.TraceID, wantTrace)
+		}
+		root, ok := tree.RootChain(sp)
+		if !ok || root.Cat != "realtime" || root.Base() != "cycle" {
+			t.Fatalf("span %s/%s does not chain to a cycle root", sp.Cat, sp.Name)
+		}
+		if sp.Cat == "workflow" && sp.Base() == "member" {
+			members++
+		}
+		if sp.Cat == "realtime" && sp.Base() != "cycle" {
+			phases++
+		}
+	}
+	if members == 0 {
+		t.Fatal("no member spans in the trace")
+	}
+	if phases == 0 {
+		t.Fatal("no phase spans in the trace")
+	}
+
+	// Wire propagation: the cycle root's identity rides a Task across
+	// an encode/decode round trip unchanged.
+	root := tree.Roots[0]
+	task := &wire.Task{
+		ID:      "t-trace",
+		Kind:    wire.KindForecast,
+		Member:  1,
+		Seed:    seed,
+		Dt:      0.5,
+		Horizon: 3600,
+		Trace:   wire.TraceContext{TraceID: root.TraceID, SpanID: root.SpanID},
+	}
+	var wbuf bytes.Buffer
+	if err := wire.EncodeTask(&wbuf, task); err != nil {
+		t.Fatal(err)
+	}
+	var got wire.Task
+	if err := wire.DecodeTask(&wbuf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.TraceID != wantTrace || got.Trace != task.Trace {
+		t.Fatalf("trace context changed on the wire: %+v != %+v", got.Trace, task.Trace)
+	}
+
+	// Forensics digest: every cycle recovers a non-empty critical path
+	// rooted at its cycle span, and the audit sees the emitted events.
+	events := &telemetry.EventsPage{
+		Total:  tel.Events().Total(),
+		Oldest: tel.Events().Oldest(),
+		Events: tel.Events().Snapshot(0),
+	}
+	var mbuf bytes.Buffer
+	if err := tel.Registry().WritePrometheus(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := telemetry.ParsePrometheus(&mbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := forensics.BuildDigest(tree, events, exp)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.TraceID != wantTrace {
+		t.Fatalf("digest trace id %q, want %q", d.TraceID, wantTrace)
+	}
+	if len(d.Cycles) != len(results) {
+		t.Fatalf("digest has %d cycles, run produced %d", len(d.Cycles), len(results))
+	}
+	for _, c := range d.Cycles {
+		if len(c.CriticalPath) == 0 {
+			t.Fatalf("cycle %s has an empty critical path", c.Root)
+		}
+		if c.Members == 0 {
+			t.Fatalf("cycle %s saw no member spans", c.Root)
+		}
+	}
+	if d.Audit.Done == 0 {
+		t.Fatal("audit saw no completed tasks")
 	}
 }

@@ -78,6 +78,11 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 	cTasksCancelled := tel.Counter("esse_acoustics_tasks_total", "Acoustic climate TL tasks by final outcome.", "outcome", "cancelled")
 	hTaskSec := tel.Histogram("esse_acoustics_task_seconds", "Wall-clock duration of one TL computation.", nil)
 
+	// The pool span adopts whatever parent rides in on ctx (an ocean
+	// cycle, an HTTP request) and every TL task parents under it.
+	ctx, poolSpan := tel.SpanCtx(ctx, "acoustics", "climate", -1, 0)
+	defer poolSpan.End()
+
 	tasks := make(chan ClimateTask)
 	go func() {
 		defer close(tasks)
@@ -124,7 +129,7 @@ func ComputeClimate(ctx context.Context, spec ClimateSpec, sink func(ClimateTask
 				cfg.SourceDepth = spec.SourceDepths[task.Source]
 				cfg.FreqKHz = spec.FreqsKHz[task.Freq]
 				tel.Emit("climate", spec.taskID(task), 0, telemetry.PhaseRunning)
-				sp := tel.Span("acoustics", "tl-task", int64(spec.taskID(task)), lane)
+				_, sp := tel.SpanCtx(ctx, "acoustics", "tl-task", int64(spec.taskID(task)), lane)
 				t0 := time.Now()
 				var field *TLField
 				var err error

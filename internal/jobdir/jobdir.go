@@ -15,6 +15,7 @@
 package jobdir
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -34,15 +35,18 @@ type Tracker struct {
 	dir string
 
 	// telemetry handles (nil no-ops unless Instrument is called)
+	tel         *telemetry.Telemetry
 	cCompletes  *telemetry.Counter
 	cResets     *telemetry.Counter
 	cStateSaves *telemetry.Counter
 	cStateLoads *telemetry.Counter
 }
 
-// Instrument registers the tracker's metrics in tel. Call it before
-// the tracker is shared between goroutines; a nil tel is a no-op.
+// Instrument registers the tracker's metrics in tel and enables spans
+// on the Ctx state variants. Call it before the tracker is shared
+// between goroutines; a nil tel is a no-op.
 func (t *Tracker) Instrument(tel *telemetry.Telemetry) {
+	t.tel = tel
 	t.cCompletes = tel.Counter("esse_jobdir_completes_total", "Member status files recorded.")
 	t.cResets = tel.Counter("esse_jobdir_resets_total", "Member statuses forgotten to force a rerun.")
 	t.cStateSaves = tel.Counter("esse_jobdir_state_saves_total", "Member forecast states persisted.")
@@ -165,6 +169,23 @@ func (t *Tracker) Cleanup() error {
 }
 
 var stateCRC = crc64.MakeTable(crc64.ISO)
+
+// SaveStateCtx is SaveState wrapped in a span parented under the
+// active span in ctx (normally the member that produced the state), so
+// checkpoint I/O shows up as a child in the trace tree.
+func (t *Tracker) SaveStateCtx(ctx context.Context, index int, state []float64) error {
+	_, sp := t.tel.SpanCtx(ctx, "jobdir", "save-state", int64(index), -1)
+	defer sp.End()
+	return t.SaveState(index, state)
+}
+
+// LoadStateCtx is LoadState wrapped in a span, the read-side twin of
+// SaveStateCtx (a resumed member's "work" is exactly this load).
+func (t *Tracker) LoadStateCtx(ctx context.Context, index int) ([]float64, error) {
+	_, sp := t.tel.SpanCtx(ctx, "jobdir", "load-state", int64(index), -1)
+	defer sp.End()
+	return t.LoadState(index)
+}
 
 // SaveState persists a member's forecast state (atomic, checksummed).
 func (t *Tracker) SaveState(index int, state []float64) error {

@@ -21,7 +21,7 @@ func ResumableRunner(t *Tracker, inner workflow.MemberRunner) workflow.MemberRun
 	return func(ctx context.Context, index int) ([]float64, error) {
 		code, done, err := t.Status(index)
 		if err == nil && done && code == 0 {
-			state, loadErr := t.LoadState(index)
+			state, loadErr := t.LoadStateCtx(ctx, index)
 			if loadErr == nil {
 				return state, nil
 			}
@@ -40,7 +40,7 @@ func ResumableRunner(t *Tracker, inner workflow.MemberRunner) workflow.MemberRun
 			}
 			return nil, runErr
 		}
-		if err := t.SaveState(index, state); err != nil {
+		if err := t.SaveStateCtx(ctx, index, state); err != nil {
 			return nil, err
 		}
 		if err := t.Complete(index, 0); err != nil {

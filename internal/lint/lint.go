@@ -114,7 +114,7 @@ func Analyzers() []*Analyzer {
 		DivGuard, FloatCmp, GoroutineLeak, AliasGuard,
 		MapOrder, LockHeld,
 		HotAlloc, Preallocate, Boxing,
-		MetricLabels,
+		MetricLabels, SlogKV,
 		SharedGuard, CtxFlow, AtomicMix,
 		JSONWire, HTTPGuard, ExhaustEnum,
 		StateFSM, ResLeak, RetryBudget,

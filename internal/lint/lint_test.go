@@ -54,6 +54,10 @@ func TestMetricLabelsFixture(t *testing.T) {
 	RunFixture(t, MetricLabels, "metriclabels")
 }
 
+func TestSlogKVFixture(t *testing.T) {
+	RunFixture(t, SlogKV, "slogkv")
+}
+
 // TestDivGuardSummaryFixture drives divguard over call sites whose
 // safety only the interprocedural numeric summaries can prove (or
 // refuse to prove).
@@ -162,6 +166,9 @@ func TestScopes(t *testing.T) {
 		}
 		if !ShapeCheck.Scope(rel) || !UnitDim.Scope(rel) {
 			t.Errorf("shapecheck/unitdim must cover %q", rel)
+		}
+		if !SlogKV.Scope(rel) {
+			t.Errorf("slogkv must cover %q", rel)
 		}
 	}
 	if MapOrder.Scope("examples/quickstart") || LockHeld.Scope("examples/quickstart") {

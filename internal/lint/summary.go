@@ -159,6 +159,11 @@ type Program struct {
 	labelTakers map[string]bool
 	labelOnce   sync.Once
 
+	// kvTakers caches slogkv's kv-taking function set (seed signatures
+	// plus wrapper propagation); see slogkv.go.
+	kvTakers map[string]bool
+	kvOnce   sync.Once
+
 	// spawnReach caches the set of functions reachable from a goroutine
 	// (spawn roots plus transitive callees); see concurrency.go.
 	spawnReach map[string]bool

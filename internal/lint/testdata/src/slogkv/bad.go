@@ -1,0 +1,43 @@
+package slogkv
+
+import "log/slog"
+
+// logger mimics internal/telemetry's Logger convention: the trailing
+// variadic named kv is the slogkv seed signature.
+type logger struct{}
+
+func (l *logger) Info(msg string, kv ...any) int {
+	return len(kv)
+}
+
+// wrap forwards its own trailing ...any variadic into a kv-taking
+// callee, so wrapper propagation makes it kv-taking too.
+func wrap(l *logger, msg string, kv ...any) int {
+	return l.Info(msg, kv...)
+}
+
+func badCalls(l *logger) {
+	l.Info("m", "only-key")              // want "odd number of key/value arguments"
+	l.Info("m", "a", 1, "b")             // want "odd number of key/value arguments"
+	l.Info("m", "a", 1, "a", 2)          // want "duplicate kv key"
+	l.Info("m", dynamicKey(), 1)         // want "compile-time string constant"
+	l.Info("m", 42, "v")                 // want "compile-time string constant"
+	wrap(l, "m", "a", 1, "a", 2)         // want "duplicate kv key"
+	slog.Info("m", "x")                  // want "odd number of key/value arguments"
+	slog.Warn("m", "k", 1, "k", 2)       // want "duplicate kv key"
+	l.Info("m", slog.Int("n", 1), "odd") // want "odd number of key/value arguments"
+
+	kvs := []any{"a", 1}
+	l.Info("m", kvs...) // want "splatted from a slice"
+}
+
+// splatNotOwnParam splats a local slice, not its own kv variadic: the
+// pairs cannot be validated at this call site or any other.
+func splatNotOwnParam(l *logger, kv ...any) int {
+	local := append([]any{"z", 9}, kv...)
+	return l.Info("m", local...) // want "splatted from a slice"
+}
+
+func dynamicKey() string {
+	return "runtime-key"
+}

@@ -1,0 +1,30 @@
+package slogkv
+
+import "log/slog"
+
+func cleanCalls(l *logger) {
+	l.Info("m")
+	l.Info("m", "a", 1)
+	l.Info("m", "a", 1, "b", dynamicKey()) // values need not be constant
+
+	const k = "stage"
+	l.Info("m", k, "forecast") // named constants are compile-time keys
+
+	// One slog.Attr consumes a single slot, mixed freely with pairs.
+	l.Info("m", slog.Int("n", 1))
+	l.Info("m", "a", 1, slog.String("s", "x"), "b", 2)
+	slog.Info("m", "a", 1, slog.Duration("d", 0))
+
+	wrap(l, "m", "a", 1, "b", 2) // wrapper call sites obey the same rules
+}
+
+// forward is the sanctioned wrapper shape: splatting its OWN trailing
+// kv variadic is not a violation — forward's call sites are checked
+// instead (and become kv-taking transitively, two hops deep).
+func forward(l *logger, kv ...any) int {
+	return wrap(l, "m", kv...)
+}
+
+func useForward(l *logger) {
+	forward(l, "x", 1, "y", 2)
+}

@@ -18,6 +18,7 @@
 package opendap
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc64"
@@ -45,17 +46,20 @@ type Server struct {
 	bytes    int64
 
 	// telemetry handles (nil no-ops unless Instrument is called)
+	tel    *telemetry.Telemetry
 	cList  *telemetry.Counter
 	cDDS   *telemetry.Counter
 	cDODS  *telemetry.Counter
 	cBytes *telemetry.Counter
 }
 
-// Instrument registers the server's metrics in tel. Call it before
-// serving; a nil tel is a no-op.
+// Instrument registers the server's metrics in tel and arms the trace
+// middleware Handler wraps around each route. Call it before Handler;
+// a nil tel is a no-op.
 func (s *Server) Instrument(tel *telemetry.Telemetry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tel = tel
 	s.cList = tel.Counter("esse_opendap_requests_total", "OpenDAP requests by endpoint.", "endpoint", "datasets")
 	s.cDDS = tel.Counter("esse_opendap_requests_total", "OpenDAP requests by endpoint.", "endpoint", "dds")
 	s.cDODS = tel.Counter("esse_opendap_requests_total", "OpenDAP requests by endpoint.", "endpoint", "dods")
@@ -81,12 +85,19 @@ func (s *Server) Stats() (requests, bytes int64) {
 	return s.requests, s.bytes
 }
 
-// Handler returns the HTTP handler implementing the protocol.
+// Handler returns the HTTP handler implementing the protocol. When the
+// server is instrumented, every route runs behind the telemetry trace
+// middleware: an inbound traceparent header (the Client injects one)
+// parents the server span under the remote caller, so one causal tree
+// spans both processes. Uninstrumented, the routes are served bare.
 func (s *Server) Handler() http.Handler {
+	s.mu.RLock()
+	tel := s.tel
+	s.mu.RUnlock()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/datasets", s.handleList)
-	mux.HandleFunc("/dds/", s.handleDDS)
-	mux.HandleFunc("/dods/", s.handleDODS)
+	mux.Handle("/datasets", tel.Instrument("opendap-datasets", http.HandlerFunc(s.handleList)))
+	mux.Handle("/dds/", tel.Instrument("opendap-dds", http.HandlerFunc(s.handleDDS)))
+	mux.Handle("/dods/", tel.Instrument("opendap-dods", http.HandlerFunc(s.handleDODS)))
 	return mux
 }
 
@@ -218,10 +229,22 @@ func parseIntList(s string, rank, def int) ([]int, error) {
 
 // --- client -----------------------------------------------------------------
 
-// Client talks to a Server over HTTP.
+// Client talks to a Server over HTTP. Its Ctx request variants open
+// client spans and inject the traceparent header, so a fetch issued
+// from inside a forecast cycle shows up in the server's trace parented
+// under that cycle.
 type Client struct {
 	Base string // e.g. "http://host:port"
 	HTTP *http.Client
+
+	tel *telemetry.Telemetry
+}
+
+// Instrument enables client-side spans on the Ctx request variants.
+// Call it before the client is shared; a nil tel is a no-op (the
+// traceparent header is still injected when ctx carries a span).
+func (c *Client) Instrument(tel *telemetry.Telemetry) {
+	c.tel = tel
 }
 
 // NewClient returns a client for the given base URL. The client is
@@ -241,9 +264,28 @@ func NewClient(base string) *Client {
 // minute is generous on any link the paper's setting cares about.
 const clientTimeout = 60 * time.Second
 
+// get issues one GET with the active span (if any) injected as a
+// traceparent header, so the server can parent its span under ours.
+func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("opendap: %w", err)
+	}
+	telemetry.Inject(req.Header, telemetry.SpanFromContext(ctx).Context())
+	return c.HTTP.Do(req)
+}
+
 // Datasets lists the server's dataset names.
 func (c *Client) Datasets() ([]string, error) {
-	resp, err := c.HTTP.Get(c.Base + "/datasets")
+	return c.DatasetsCtx(context.Background())
+}
+
+// DatasetsCtx is Datasets under a context: the request is cancellable,
+// runs inside a client span, and propagates trace context.
+func (c *Client) DatasetsCtx(ctx context.Context) ([]string, error) {
+	ctx, sp := c.tel.SpanCtx(ctx, "opendap", "datasets", -1, -1)
+	defer sp.End()
+	resp, err := c.get(ctx, c.Base+"/datasets")
 	if err != nil {
 		return nil, fmt.Errorf("opendap: %w", err)
 	}
@@ -266,7 +308,14 @@ func (c *Client) Datasets() ([]string, error) {
 
 // DDS fetches the structure descriptor of a dataset.
 func (c *Client) DDS(dataset string) (string, error) {
-	resp, err := c.HTTP.Get(c.Base + "/dds/" + dataset)
+	return c.DDSCtx(context.Background(), dataset)
+}
+
+// DDSCtx is DDS under a context with span + trace propagation.
+func (c *Client) DDSCtx(ctx context.Context, dataset string) (string, error) {
+	ctx, sp := c.tel.SpanCtx(ctx, "opendap", "dds", -1, -1)
+	defer sp.End()
+	resp, err := c.get(ctx, c.Base+"/dds/"+dataset)
 	if err != nil {
 		return "", fmt.Errorf("opendap: %w", err)
 	}
@@ -284,6 +333,13 @@ func (c *Client) DDS(dataset string) (string, error) {
 // Fetch retrieves a hyperslab of a variable. Pass nil start/count for
 // the full array.
 func (c *Client) Fetch(dataset, variable string, start, count []int) ([]float64, error) {
+	return c.FetchCtx(context.Background(), dataset, variable, start, count)
+}
+
+// FetchCtx is Fetch under a context with span + trace propagation.
+func (c *Client) FetchCtx(ctx context.Context, dataset, variable string, start, count []int) ([]float64, error) {
+	ctx, sp := c.tel.SpanCtx(ctx, "opendap", "fetch", -1, -1)
+	defer sp.End()
 	url := fmt.Sprintf("%s/dods/%s?var=%s", c.Base, dataset, variable)
 	if len(start) > 0 {
 		url += "&start=" + joinInts(start)
@@ -291,7 +347,7 @@ func (c *Client) Fetch(dataset, variable string, start, count []int) ([]float64,
 	if len(count) > 0 {
 		url += "&count=" + joinInts(count)
 	}
-	resp, err := c.HTTP.Get(url)
+	resp, err := c.get(ctx, url)
 	if err != nil {
 		return nil, fmt.Errorf("opendap: %w", err)
 	}

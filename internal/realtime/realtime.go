@@ -289,7 +289,10 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 
 	tel := s.Cfg.Telemetry
 	tel.Emit("cycle", k, 0, telemetry.PhaseRunning)
-	cycleSpan := tel.Span("realtime", "cycle", int64(k), 0)
+	// The cycle span is the root of this cycle's causal tree; every
+	// phase below (and, through the engine's context, every member and
+	// its perturb/forecast phases) parents back to it.
+	ctx, cycleSpan := tel.SpanCtx(ctx, "realtime", "cycle", int64(k), 0)
 	defer cycleSpan.End()
 	cycleStart := time.Now()
 
@@ -309,7 +312,7 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	forecasterStart := time.Now()
 
 	// Central (unperturbed) forecast, in scaled space for the engine.
-	spCentral := tel.Span("realtime", "central-forecast", int64(k), 0)
+	_, spCentral := tel.SpanCtx(ctx, "realtime", "central-forecast", int64(k), -1)
 	central := s.runMember(s.analysis, cycleSeed.Split(0))
 	centralZ := s.scaler.ToScaled(nil, central)
 	spCentral.End()
@@ -328,6 +331,10 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		// The engine delivers its member span through ctx; the perturb
+		// and forecast phase spans parent under it and inherit its lane
+		// (lane -1), so each worker row nests member → phases.
+		_, spPert := tel.SpanCtx(ctx, "realtime", "perturb", int64(index), -1)
 		st := cycleSeed.Split(uint64(index + 1))
 		pertZ := sub.Perturb(nil, st, s.Cfg.WhiteNoise)
 		if cache != nil {
@@ -338,8 +345,12 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 		for i := range initial {
 			initial[i] = analysis[i] + pert[i]
 		}
+		spPert.End()
+		_, spForecast := tel.SpanCtx(ctx, "realtime", "forecast", int64(index), -1)
 		state := s.runMember(initial, st.Split(7))
-		return s.scaler.ToScaled(state, state), nil
+		state = s.scaler.ToScaled(state, state)
+		spForecast.End()
+		return state, nil
 	}
 
 	if s.Cfg.WrapRunner != nil {
@@ -348,14 +359,14 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 
 	var ens *workflow.Result
 	var err error
-	spEnsemble := tel.Span("realtime", "ensemble", int64(k), 0)
+	ectx, spEnsemble := tel.SpanCtx(ctx, "realtime", "ensemble", int64(k), -1)
 	switch {
 	case s.Cfg.Deterministic:
-		ens, err = s.deterministicForecast(ctx, centralZ)
+		ens, err = s.deterministicForecast(ectx, centralZ)
 	case s.Cfg.Serial:
-		ens, err = workflow.RunSerial(ctx, s.Cfg.Ensemble, centralZ, runner)
+		ens, err = workflow.RunSerial(ectx, s.Cfg.Ensemble, centralZ, runner)
 	default:
-		ens, err = workflow.RunParallel(ctx, s.Cfg.Ensemble, centralZ, runner)
+		ens, err = workflow.RunParallel(ectx, s.Cfg.Ensemble, centralZ, runner)
 	}
 	spEnsemble.End()
 	if err != nil {
@@ -368,7 +379,7 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	network, scaled := s.Network, s.scaled
 	var castLocs [][2]int
 	if s.Cfg.AdaptiveCasts > 0 {
-		spAdaptive := tel.Span("realtime", "adaptive-sampling", int64(k), 0)
+		_, spAdaptive := tel.SpanCtx(ctx, "realtime", "adaptive-sampling", int64(k), -1)
 		castStd := s.Cfg.AdaptiveCastStd
 		if castStd <= 0 {
 			castStd = 0.05
@@ -389,7 +400,7 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	}
 
 	// Observe the truth and assimilate in scaled space.
-	spAssim := tel.Span("realtime", "assimilate", int64(k), 0)
+	_, spAssim := tel.SpanCtx(ctx, "realtime", "assimilate", int64(k), -1)
 	y := network.Sample(s.truth.State(nil), cycleSeed.Split(999))
 	yz := scaled.ScaleObs(y)
 	an, err := core.Assimilate(ens.Mean, ens.Subspace, scaled, yz)
@@ -416,7 +427,7 @@ func (s *System) RunCycle(ctx context.Context) (*CycleResult, error) {
 	if s.Cfg.Smooth {
 		// Reanalyze the cycle-start state with this cycle's innovation
 		// (base network only: the smoother shares the filter's H).
-		spSmooth := tel.Span("realtime", "smooth", int64(k), 0)
+		_, spSmooth := tel.SpanCtx(ctx, "realtime", "smooth", int64(k), -1)
 		innovZ := linalg.VecSub(s.scaled.ScaleObs(s.Network.Sample(s.truth.State(nil), cycleSeed.Split(998))),
 			s.scaled.ApplyH(ens.Mean))
 		smoothed, err := s.smoothStart(startAnalysis, cache, ens.Anomalies, ens.MemberIndices, innovZ)

@@ -1,8 +1,11 @@
 package telemetry
 
 import (
+	"context"
 	"io"
+	"log/slog"
 	"testing"
+	"time"
 )
 
 // The benchmark suite feeds scripts/bench.sh's allocation gate: the
@@ -79,6 +82,68 @@ func BenchmarkSpanStartEndDisabled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sp := tel.Span("workflow", "member", int64(i), 0)
 		sp.End()
+	}
+}
+
+func BenchmarkSpanCtxDisabled(b *testing.B) {
+	var tel *Telemetry
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := tel.SpanCtx(ctx, "workflow", "member", int64(i), 1)
+		sp.End()
+	}
+}
+
+func BenchmarkSpanCtxEnabled(b *testing.B) {
+	tel := New()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := tel.SpanCtx(ctx, "workflow", "member", int64(i), 1)
+		sp.End()
+	}
+}
+
+func BenchmarkLoggerDisabled(b *testing.B) {
+	var lg *Logger
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Info("cycle complete", "cycle", i, "converged", true, "elapsed", time.Second)
+	}
+}
+
+func BenchmarkLoggerEnabled(b *testing.B) {
+	lg := NewLogger(io.Discard, slog.LevelInfo)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Info("cycle complete", "cycle", i, "converged", true, "elapsed", time.Second)
+	}
+}
+
+func BenchmarkTraceParentFormat(b *testing.B) {
+	sc := SpanContext{Trace: DeriveTraceID(1), Span: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if FormatTraceParent(sc) == "" {
+			b.Fatal("empty header")
+		}
+	}
+}
+
+func BenchmarkTraceParentParse(b *testing.B) {
+	h := FormatTraceParent(SpanContext{Trace: DeriveTraceID(1), Span: 42})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseTraceParent(h); !ok {
+			b.Fatal("rejected canonical header")
+		}
 	}
 }
 

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Logger is trace-correlated structured logging over log/slog, with
+// the package's nil discipline: a nil *Logger is the disabled default
+// and its call sites perform zero allocations — including the boxing
+// of the kv variadic. That property needs care: the exported level
+// methods are tiny inlinable wrappers that bail out before touching
+// kv, and the non-inlined emit extracts values through a concrete type
+// switch, never leaking the []any, so escape analysis keeps the
+// variadic backing array and the interface boxes on the caller's
+// stack. bench_test.go pins this with AllocsPerRun.
+//
+// kv alternates constant string keys and values (the esselint slogkv
+// rule checks call sites). Supported value types: string, int, int64,
+// uint64, float64, bool, time.Duration; anything else renders as
+// "!badvalue". In particular errors must be passed pre-rendered
+// ("err", err.Error()) — a dynamic Error() call inside the logger
+// would leak the variadic and break the disabled-path alloc pin.
+type Logger struct {
+	h       slog.Handler
+	min     slog.Level
+	trace   TraceID
+	span    SpanID
+	dropped *atomic.Uint64 // handler write failures, shared across With copies
+}
+
+// NewLogger returns a Logger writing logfmt-style lines (slog's text
+// handler) at or above min to w.
+func NewLogger(w io.Writer, min slog.Level) *Logger {
+	return &Logger{
+		h:       slog.NewTextHandler(w, &slog.HandlerOptions{Level: min}),
+		min:     min,
+		dropped: new(atomic.Uint64),
+	}
+}
+
+// WithSpan returns a Logger stamping sc's trace_id/span_id on every
+// line, correlating log output with the span tree. Nil-safe.
+func (l *Logger) WithSpan(sc SpanContext) *Logger {
+	if l == nil || sc.IsZero() {
+		return l
+	}
+	cp := *l
+	cp.trace = sc.Trace
+	cp.span = sc.Span
+	return &cp
+}
+
+// WithContext is WithSpan over the active span in ctx. Nil-safe.
+func (l *Logger) WithContext(ctx context.Context) *Logger {
+	return l.WithSpan(SpanFromContext(ctx).Context())
+}
+
+// Dropped reports how many records failed to write (0 when nil).
+func (l *Logger) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Debug logs at LevelDebug. kv alternates constant keys and values.
+func (l *Logger) Debug(msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.emit(slog.LevelDebug, msg, kv)
+}
+
+// Info logs at LevelInfo. kv alternates constant keys and values.
+func (l *Logger) Info(msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.emit(slog.LevelInfo, msg, kv)
+}
+
+// Warn logs at LevelWarn. kv alternates constant keys and values.
+func (l *Logger) Warn(msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.emit(slog.LevelWarn, msg, kv)
+}
+
+// Error logs at LevelError. kv alternates constant keys and values.
+// Pass errors pre-rendered: "err", err.Error().
+func (l *Logger) Error(msg string, kv ...any) {
+	if l == nil {
+		return
+	}
+	l.emit(slog.LevelError, msg, kv)
+}
+
+// emit builds the slog.Record. It must stay non-inlined and must not
+// leak kv (no slog.Any, no fmt, no dynamic method calls on elements):
+// the level wrappers above stay zero-alloc on the nil path only while
+// escape analysis can prove the variadic never escapes here.
+//
+//go:noinline
+func (l *Logger) emit(level slog.Level, msg string, kv []any) {
+	if level < l.min {
+		return
+	}
+	rec := slog.NewRecord(time.Now(), level, msg, 0)
+	if !l.trace.IsZero() {
+		rec.AddAttrs(
+			slog.String("trace_id", l.trace.String()),
+			slog.String("span_id", l.span.String()),
+		)
+	}
+	for i := 0; i < len(kv); i += 2 {
+		key, _ := kv[i].(string)
+		if key == "" {
+			key = "!badkey"
+		}
+		if i+1 >= len(kv) {
+			rec.AddAttrs(slog.String("!badkey", key))
+			break
+		}
+		var v slog.Value
+		switch x := kv[i+1].(type) {
+		case string:
+			v = slog.StringValue(x)
+		case int:
+			v = slog.Int64Value(int64(x))
+		case int64:
+			v = slog.Int64Value(x)
+		case uint64:
+			v = slog.Uint64Value(x)
+		case float64:
+			v = slog.Float64Value(x)
+		case bool:
+			v = slog.BoolValue(x)
+		case time.Duration:
+			v = slog.DurationValue(x)
+		default:
+			v = slog.StringValue("!badvalue")
+		}
+		rec.AddAttrs(slog.Attr{Key: key, Value: v})
+	}
+	if err := l.h.Handle(context.Background(), rec); err != nil {
+		l.dropped.Add(1)
+	}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerWritesStructuredLines(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelInfo)
+	lg.Info("cycle complete", "cycle", 3, "converged", true, "elapsed", 2*time.Second, "rho", 0.9)
+	line := buf.String()
+	for _, want := range []string{"msg=\"cycle complete\"", "cycle=3", "converged=true", "elapsed=2s", "rho=0.9", "level=INFO"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelWarn)
+	lg.Debug("d")
+	lg.Info("i")
+	if buf.Len() != 0 {
+		t.Fatalf("below-min levels wrote: %s", buf.String())
+	}
+	lg.Warn("w")
+	lg.Error("e", "err", errors.New("boom").Error())
+	out := buf.String()
+	if !strings.Contains(out, "level=WARN") || !strings.Contains(out, "err=boom") {
+		t.Fatalf("output = %s", out)
+	}
+}
+
+func TestLoggerWithSpanStampsIdentity(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer()
+	tr.SetTraceID(DeriveTraceID(4))
+	sp := tr.StartChild(SpanContext{}, "workflow", "member", 1, 0)
+
+	lg := NewLogger(&buf, slog.LevelInfo).WithSpan(sp.Context())
+	lg.Info("hello")
+	line := buf.String()
+	if !strings.Contains(line, "trace_id="+sp.Context().TraceHex()) ||
+		!strings.Contains(line, "span_id="+sp.Context().SpanHex()) {
+		t.Fatalf("line missing trace correlation: %s", line)
+	}
+
+	// WithContext picks the active span out of a context.
+	buf.Reset()
+	ctx := ContextWithSpan(context.Background(), sp)
+	NewLogger(&buf, slog.LevelInfo).WithContext(ctx).Info("hi")
+	if !strings.Contains(buf.String(), "span_id="+sp.Context().SpanHex()) {
+		t.Fatalf("WithContext line missing span: %s", buf.String())
+	}
+
+	// Without a span no identity attrs appear.
+	buf.Reset()
+	NewLogger(&buf, slog.LevelInfo).Info("plain")
+	if strings.Contains(buf.String(), "trace_id=") {
+		t.Fatalf("uncorrelated line grew a trace_id: %s", buf.String())
+	}
+}
+
+func TestLoggerMalformedKV(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, slog.LevelInfo)
+	lg.Info("odd", "dangling")
+	if !strings.Contains(buf.String(), "!badkey=dangling") {
+		t.Fatalf("dangling key not marked: %s", buf.String())
+	}
+	buf.Reset()
+	lg.Info("nonstring", 42, "v")
+	if !strings.Contains(buf.String(), "!badkey=v") {
+		t.Fatalf("non-string key not marked: %s", buf.String())
+	}
+	buf.Reset()
+	lg.Info("badvalue", "k", struct{}{})
+	if !strings.Contains(buf.String(), "k=!badvalue") {
+		t.Fatalf("unsupported value not marked: %s", buf.String())
+	}
+}
+
+func TestNilLoggerIsInert(t *testing.T) {
+	var lg *Logger
+	lg.Debug("d")
+	lg.Info("i", "k", 1)
+	lg.Warn("w")
+	lg.Error("e", "err", "x")
+	if lg.Dropped() != 0 {
+		t.Fatal("nil logger dropped records")
+	}
+	if lg.WithSpan(SpanContext{Trace: DeriveTraceID(1), Span: 1}) != nil {
+		t.Fatal("WithSpan on nil logger must stay nil")
+	}
+	if lg.WithContext(context.Background()) != nil {
+		t.Fatal("WithContext on nil logger must stay nil")
+	}
+}
+
+// failWriter fails every write, for the dropped-records counter.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("wall") }
+
+func TestLoggerCountsDroppedWrites(t *testing.T) {
+	lg := NewLogger(failWriter{}, slog.LevelInfo)
+	lg.Info("a")
+	lg.Info("b")
+	lg.Debug("filtered, not dropped")
+	if got := lg.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	// With copies share the counter.
+	cp := lg.WithSpan(SpanContext{Trace: DeriveTraceID(1), Span: 1})
+	cp.Error("c")
+	if got := lg.Dropped(); got != 3 {
+		t.Fatalf("Dropped after copy = %d, want 3", got)
+	}
+}
+
+// TestDisabledLoggingAllocations pins the tentpole property: a nil
+// logger call site with a mixed non-constant kv list performs zero
+// allocations — the variadic boxing stays on the caller's stack.
+func TestDisabledLoggingAllocations(t *testing.T) {
+	var lg *Logger
+	n := 3
+	s := "value"
+	d := time.Second
+	f := 0.5
+	if got := testing.AllocsPerRun(200, func() {
+		lg.Info("msg", "n", n, "s", s, "d", d, "f", f, "ok", true)
+	}); got != 0 {
+		t.Fatalf("nil Logger.Info: %v allocs/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		lg.Error("msg", "n", n+1, "s", s)
+	}); got != 0 {
+		t.Fatalf("nil Logger.Error: %v allocs/op, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -194,6 +195,15 @@ func TestDisabledPathAllocations(t *testing.T) {
 	pin("nil Telemetry.Emit", func() { tel.Emit("member", 3, 0, PhaseRunning) })
 	pin("nil Telemetry.Span", func() {
 		sp := tel.Span("workflow", "member", 3, 1)
+		sp.End()
+	})
+	ctx := context.Background()
+	pin("nil Telemetry.SpanCtx", func() {
+		_, sp := tel.SpanCtx(ctx, "workflow", "member", 3, 1)
+		sp.End()
+	})
+	pin("nil Telemetry.SpanRemote", func() {
+		_, sp := tel.SpanRemote(ctx, SpanContext{}, "http", "route", -1, 1)
 		sp.End()
 	})
 

@@ -4,6 +4,7 @@ import (
 	"io"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"esse/internal/trace"
@@ -24,6 +25,12 @@ type Tracer struct {
 	mu    sync.Mutex
 	base  time.Time
 	spans []spanRecord
+	// Run identity stamped on locally-rooted spans, stored as two
+	// atomics so Start stays lock-free. SetTraceID is called once at
+	// startup, before concurrent span traffic, so the halves never
+	// tear in practice.
+	trHi, trLo atomic.Uint64
+	nextSpn    atomic.Uint64 // next SpanID; allocation is a single Add
 }
 
 // spanRecord is one finished span, stored by value.
@@ -33,34 +40,100 @@ type spanRecord struct {
 	lane      int64 // Chrome tid
 	start     time.Duration
 	dur       time.Duration
+	trace     TraceID // trace this span belongs to (remote parents may differ)
+	span      SpanID  // this span's identity
+	parent    SpanID  // zero for roots
 }
 
 // Span is an open interval handed out by Tracer.Start. It is a value:
 // copying it is cheap and starting one never heap-allocates. End may
 // be called at most once; on a Span from a nil Tracer, End is a no-op.
 type Span struct {
-	tr    *Tracer
-	cat   string
-	name  string
-	id    int64
-	lane  int64
-	start time.Duration
+	tr     *Tracer
+	cat    string
+	name   string
+	id     int64
+	lane   int64
+	start  time.Duration
+	trace  TraceID
+	span   SpanID
+	parent SpanID
 }
 
-// NewTracer returns an empty tracer whose clock starts now.
+// Context returns the span's propagable identity: put it in a wire
+// payload or a traceparent header to parent remote work under this
+// span. Zero on a Span from a nil Tracer.
+func (s Span) Context() SpanContext {
+	return SpanContext{Trace: s.trace, Span: s.span}
+}
+
+// Lane returns the Chrome tid the span renders on (0 for a zero Span).
+func (s Span) Lane() int64 { return s.lane }
+
+// NewTracer returns an empty tracer whose clock starts now. Its trace
+// identity defaults to DeriveTraceID(0); runs that want a seed-stable
+// identity call SetTraceID before the first span.
 func NewTracer() *Tracer {
-	return &Tracer{base: time.Now()}
+	t := &Tracer{base: time.Now()}
+	t.SetTraceID(DeriveTraceID(0))
+	return t
 }
 
-// Start opens a span in category cat. id >= 0 is appended to the name
-// at export time ("name-id"); pass -1 for none. lane selects the
+// SetTraceID fixes the run identity stamped on every subsequent
+// locally-rooted span. Call it once at startup, before span traffic. A
+// zero id is ignored — an all-zero TraceID is invalid on the wire.
+func (t *Tracer) SetTraceID(id TraceID) {
+	if t == nil || id.IsZero() {
+		return
+	}
+	t.trHi.Store(id.Hi)
+	t.trLo.Store(id.Lo)
+}
+
+// TraceID returns the tracer's run identity (zero when t is nil).
+func (t *Tracer) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return TraceID{Hi: t.trHi.Load(), Lo: t.trLo.Load()}
+}
+
+// Start opens a root span in category cat. id >= 0 is appended to the
+// name at export time ("name-id"); pass -1 for none. lane selects the
 // Chrome tid row — use the worker id or member index so concurrent
 // tasks land on separate rows.
 func (t *Tracer) Start(cat, name string, id, lane int64) Span {
+	return t.StartChild(SpanContext{}, cat, name, id, lane)
+}
+
+// StartChild opens a span parented under parent. A zero parent yields
+// a root span on the tracer's own trace; a parent with a foreign
+// TraceID (extracted from a header or a wire payload) adopts that
+// trace, so cross-process trees keep one identity. lane < 0 picks
+// lane 0 (callers threading contexts use Telemetry.SpanCtx, which
+// resolves lane < 0 to the parent's lane instead).
+func (t *Tracer) StartChild(parent SpanContext, cat, name string, id, lane int64) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{tr: t, cat: cat, name: name, id: id, lane: lane, start: time.Since(t.base)}
+	if lane < 0 {
+		lane = 0
+	}
+	tr := parent.Trace
+	if tr.IsZero() {
+		tr = t.TraceID()
+	}
+	return Span{
+		tr:     t,
+		cat:    cat,
+		name:   name,
+		id:     id,
+		lane:   lane,
+		start:  time.Since(t.base),
+		trace:  tr,
+		span:   SpanID(t.nextSpn.Add(1)),
+		parent: parent.Span,
+	}
 }
 
 // End closes the span and records it. No-op on a zero Span.
@@ -71,12 +144,15 @@ func (s Span) End() {
 	end := time.Since(s.tr.base)
 	s.tr.mu.Lock()
 	s.tr.spans = append(s.tr.spans, spanRecord{
-		cat:   s.cat,
-		name:  s.name,
-		id:    s.id,
-		lane:  s.lane,
-		start: s.start,
-		dur:   end - s.start,
+		cat:    s.cat,
+		name:   s.name,
+		id:     s.id,
+		lane:   s.lane,
+		start:  s.start,
+		dur:    end - s.start,
+		trace:  s.trace,
+		span:   s.span,
+		parent: s.parent,
 	})
 	s.tr.mu.Unlock()
 }
@@ -93,15 +169,29 @@ func (t *Tracer) Len() int {
 
 // ChromeEvent is one trace event in the Chrome trace-event JSON array
 // format. Ph, Ts and Pid intentionally have no omitempty: viewers
-// require them even when zero.
+// require them even when zero. ID and BP serve flow events (ph "s"
+// start, ph "f" finish with bp "e"), which draw the parent → child
+// arrows between lanes; Args carries the span identity forensics tools
+// rebuild the tree from.
 type ChromeEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat,omitempty"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur,omitempty"`
-	Pid  int64   `json:"pid"`
-	Tid  int64   `json:"tid"`
+	Name string    `json:"name"`
+	Cat  string    `json:"cat,omitempty"`
+	Ph   string    `json:"ph"`
+	Ts   float64   `json:"ts"`
+	Dur  float64   `json:"dur,omitempty"`
+	Pid  int64     `json:"pid"`
+	Tid  int64     `json:"tid"`
+	ID   string    `json:"id,omitempty"`
+	BP   string    `json:"bp,omitempty"`
+	Args *SpanArgs `json:"args,omitempty"`
+}
+
+// SpanArgs is the identity block attached to exported span events.
+// Hex-string encoded like the wire form; ParentSpan is empty on roots.
+type SpanArgs struct {
+	TraceID    string `json:"trace_id"`
+	SpanID     string `json:"span_id"`
+	ParentSpan string `json:"parent_span_id,omitempty"`
 }
 
 // chromePidWall is the pid lane for wall-clock spans; chromePidPaper
@@ -112,8 +202,12 @@ const (
 	chromePidPaper = 2
 )
 
-// ChromeEvents renders the finished spans as complete ("X") events with
-// microsecond timestamps relative to the tracer's start.
+// ChromeEvents renders the finished spans as complete ("X") events
+// with microsecond timestamps relative to the tracer's start, each
+// carrying its span identity in Args. Every span whose parent also
+// finished locally additionally yields a flow-event pair ("s" on the
+// parent's lane, "f" with bp "e" on the child's) so viewers draw the
+// causal arrow even when parent and child render on different lanes.
 func (t *Tracer) ChromeEvents() []ChromeEvent {
 	if t == nil {
 		return nil
@@ -122,7 +216,11 @@ func (t *Tracer) ChromeEvents() []ChromeEvent {
 	recs := make([]spanRecord, len(t.spans))
 	copy(recs, t.spans)
 	t.mu.Unlock()
-	out := make([]ChromeEvent, 0, len(recs))
+	byID := make(map[SpanID]int, len(recs))
+	for i, r := range recs {
+		byID[r.span] = i
+	}
+	out := make([]ChromeEvent, 0, 3*len(recs))
 	name := make([]byte, 0, 64)
 	for _, r := range recs {
 		name = name[:0]
@@ -130,6 +228,11 @@ func (t *Tracer) ChromeEvents() []ChromeEvent {
 		if r.id >= 0 {
 			name = append(name, '-')
 			name = strconv.AppendInt(name, r.id, 10)
+		}
+		//esselint:allow hotalloc every exported event needs its own identity block; export runs once, after the run
+		args := &SpanArgs{TraceID: r.trace.String(), SpanID: r.span.String()}
+		if r.parent != 0 {
+			args.ParentSpan = r.parent.String()
 		}
 		out = append(out, ChromeEvent{
 			Name: string(name),
@@ -139,7 +242,46 @@ func (t *Tracer) ChromeEvents() []ChromeEvent {
 			Dur:  float64(r.dur.Nanoseconds()) / 1e3,
 			Pid:  chromePidWall,
 			Tid:  r.lane,
+			Args: args,
 		})
+		pi, ok := byID[r.parent]
+		if r.parent == 0 || !ok {
+			continue
+		}
+		parent := recs[pi]
+		// The "s" endpoint must fall inside the source slice for
+		// viewers to bind it; clamp the child start into the parent's
+		// interval (retries can momentarily start before a re-opened
+		// parent under coarse clocks).
+		ts := r.start
+		if ts < parent.start {
+			ts = parent.start
+		}
+		if end := parent.start + parent.dur; ts > end {
+			ts = end
+		}
+		flowID := r.span.String()
+		out = append(out,
+			ChromeEvent{
+				Name: "parent",
+				Cat:  "flow",
+				Ph:   "s",
+				Ts:   float64(ts.Nanoseconds()) / 1e3,
+				Pid:  chromePidWall,
+				Tid:  parent.lane,
+				ID:   flowID,
+			},
+			ChromeEvent{
+				Name: "parent",
+				Cat:  "flow",
+				Ph:   "f",
+				Ts:   float64(r.start.Nanoseconds()) / 1e3,
+				Pid:  chromePidWall,
+				Tid:  r.lane,
+				ID:   flowID,
+				BP:   "e",
+			},
+		)
 	}
 	return out
 }
@@ -208,6 +350,25 @@ func appendChromeEvent(buf []byte, e ChromeEvent) []byte {
 	buf = strconv.AppendInt(buf, e.Pid, 10)
 	buf = append(buf, `,"tid":`...)
 	buf = strconv.AppendInt(buf, e.Tid, 10)
+	if e.ID != "" {
+		buf = append(buf, `,"id":`...)
+		buf = strconv.AppendQuote(buf, e.ID)
+	}
+	if e.BP != "" {
+		buf = append(buf, `,"bp":`...)
+		buf = strconv.AppendQuote(buf, e.BP)
+	}
+	if e.Args != nil {
+		buf = append(buf, `,"args":{"trace_id":`...)
+		buf = strconv.AppendQuote(buf, e.Args.TraceID)
+		buf = append(buf, `,"span_id":`...)
+		buf = strconv.AppendQuote(buf, e.Args.SpanID)
+		if e.Args.ParentSpan != "" {
+			buf = append(buf, `,"parent_span_id":`...)
+			buf = strconv.AppendQuote(buf, e.Args.ParentSpan)
+		}
+		buf = append(buf, '}')
+	}
 	buf = append(buf, '}')
 	return buf
 }

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 	"time"
 
@@ -61,7 +62,12 @@ func TestTracerSpans(t *testing.T) {
 // required keys (ph, ts, pid) must be present even when zero.
 func TestChromeTraceRoundTrip(t *testing.T) {
 	in := []ChromeEvent{
-		{Name: "cycle-1", Cat: "workflow", Ph: "X", Ts: 0, Dur: 1500, Pid: 1, Tid: 0},
+		{Name: "cycle-1", Cat: "workflow", Ph: "X", Ts: 0, Dur: 1500, Pid: 1, Tid: 0,
+			Args: &SpanArgs{TraceID: "00ab", SpanID: "0001"}},
+		{Name: "member-2", Cat: "workflow", Ph: "X", Ts: 1, Dur: 2, Pid: 1, Tid: 1,
+			Args: &SpanArgs{TraceID: "00ab", SpanID: "0002", ParentSpan: "0001"}},
+		{Name: "parent", Cat: "flow", Ph: "s", Ts: 1, Pid: 1, Tid: 0, ID: "0002"},
+		{Name: "parent", Cat: "flow", Ph: "f", Ts: 1, Pid: 1, Tid: 1, ID: "0002", BP: "e"},
 		{Name: `quote"and\slash`, Ph: "X", Ts: 12.25, Dur: 0.5, Pid: 2, Tid: 7},
 		{Name: "zero", Ph: "X", Ts: 0, Dur: 0, Pid: 0, Tid: 0},
 	}
@@ -78,7 +84,7 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 		t.Fatalf("decoded %d events, want %d", len(out), len(in))
 	}
 	for i := range in {
-		if in[i] != out[i] {
+		if !reflect.DeepEqual(in[i], out[i]) {
 			t.Fatalf("event %d: %+v != %+v", i, in[i], out[i])
 		}
 	}
@@ -94,7 +100,7 @@ func TestChromeTraceRoundTrip(t *testing.T) {
 				t.Fatalf("event %d missing required key %q: %v", i, key, m)
 			}
 		}
-		if m["ph"] != "X" {
+		if ph, ok := m["ph"].(string); !ok || ph == "" {
 			t.Fatalf("event %d ph = %v", i, m["ph"])
 		}
 	}
@@ -149,6 +155,63 @@ func TestTimelineChromeEvents(t *testing.T) {
 
 	if evs := TimelineChromeEvents(nil, time.Second); evs != nil {
 		t.Fatalf("nil timeline = %+v, want nil", evs)
+	}
+}
+
+// TestChromeEventsFlowPairs pins the parent-linked export: every
+// locally-finished child yields an "s"/"f" flow pair binding its lane
+// to its parent's, and every X event carries its span identity.
+func TestChromeEventsFlowPairs(t *testing.T) {
+	tr := NewTracer()
+	tr.SetTraceID(DeriveTraceID(21))
+	root := tr.StartChild(SpanContext{}, "realtime", "cycle", 0, 0)
+	child := tr.StartChild(root.Context(), "workflow", "member", 4, 2)
+	child.End()
+	root.End()
+
+	evs := tr.ChromeEvents()
+	// 2 X events + one flow pair for the child.
+	if len(evs) != 4 {
+		t.Fatalf("events = %d, want 4", len(evs))
+	}
+	var x []ChromeEvent
+	var s, f *ChromeEvent
+	for i := range evs {
+		switch evs[i].Ph {
+		case "X":
+			x = append(x, evs[i])
+		case "s":
+			s = &evs[i]
+		case "f":
+			f = &evs[i]
+		}
+	}
+	if len(x) != 2 || s == nil || f == nil {
+		t.Fatalf("mix = %+v", evs)
+	}
+	for _, e := range x {
+		if e.Args == nil || e.Args.TraceID != tr.TraceID().String() || e.Args.SpanID == "" {
+			t.Fatalf("X event missing identity: %+v", e)
+		}
+	}
+	// The child X event names its parent; the root does not.
+	if x[0].Name != "member-4" || x[0].Args.ParentSpan != root.Context().SpanHex() {
+		t.Fatalf("child identity = %+v", x[0].Args)
+	}
+	if x[1].Args.ParentSpan != "" {
+		t.Fatalf("root grew a parent: %+v", x[1].Args)
+	}
+	// Flow pair: s on the parent's lane, f (bp=e) on the child's, both
+	// carrying the child span id, s's ts inside the parent interval.
+	if s.Tid != 0 || f.Tid != 2 || f.BP != "e" {
+		t.Fatalf("flow lanes/bp = %+v, %+v", s, f)
+	}
+	if s.ID != child.Context().SpanHex() || f.ID != s.ID {
+		t.Fatalf("flow ids = %q, %q, want %q", s.ID, f.ID, child.Context().SpanHex())
+	}
+	rootEv := x[1]
+	if s.Ts < rootEv.Ts || s.Ts > rootEv.Ts+rootEv.Dur {
+		t.Fatalf("s.ts %v outside parent [%v, %v]", s.Ts, rootEv.Ts, rootEv.Ts+rootEv.Dur)
 	}
 }
 

@@ -33,6 +33,8 @@
 // observability is off.
 package telemetry
 
+import "context"
+
 // Telemetry bundles a metrics registry, a lifecycle event log and a
 // wall-clock tracer. The nil *Telemetry is the disabled default: every
 // method is nil-safe and returns the matching nil (no-op) handle.
@@ -107,4 +109,36 @@ func (t *Telemetry) Emit(task string, index, attempt int, phase Phase) {
 // strings. Nil-safe: the returned Span's End is then a no-op.
 func (t *Telemetry) Span(cat, name string, id, lane int64) Span {
 	return t.Tracer().Start(cat, name, id, lane)
+}
+
+// SpanCtx opens a span parented under the active span in ctx (a root
+// when there is none) and returns a derived context carrying the new
+// span, so callees parent under it in turn. lane < 0 inherits the
+// parent's lane — the common case for phase spans that should nest
+// inside the member row that opened them.
+//
+// Nil-safe and allocation-free when disabled: a nil *Telemetry returns
+// ctx unchanged and a zero Span, with no context wrapping.
+func (t *Telemetry) SpanCtx(ctx context.Context, cat, name string, id, lane int64) (context.Context, Span) {
+	if t == nil {
+		return ctx, Span{}
+	}
+	parent := SpanFromContext(ctx)
+	if lane < 0 {
+		lane = parent.lane
+	}
+	sp := t.tracer.StartChild(parent.Context(), cat, name, id, lane)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// SpanRemote opens a span parented under an identity that crossed a
+// process boundary (a traceparent header or a wire payload) and
+// returns a context carrying it. With a zero parent it degrades to a
+// root span. Nil-safe like SpanCtx.
+func (t *Telemetry) SpanRemote(ctx context.Context, parent SpanContext, cat, name string, id, lane int64) (context.Context, Span) {
+	if t == nil {
+		return ctx, Span{}
+	}
+	sp := t.tracer.StartChild(parent, cat, name, id, lane)
+	return ContextWithSpan(ctx, sp), sp
 }

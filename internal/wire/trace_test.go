@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"esse/internal/telemetry"
+)
+
+// traceCtx returns a well-formed wire TraceContext derived from the
+// telemetry types, so the hex conventions of the two packages are
+// pinned against each other.
+func traceCtx() TraceContext {
+	sc := telemetry.SpanContext{Trace: telemetry.DeriveTraceID(9), Span: 42}
+	return TraceContext{TraceID: sc.TraceHex(), SpanID: sc.SpanHex()}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	in := validTask()
+	in.Trace = traceCtx()
+	var buf bytes.Buffer
+	if err := EncodeTask(&buf, in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out Task
+	if err := DecodeTask(&buf, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out != *in {
+		t.Fatalf("round trip changed the task: %+v != %+v", out, *in)
+	}
+	// The acceptance property: the same TraceID on both sides of the
+	// wire, bit for bit, resolvable back into the telemetry type.
+	sc, ok := telemetry.SpanContextFromHex(out.Trace.TraceID, out.Trace.SpanID)
+	if !ok || sc.Trace != telemetry.DeriveTraceID(9) || sc.Span != 42 {
+		t.Fatalf("decoded trace context does not resolve: %+v, %v", sc, ok)
+	}
+
+	lease := validLease()
+	lease.Trace = traceCtx()
+	buf.Reset()
+	if err := EncodeLease(&buf, lease); err != nil {
+		t.Fatalf("encode lease: %v", err)
+	}
+	var lout Lease
+	if err := DecodeLease(&buf, &lout); err != nil {
+		t.Fatalf("decode lease: %v", err)
+	}
+	if lout != *lease {
+		t.Fatalf("lease round trip: %+v != %+v", lout, *lease)
+	}
+
+	res := validResult()
+	res.Trace = traceCtx()
+	buf.Reset()
+	if err := EncodeResult(&buf, res); err != nil {
+		t.Fatalf("encode result: %v", err)
+	}
+	var rout Result
+	if err := DecodeResult(&buf, &rout); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if rout != *res {
+		t.Fatalf("result round trip: %+v != %+v", rout, *res)
+	}
+}
+
+func TestTraceContextZeroValueIsLegacyLegal(t *testing.T) {
+	// Payloads from pre-tracing peers carry no trace block at all;
+	// the zero value must validate and round trip untouched.
+	in := validTask()
+	if !in.Trace.IsZero() {
+		t.Fatal("validTask grew a trace context")
+	}
+	var buf bytes.Buffer
+	if err := EncodeTask(&buf, in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out Task
+	if err := DecodeTask(&buf, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !out.Trace.IsZero() {
+		t.Fatalf("zero trace context mutated: %+v", out.Trace)
+	}
+	// A raw legacy payload without the "trace" key decodes too.
+	legacy := `{"id":"t-7","kind":1,"member":3,"seed":42,"dt":0.5,"horizon":3600}`
+	var lt Task
+	if err := DecodeTask(strings.NewReader(legacy), &lt); err != nil {
+		t.Fatalf("legacy payload rejected: %v", err)
+	}
+}
+
+func TestTraceContextValidateRejections(t *testing.T) {
+	good := traceCtx()
+	cases := []struct {
+		name string
+		tc   TraceContext
+	}{
+		{"half-set trace only", TraceContext{TraceID: good.TraceID}},
+		{"half-set span only", TraceContext{SpanID: good.SpanID}},
+		{"short trace", TraceContext{TraceID: good.TraceID[:31], SpanID: good.SpanID}},
+		{"long span", TraceContext{TraceID: good.TraceID, SpanID: good.SpanID + "0"}},
+		{"uppercase", TraceContext{TraceID: strings.ToUpper(good.TraceID), SpanID: good.SpanID}},
+		{"non-hex", TraceContext{TraceID: strings.Repeat("g", 32), SpanID: good.SpanID}},
+		{"all-zero trace", TraceContext{TraceID: strings.Repeat("0", 32), SpanID: good.SpanID}},
+		{"all-zero span", TraceContext{TraceID: good.TraceID, SpanID: strings.Repeat("0", 16)}},
+	}
+	for _, c := range cases {
+		task := validTask()
+		task.Trace = c.tc
+		if err := task.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", c.name, c.tc)
+		}
+		// The corrupt context must also be refused at decode time.
+		var buf bytes.Buffer
+		task2 := validTask()
+		if err := EncodeTask(&buf, task2); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		lease := validLease()
+		lease.Trace = c.tc
+		if err := lease.Validate(); err == nil {
+			t.Errorf("%s: lease accepted %+v", c.name, c.tc)
+		}
+		res := validResult()
+		res.Trace = c.tc
+		if err := res.Validate(); err == nil {
+			t.Errorf("%s: result accepted %+v", c.name, c.tc)
+		}
+	}
+}
+
+func TestTraceContextEncodeRejectsCorrupt(t *testing.T) {
+	task := validTask()
+	task.Trace = TraceContext{TraceID: "nothex", SpanID: "alsonothex"}
+	var buf bytes.Buffer
+	if err := EncodeTask(&buf, task); err == nil {
+		t.Fatal("encode accepted a corrupt trace context")
+	}
+	payload := `{"id":"t-7","kind":1,"member":3,"seed":42,"dt":0.5,"horizon":3600,` +
+		`"trace":{"trace_id":"XYZ","span_id":"0000000000000001"}}`
+	var out Task
+	if err := DecodeTask(strings.NewReader(payload), &out); err == nil {
+		t.Fatal("decode accepted a corrupt trace context")
+	}
+}

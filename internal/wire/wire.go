@@ -38,6 +38,72 @@ func CheckFinite(field string, v float64) error {
 	return nil
 }
 
+// TraceContext is the causal identity riding with every wire payload:
+// the trace the work belongs to and the span that caused it, in the
+// telemetry package's hex-string form (32 lowercase hex digits of
+// trace ID, 16 of span ID — the traceparent field grammar). The zero
+// value means "untraced" and is always legal, so legacy peers that
+// never heard of tracing keep validating; a non-zero context must be
+// well-formed in BOTH halves — a trace ID without a span ID (or vice
+// versa) is corrupt, not partial.
+type TraceContext struct {
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// IsZero reports whether the context is the legal "untraced" value.
+func (tc *TraceContext) IsZero() bool {
+	return tc.TraceID == "" && tc.SpanID == ""
+}
+
+// Validate enforces the hex grammar. where names the enclosing payload
+// for attributable errors.
+func (tc *TraceContext) Validate(where string) error {
+	if tc.IsZero() {
+		return nil
+	}
+	if tc.TraceID == "" || tc.SpanID == "" {
+		return fmt.Errorf("wire: %s has a half-set trace context (trace_id=%q span_id=%q)", where, tc.TraceID, tc.SpanID)
+	}
+	if !validHex(tc.TraceID, 32) {
+		return fmt.Errorf("wire: %s has malformed trace_id %q", where, tc.TraceID)
+	}
+	if !validHex(tc.SpanID, 16) {
+		return fmt.Errorf("wire: %s has malformed span_id %q", where, tc.SpanID)
+	}
+	if allZeroHex(tc.TraceID) || allZeroHex(tc.SpanID) {
+		return fmt.Errorf("wire: %s has all-zero trace context ids", where)
+	}
+	return nil
+}
+
+// validHex reports whether s is exactly n lowercase hex digits.
+// Uppercase is rejected: the canonical form is lowercase-only and
+// accepting both would let two spellings of one ID ride the wire.
+func validHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// allZeroHex reports whether s is nothing but '0' digits — the invalid
+// ID both here and in the traceparent grammar.
+func allZeroHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
 // TaskKind classifies the many-task work units of the ESSE pipeline.
 type TaskKind uint8
 
@@ -156,6 +222,9 @@ type Task struct {
 	// length in seconds. Both must be finite and positive.
 	Dt      float64 `json:"dt"`
 	Horizon float64 `json:"horizon"`
+	// Trace carries the causal identity of the dispatch that created
+	// the task; the zero value is a legal untraced task.
+	Trace TraceContext `json:"trace"`
 }
 
 // Validate enforces the wire invariants in both directions.
@@ -181,7 +250,7 @@ func (t *Task) Validate() error {
 	if t.Dt <= 0 || t.Horizon <= 0 {
 		return fmt.Errorf("wire: task %s has non-positive dt=%v or horizon=%v", t.ID, t.Dt, t.Horizon)
 	}
-	return nil
+	return t.Trace.Validate("task " + t.ID)
 }
 
 // Lease is the dispatcher's record of one offered task, as reported
@@ -194,6 +263,9 @@ type Lease struct {
 	// Unix epoch. Integer on purpose: wall-clock times never ride the
 	// wire as floats.
 	DeadlineUnixMS int64 `json:"deadline_unix_ms"`
+	// Trace carries the causal identity of the offered task, so lease
+	// listings correlate with the span tree. Zero is legal.
+	Trace TraceContext `json:"trace"`
 }
 
 // Validate enforces the wire invariants in both directions.
@@ -207,7 +279,7 @@ func (l *Lease) Validate() error {
 	if l.State != LeasePending && l.Worker == "" {
 		return fmt.Errorf("wire: lease %s in state %s has no worker", l.TaskID, l.State)
 	}
-	return nil
+	return l.Trace.Validate("lease " + l.TaskID)
 }
 
 // Result is a worker's report for one completed (or failed) task.
@@ -221,6 +293,9 @@ type Result struct {
 	// the wall time spent. Both must be finite.
 	Rho        float64 `json:"rho"`
 	ElapsedSec float64 `json:"elapsed_sec"`
+	// Trace echoes the task's causal identity back to the dispatcher,
+	// closing the loop worker-side. Zero is legal.
+	Trace TraceContext `json:"trace"`
 }
 
 // Validate enforces the wire invariants in both directions.
@@ -243,7 +318,7 @@ func (r *Result) Validate() error {
 	if r.ElapsedSec < 0 {
 		return fmt.Errorf("wire: result %s has negative elapsed_sec %v", r.TaskID, r.ElapsedSec)
 	}
-	return nil
+	return r.Trace.Validate("result " + r.TaskID)
 }
 
 // EncodeTask validates t and writes it to w as one JSON line.

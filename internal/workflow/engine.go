@@ -287,8 +287,11 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 				// the event stream rather than a goroutine race.
 				tel.Emit("member", idx, 0, telemetry.PhaseDispatched)
 				tel.Emit("member", idx, 0, telemetry.PhaseRunning)
-				sp := tel.Span("workflow", "member", int64(idx), lane)
-				state, err := runWithRetries(runCtx, cfg.Retries, idx, runner, tel, cRetries)
+				// The member span carries the worker's lane and rides the
+				// context into the runner, so phase spans the runner opens
+				// (perturb, forecast) land on the same lane as children.
+				mctx, sp := tel.SpanCtx(runCtx, "workflow", "member", int64(idx), lane)
+				state, err := runWithRetries(mctx, cfg.Retries, idx, runner, tel, cRetries)
 				sp.End()
 				results <- memberDone{index: idx, state: state, err: err, start: t0, end: time.Since(start)}
 			}
@@ -312,7 +315,10 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 	}
 
 	runSVD := func() error {
-		sp := tel.Span("workflow", "svd", int64(res.SVDRounds), 0)
+		// ctx (not runCtx) on purpose: runCtx is already cancelled when
+		// convergence fires, but the final SVD must still parent under
+		// the caller's span; SpanCtx uses the context only for lineage.
+		svdCtx, sp := tel.SpanCtx(ctx, "workflow", "svd", int64(res.SVDRounds), 0)
 		defer sp.End()
 		svdStart := time.Now()
 		defer func() { hSVDSec.Observe(time.Since(svdStart).Seconds()) }()
@@ -321,10 +327,10 @@ func RunParallel(ctx context.Context, cfg Config, central []float64, runner Memb
 		if cfg.Store != nil {
 			// Publish through the triple-file protocol and read back the
 			// safe file, like the shell implementation's differ/SVD pair.
-			if _, err := cfg.Store.WriteSnapshot(anoms, indices); err != nil {
+			if _, err := cfg.Store.WriteSnapshotCtx(svdCtx, anoms, indices); err != nil {
 				return fmt.Errorf("workflow: diff publish: %w", err)
 			}
-			m, _, _, err := cfg.Store.ReadSafe()
+			m, _, _, err := cfg.Store.ReadSafeCtx(svdCtx)
 			if err != nil {
 				return fmt.Errorf("workflow: SVD read: %w", err)
 			}

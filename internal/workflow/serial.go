@@ -26,7 +26,8 @@ func RunSerial(ctx context.Context, cfg Config, central []float64, runner Member
 	}
 	start := time.Now()
 	tl := trace.New()
-	cRetries := cfg.Telemetry.Counter("esse_workflow_retries_total", "Member attempts that failed and were retried.")
+	tel := cfg.Telemetry
+	cRetries := tel.Counter("esse_workflow_retries_total", "Member attempts that failed and were retried.")
 	acc := core.NewAccumulator(central)
 	res := &Result{Timeline: tl, PoolSizes: []int{cfg.InitialSize}, Central: acc.Central()}
 
@@ -54,7 +55,11 @@ func RunSerial(ctx context.Context, cfg Config, central []float64, runner Member
 				break
 			}
 			t0 := time.Since(start)
-			state, err := runWithRetries(ctx, cfg.Retries, idx, runner, cfg.Telemetry, cRetries)
+			// Serial members all run on the caller's lane (lane -1 =
+			// inherit): the whole point of Fig. 3 is one sequential row.
+			mctx, sp := tel.SpanCtx(ctx, "workflow", "member", int64(idx), -1)
+			state, err := runWithRetries(mctx, cfg.Retries, idx, runner, tel, cRetries)
+			sp.End()
 			if err != nil {
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					res.MembersCancelled++
@@ -78,14 +83,17 @@ func RunSerial(ctx context.Context, cfg Config, central []float64, runner Member
 		}
 
 		// --- SVD + convergence test (bottleneck 3: waits for diff) ---
+		svdCtx, svdSp := tel.SpanCtx(ctx, "workflow", "svd", int64(res.SVDRounds), -1)
 		anoms := acc.Anomalies()
 		indices := acc.Indices()
 		if cfg.Store != nil {
-			if _, err := cfg.Store.WriteSnapshot(anoms, indices); err != nil {
+			if _, err := cfg.Store.WriteSnapshotCtx(svdCtx, anoms, indices); err != nil {
+				svdSp.End()
 				return nil, fmt.Errorf("workflow: diff publish: %w", err)
 			}
-			m, _, _, err := cfg.Store.ReadSafe()
+			m, _, _, err := cfg.Store.ReadSafeCtx(svdCtx)
 			if err != nil {
+				svdSp.End()
 				return nil, fmt.Errorf("workflow: SVD read: %w", err)
 			}
 			anoms = m
@@ -100,6 +108,7 @@ func RunSerial(ctx context.Context, cfg Config, central []float64, runner Member
 			}
 			prev = cur
 		}
+		svdSp.End()
 
 		if res.Converged || ctx.Err() != nil || expired() || n >= cfg.MaxSize {
 			break

@@ -1,13 +1,13 @@
 #!/bin/sh
 # bench.sh — the allocation-regression gate. Runs every benchmark once
 # with -benchmem and feeds the stream to cmd/benchgate, which compares
-# allocs/op against the committed BENCH_5.json baseline (15% relative
+# allocs/op against the committed BENCH_10.json baseline (15% relative
 # tolerance plus a small absolute slack for GOMAXPROCS-dependent worker
 # spawns; ns/op is recorded but never gated by default — wall time on
 # shared runners is noise, allocation counts are not).
 #
-#   scripts/bench.sh              gate allocs against BENCH_5.json
-#   scripts/bench.sh -update      rewrite BENCH_5.json from this run
+#   scripts/bench.sh              gate allocs against BENCH_10.json
+#   scripts/bench.sh -update      rewrite BENCH_10.json from this run
 #   scripts/bench.sh -time-gate   opt-in wall-time gate over the whole
 #                                 suite: runs -count=3 so benchgate can
 #                                 widen its tolerance to this machine's
@@ -47,16 +47,16 @@ go test -run='^$' -bench=. -benchtime=1x -benchmem -count="$count" "$bench_pkgs"
 
 case "$mode" in
 -update)
-    go run ./cmd/benchgate -baseline BENCH_5.json -update <"$tmp"
+    go run ./cmd/benchgate -baseline BENCH_10.json -update <"$tmp"
     ;;
 -time-gate)
-    go run ./cmd/benchgate -baseline BENCH_5.json -out bench-observed.json -time-gate <"$tmp"
+    go run ./cmd/benchgate -baseline BENCH_10.json -out bench-observed.json -time-gate <"$tmp"
     ;;
 -time-linalg)
-    go run ./cmd/benchgate -baseline BENCH_5.json -out bench-time-linalg.json \
+    go run ./cmd/benchgate -baseline BENCH_10.json -out bench-time-linalg.json \
         -time-gate -match "$linalg_stable" <"$tmp"
     ;;
 *)
-    go run ./cmd/benchgate -baseline BENCH_5.json -out bench-observed.json <"$tmp"
+    go run ./cmd/benchgate -baseline BENCH_10.json -out bench-observed.json <"$tmp"
     ;;
 esac

@@ -32,4 +32,17 @@ echo "==> /events and /trace respond"
 go run ./cmd/promscrape -url "http://$addr/events" -parse=false
 go run ./cmd/promscrape -url "http://$addr/trace" -parse=false
 
-echo "smoke_metrics: metrics endpoint is scrapeable"
+# The forensics gate: esse-report fetches the live /trace, /events and
+# /metrics surfaces and rebuilds the span tree. -strict fails the smoke
+# on an empty tree or any orphan span — a span whose parent never made
+# it into the export means broken causal propagation, not just an ugly
+# trace. The digest is kept as a CI artifact (mtc-sim-digest.json) so a
+# red run can be triaged without rebooting the sim.
+echo "==> esse-report forensics over http://$addr"
+go run ./cmd/esse-report \
+    -trace "http://$addr/trace" \
+    -events "http://$addr/events" \
+    -metrics "http://$addr/metrics" \
+    -strict -out mtc-sim-digest.json
+
+echo "smoke_metrics: metrics endpoint is scrapeable and trace is coherent"
